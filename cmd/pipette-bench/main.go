@@ -1,0 +1,68 @@
+// Command pipette-bench regenerates the tables and figures of the paper's
+// evaluation (DAC'22, §4) from the simulator, plus ablation sweeps.
+//
+// Usage:
+//
+//	pipette-bench -list
+//	pipette-bench -exp all -scale quick
+//	pipette-bench -exp fig6               # or table2, fig8, apps, ...
+//	pipette-bench -exp apps -scale full   # paper-scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pipette/internal/bench"
+)
+
+func main() {
+	var (
+		expName   = flag.String("exp", "all", "experiment id or paper artifact (fig6, table2, ... ; 'all')")
+		scaleName = flag.String("scale", "quick", "experiment scale: tiny, quick, or full")
+		list      = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments (select by id or by any artifact):")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-18s %-34s %s\n", e.ID, strings.Join(e.Artifacts, ","), e.Title)
+		}
+		return
+	}
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = bench.TinyScale()
+	case "quick":
+		scale = bench.QuickScale()
+	case "full":
+		scale = bench.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "pipette-bench: unknown scale %q (tiny|quick|full)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var err error
+	if *expName == "all" {
+		err = bench.RunAll(os.Stdout, scale)
+	} else {
+		var exp bench.Experiment
+		exp, err = bench.Find(*expName)
+		if err == nil {
+			fmt.Printf("### %s\n\n", exp.Title)
+			err = exp.Run(os.Stdout, scale)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(wall time %.1fs, scale %s)\n", time.Since(start).Seconds(), scale.Name)
+}

@@ -1,0 +1,123 @@
+// Command pipette-sim runs a single configurable simulation: it builds one
+// host+SSD system with Pipette installed, replays a chosen workload, and
+// dumps the full statistics report — a scriptable single-run counterpart to
+// pipette-bench's fixed experiment grid.
+//
+// Usage:
+//
+//	pipette-sim -workload mixE -dist zipfian -requests 100000
+//	pipette-sim -workload recommender -requests 200000 -fine=false
+//	pipette-sim -workload socialgraph -pagecache 64 -finecache 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipette"
+	"pipette/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "mixE", "mixA..mixE, recommender, socialgraph, or searchengine")
+		dist     = flag.String("dist", "uniform", "synthetic request distribution: uniform or zipfian")
+		requests = flag.Int("requests", 100_000, "requests to replay")
+		fileMB   = flag.Int64("file-mb", 128, "synthetic dataset size (MiB)")
+		pcMB     = flag.Int64("pagecache", 40, "page cache budget (MiB)")
+		fgMB     = flag.Int("finecache", 8, "fine-grained read cache arena (MiB)")
+		fine     = flag.Bool("fine", true, "enable the fine-grained read cache")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if err := run(*wl, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64) error {
+	gen, err := makeGenerator(wl, dist, fileMB<<20, seed)
+	if err != nil {
+		return err
+	}
+
+	sys, err := pipette.New(pipette.Options{
+		CapacityBytes:    gen.FileSize() + gen.FileSize()/2 + (64 << 20),
+		PageCacheBytes:   pcMB << 20,
+		FineCacheBytes:   fgMB << 20,
+		DisableFineCache: !fine,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sys.CreateFile("workload.dat", gen.FileSize(), true); err != nil {
+		return err
+	}
+	f, err := sys.Open("workload.dat", pipette.ReadWrite|pipette.FineGrained)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload %s over %.1f MiB, %d requests (fine cache: %v)\n\n",
+		gen.Name(), float64(gen.FileSize())/(1<<20), requests, fine)
+
+	buf := make([]byte, 64<<10)
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < requests; i++ {
+		req := gen.Next()
+		if req.Size > len(buf) {
+			buf = make([]byte, req.Size)
+			payload = make([]byte, req.Size)
+		}
+		if req.Write {
+			if _, err := f.WriteAt(payload[:req.Size], req.Off); err != nil {
+				return fmt.Errorf("request %d: %w", i, err)
+			}
+		} else if _, err := f.ReadAt(buf[:req.Size], req.Off); err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+
+	rep := sys.Report()
+	fmt.Println(rep)
+	fmt.Printf("\nthroughput        %.0f ops/s (virtual)\n",
+		float64(requests)/rep.Elapsed.Seconds())
+	return nil
+}
+
+func makeGenerator(wl, dist string, fileSize int64, seed uint64) (workload.Generator, error) {
+	d := workload.Uniform
+	if dist == "zipfian" {
+		d = workload.Zipfian
+	} else if dist != "uniform" {
+		return nil, fmt.Errorf("unknown distribution %q", dist)
+	}
+	switch wl {
+	case "mixA", "mixB", "mixC", "mixD", "mixE":
+		idx := int(wl[3] - 'A')
+		return workload.NewSynthetic(workload.Mixes(fileSize, 4096, d, seed)[idx])
+	case "recommender":
+		cfg := workload.DefaultRecommenderConfig()
+		cfg.TableBytes = fileSize
+		cfg.Seed = seed
+		return workload.NewRecommender(cfg)
+	case "socialgraph":
+		cfg := workload.DefaultSocialGraphConfig()
+		cfg.Nodes = uint64(fileSize) / 120 // ~96 B node + ~2 edges
+		cfg.Seed = seed
+		return workload.NewSocialGraph(cfg)
+	case "searchengine":
+		cfg := workload.DefaultSearchEngineConfig()
+		cfg.Terms = uint64(fileSize) / 600 // entry + mean posting footprint
+		cfg.Seed = seed
+		return workload.NewSearchEngine(cfg)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+}

@@ -1,0 +1,204 @@
+// Command pipette-trace generates, inspects, and replays workload traces.
+//
+// Usage:
+//
+//	pipette-trace gen -workload mixD -dist zipfian -n 100000 -o trace.bin
+//	pipette-trace info trace.bin
+//	pipette-trace replay -file-mb 128 trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipette"
+	"pipette/internal/trace"
+	"pipette/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pipette-trace gen|info|replay [flags] [file]")
+	os.Exit(2)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	wl := fs.String("workload", "mixE", "mixA..mixE, recommender, socialgraph, searchengine")
+	dist := fs.String("dist", "uniform", "uniform or zipfian")
+	n := fs.Int("n", 100_000, "requests to generate")
+	fileMB := fs.Int64("file-mb", 128, "dataset size (MiB)")
+	seed := fs.Uint64("seed", 42, "seed")
+	out := fs.String("o", "trace.bin", "output file")
+	_ = fs.Parse(args)
+
+	gen, err := makeGenerator(*wl, *dist, *fileMB<<20, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Record(f, gen, *n); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d requests of %s to %s (dataset %.1f MiB)\n",
+		*n, gen.Name(), *out, float64(gen.FileSize())/(1<<20))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info needs a trace file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	reqs, err := trace.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	var reads, writes, bytes int64
+	var maxEnd int64
+	sizes := map[int]int{}
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+		bytes += int64(r.Size)
+		sizes[r.Size]++
+		if end := r.Off + int64(r.Size); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	fmt.Printf("%s: %d requests (%d reads, %d writes), %.1f MiB requested, extent %.1f MiB, %d distinct sizes\n",
+		fs.Arg(0), len(reqs), reads, writes, float64(bytes)/(1<<20), float64(maxEnd)/(1<<20), len(sizes))
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	fileMB := fs.Int64("file-mb", 0, "dataset size (MiB); 0 = trace extent")
+	pcMB := fs.Int64("pagecache", 40, "page cache budget (MiB)")
+	fgMB := fs.Int("finecache", 8, "fine cache arena (MiB)")
+	fine := fs.Bool("fine", true, "enable the fine-grained read cache")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay needs a trace file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	reqs, err := trace.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fileSize := *fileMB << 20
+	if fileSize == 0 {
+		for _, r := range reqs {
+			if end := r.Off + int64(r.Size); end > fileSize {
+				fileSize = end
+			}
+		}
+	}
+	rep, err := trace.NewReplayer(fs.Arg(0), fileSize, reqs)
+	if err != nil {
+		return err
+	}
+
+	sys, err := pipette.New(pipette.Options{
+		CapacityBytes:    fileSize + fileSize/2 + (64 << 20),
+		PageCacheBytes:   *pcMB << 20,
+		FineCacheBytes:   *fgMB << 20,
+		DisableFineCache: !*fine,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sys.CreateFile("trace.dat", fileSize, true); err != nil {
+		return err
+	}
+	file, err := sys.Open("trace.dat", pipette.ReadWrite|pipette.FineGrained)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1<<16)
+	for i := 0; i < rep.Len(); i++ {
+		r := rep.Next()
+		if r.Size > len(buf) {
+			buf = make([]byte, r.Size)
+		}
+		if r.Write {
+			_, err = file.WriteAt(buf[:r.Size], r.Off)
+		} else {
+			_, err = file.ReadAt(buf[:r.Size], r.Off)
+		}
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	fmt.Println(sys.Report())
+	return nil
+}
+
+func makeGenerator(wl, dist string, fileSize int64, seed uint64) (workload.Generator, error) {
+	d := workload.Uniform
+	if dist == "zipfian" {
+		d = workload.Zipfian
+	} else if dist != "uniform" {
+		return nil, fmt.Errorf("unknown distribution %q", dist)
+	}
+	switch wl {
+	case "mixA", "mixB", "mixC", "mixD", "mixE":
+		idx := int(wl[3] - 'A')
+		return workload.NewSynthetic(workload.Mixes(fileSize, 4096, d, seed)[idx])
+	case "recommender":
+		cfg := workload.DefaultRecommenderConfig()
+		cfg.TableBytes = fileSize
+		cfg.Seed = seed
+		return workload.NewRecommender(cfg)
+	case "socialgraph":
+		cfg := workload.DefaultSocialGraphConfig()
+		cfg.Nodes = uint64(fileSize) / 120
+		cfg.Seed = seed
+		return workload.NewSocialGraph(cfg)
+	case "searchengine":
+		cfg := workload.DefaultSearchEngineConfig()
+		cfg.Terms = uint64(fileSize) / 600 // entry + mean posting footprint
+		cfg.Seed = seed
+		return workload.NewSearchEngine(cfg)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+}

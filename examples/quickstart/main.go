@@ -1,0 +1,62 @@
+// Quickstart: build a simulated Pipette system, read a few hundred bytes at
+// a time from a large preloaded file, and watch the fine-grained read path
+// at work — first reads fetch only the demanded bytes from flash, repeats
+// hit the host-side fine-grained read cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipette"
+)
+
+func main() {
+	// A 1 GiB simulated SSD with a 64 MiB page cache and an 8 MiB
+	// fine-grained read cache.
+	sys, err := pipette.New(pipette.Options{
+		CapacityBytes:  1 << 30,
+		PageCacheBytes: 64 << 20,
+		FineCacheBytes: 8 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 256 MiB dataset, preloaded with deterministic content.
+	const size = 256 << 20
+	if err := sys.CreateFile("objects.db", size, true); err != nil {
+		log.Fatal(err)
+	}
+
+	// O_FINE_GRAINED: small reads take the byte-granular path.
+	f, err := sys.Open("objects.db", pipette.ReadWrite|pipette.FineGrained)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Read 200 distinct 128-byte objects, then read them all again.
+	buf := make([]byte, 128)
+	for round := 1; round <= 2; round++ {
+		before := sys.Now()
+		for i := 0; i < 200; i++ {
+			off := int64(i) * 1_000_003 // scattered, unaligned offsets
+			if _, err := f.ReadAt(buf, off); err != nil {
+				log.Fatalf("read %d: %v", i, err)
+			}
+		}
+		fmt.Printf("round %d: 200 reads took %v of simulated time\n",
+			round, sys.Now()-before)
+	}
+
+	// Writes invalidate overlapping cache entries (consistency, §3.1.3).
+	if _, err := f.WriteAt([]byte("fresh data"), 1_000_003); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf[:10], 1_000_003); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read after write: %q\n\n", buf[:10])
+
+	fmt.Println(sys.Report())
+}

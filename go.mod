@@ -1,0 +1,3 @@
+module pipette
+
+go 1.22

@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"pipette/internal/core"
+	"pipette/internal/metrics"
+	"pipette/internal/sim"
+	"pipette/internal/vfs"
+)
+
+// PipetteEngine is the full framework: fine-grained read path plus the
+// adaptive fine-grained read cache.
+type PipetteEngine struct {
+	s    *stack
+	p    *core.Pipette
+	name string
+}
+
+// NewPipette builds the full-framework engine.
+func NewPipette(cfg StackConfig) (*PipetteEngine, error) {
+	return newPipetteEngine(cfg, false)
+}
+
+// NewPipetteNoCache builds the paper's "Pipette w/o cache" configuration:
+// the byte-granular path without the fine-grained read cache.
+func NewPipetteNoCache(cfg StackConfig) (*PipetteEngine, error) {
+	return newPipetteEngine(cfg, true)
+}
+
+func newPipetteEngine(cfg StackConfig, noCache bool) (*PipetteEngine, error) {
+	s, err := newStack(cfg, vfs.ReadWrite|vfs.FineGrained)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.New(s.v, s.drv, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	name := "Pipette"
+	if noCache {
+		p.DisableCache()
+		name = "Pipette w/o cache"
+	}
+	return &PipetteEngine{s: s, p: p, name: name}, nil
+}
+
+// Name implements Engine.
+func (e *PipetteEngine) Name() string { return e.name }
+
+// ReadAt implements Engine.
+func (e *PipetteEngine) ReadAt(now sim.Time, buf []byte, off int64) (sim.Time, error) {
+	return e.s.file.ReadFull(now, buf, off)
+}
+
+// WriteAt implements Engine.
+func (e *PipetteEngine) WriteAt(now sim.Time, data []byte, off int64) (sim.Time, error) {
+	_, done, err := e.s.file.WriteAt(now, data, off)
+	return done, err
+}
+
+// Snapshot implements Engine.
+func (e *PipetteEngine) Snapshot() metrics.Snapshot {
+	return snapshotOf(e.name, e.s, e.p)
+}
+
+// Oracle implements Engine.
+func (e *PipetteEngine) Oracle(buf []byte, off int64) error { return e.s.oracle(buf, off) }
+
+// Sync exposes fsync for harness phases.
+func (e *PipetteEngine) Sync(now sim.Time) (sim.Time, error) { return e.s.file.Sync(now) }
+
+// Core exposes the framework (ablation benches tune and inspect it).
+func (e *PipetteEngine) Core() *core.Pipette { return e.p }

@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"fmt"
+
+	"pipette/internal/metrics"
+	"pipette/internal/sim"
+	"pipette/internal/vfs"
+)
+
+// TwoBSSDMode selects the byte-interface transfer mechanism.
+type TwoBSSDMode int
+
+// The two read modes of 2B-SSD (Bae et al., ISCA'18) the paper compares
+// against.
+const (
+	MMIO TwoBSSDMode = iota
+	DMA
+)
+
+// TwoBSSD models the 2B-SSD baseline (§2.2): the host reads through the
+// Controller Memory Buffer, paying a critical-path setup per access — a
+// page fault before MMIO loads, or a DMA mapping before a DMA transfer —
+// and bypassing the I/O stack entirely, so there is no host-side caching
+// of any kind ("without supporting data locality").
+type TwoBSSD struct {
+	s    *stack
+	mode TwoBSSDMode
+	cfg  StackConfig
+
+	io metrics.IO
+}
+
+// NewTwoBSSD builds the baseline in the given mode.
+func NewTwoBSSD(cfg StackConfig, mode TwoBSSDMode) (*TwoBSSD, error) {
+	s, err := newStack(cfg, vfs.ReadWrite)
+	if err != nil {
+		return nil, err
+	}
+	return &TwoBSSD{s: s, mode: mode, cfg: cfg}, nil
+}
+
+// Name implements Engine.
+func (e *TwoBSSD) Name() string {
+	if e.mode == MMIO {
+		return "2B-SSD MMIO"
+	}
+	return "2B-SSD DMA"
+}
+
+// ReadAt implements Engine: load the covering NAND pages into the CMB
+// (they race across channels), then move only the demanded bytes across
+// PCIe via MMIO transactions or a DMA transfer.
+func (e *TwoBSSD) ReadAt(now sim.Time, buf []byte, off int64) (sim.Time, error) {
+	n := len(buf)
+	if off < 0 || off+int64(n) > e.s.file.Size() {
+		return now, fmt.Errorf("baseline: 2B-SSD read [%d,+%d) out of file", off, n)
+	}
+	e.io.BytesRequested += uint64(n)
+	ps := e.s.ctrl.PageSize()
+	lbas, err := e.s.file.Inode().ExtractLBAs(off, n, ps)
+	if err != nil {
+		return now, err
+	}
+
+	// Per-access critical-path setup (§2.2): page fault for MMIO mapping
+	// or DMA mapping establishment.
+	switch e.mode {
+	case MMIO:
+		now += e.cfg.PageFault
+	case DMA:
+		now += e.cfg.DMAMap
+	}
+
+	// Load pages to the CMB; issue together, wait for the last.
+	slots := make([]int, len(lbas))
+	loadDone := now
+	for i, lba := range lbas {
+		slot, done, err := e.s.ctrl.LoadToCMB(now, lba)
+		if err != nil {
+			return now, fmt.Errorf("baseline: CMB load: %w", err)
+		}
+		slots[i] = slot
+		if done > loadDone {
+			loadDone = done
+		}
+	}
+
+	// Transfer the demanded window page by page.
+	t := loadDone
+	for i, lba := range lbas {
+		_ = lba
+		pageStart := (off/int64(ps) + int64(i)) * int64(ps)
+		lo, hi := off, off+int64(n)
+		if pageStart > lo {
+			lo = pageStart
+		}
+		if pageEnd := pageStart + int64(ps); pageEnd < hi {
+			hi = pageEnd
+		}
+		if hi <= lo {
+			continue
+		}
+		dst := buf[lo-off : hi-off]
+		inPage := int(lo - pageStart)
+		var done sim.Time
+		var terr error
+		if e.mode == MMIO {
+			done, terr = e.s.ctrl.MMIORead(t, slots[i], inPage, dst)
+		} else {
+			done, terr = e.s.ctrl.DMAReadFromCMB(t, slots[i], inPage, dst)
+		}
+		if terr != nil {
+			return t, terr
+		}
+		t = done
+	}
+	e.io.BytesTransferred += uint64(n)
+	e.io.FineReads++
+	return t, nil
+}
+
+// WriteAt implements Engine. 2B-SSD's byte interface is read-side here (the
+// paper evaluates reads); writes take the conventional buffered path. Note
+// the consistency gap this implies — byte-interface reads bypass the page
+// cache, so they can observe pre-writeback flash content — is a real
+// limitation of the baseline the paper calls out ("simply bypasses the I/O
+// stack").
+func (e *TwoBSSD) WriteAt(now sim.Time, data []byte, off int64) (sim.Time, error) {
+	_, done, err := e.s.file.WriteAt(now, data, off)
+	return done, err
+}
+
+// Snapshot implements Engine.
+func (e *TwoBSSD) Snapshot() metrics.Snapshot {
+	snap := snapshotOf(e.Name(), e.s, nil)
+	snap.IO.BytesRequested += e.io.BytesRequested
+	snap.IO.BytesTransferred += e.io.BytesTransferred
+	snap.IO.FineReads = e.io.FineReads
+	// No host-side caching: memory usage is zero by design.
+	snap.MemoryMB = 0
+	return snap
+}
+
+// Oracle implements Engine.
+func (e *TwoBSSD) Oracle(buf []byte, off int64) error { return e.s.oracle(buf, off) }
+
+// Sync flushes buffered writes to flash — after which the byte interface
+// observes them.
+func (e *TwoBSSD) Sync(now sim.Time) (sim.Time, error) { return e.s.file.Sync(now) }

@@ -1,0 +1,255 @@
+// Package bench is the experiment harness: it reconstructs every table and
+// figure of the paper's evaluation (§4) — Figures 1, 6, 7, 8, 9 and Tables
+// 2, 3, 4 — plus ablation sweeps over Pipette's design choices. Each
+// experiment builds fresh per-engine systems, replays the paper's workload,
+// and prints a paper-style table.
+//
+// Absolute numbers depend on the latency model (see EXPERIMENTS.md for the
+// calibration discussion); the harness is judged on shape: who wins, by
+// roughly what factor, where the crossovers fall.
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"pipette/internal/baseline"
+	"pipette/internal/metrics"
+	"pipette/internal/sim"
+	"pipette/internal/workload"
+)
+
+// Scale sets the experiment size. Paper scale is 2.5 M requests over a
+// ~2.9 GiB file (the file size Table 2's block-I/O traffic implies); the
+// quick scale preserves every ratio (requests per page, cache fractions) at
+// 1/24 the size so shapes are unchanged.
+type Scale struct {
+	Name     string
+	Requests int
+
+	FilePages      uint64 // synthetic file size in 4 KiB pages
+	PageCachePages int    // host page-cache budget
+	FGRCDataBytes  int    // fine-grained read cache arena
+
+	RecTableBytes int64  // recommender embedding store
+	GraphNodes    uint64 // social-graph size
+	AppRequests   int    // requests for the real-app experiments
+
+	// Figure 8 sweep: LatencyFilePages is a hot region small enough that
+	// the fine cache holds every range at every request size, while
+	// LatencyPCPages keeps the page cache an order of magnitude smaller —
+	// the memory regime where the paper's steady-state latencies (~2 us
+	// Pipette vs ~67 us block) are reproducible.
+	LatencySizes     []int
+	LatencyFilePages uint64
+	LatencyPCPages   int
+	LatencyRequests  int
+	LatencyWarmup    int
+}
+
+// FullScale mirrors the paper.
+func FullScale() Scale {
+	return Scale{
+		Name:             "full",
+		Requests:         2_500_000,
+		FilePages:        761_242,
+		PageCachePages:   256 << 10, // 1 GiB
+		FGRCDataBytes:    256 << 20,
+		RecTableBytes:    4 << 30,
+		GraphNodes:       24 << 20,
+		AppRequests:      2_500_000,
+		LatencySizes:     []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
+		LatencyFilePages: 12 << 10,
+		LatencyPCPages:   1 << 10,
+		LatencyRequests:  100_000,
+		LatencyWarmup:    200_000,
+	}
+}
+
+// QuickScale is the default: ~1/24 of the paper with ratios preserved.
+func QuickScale() Scale {
+	return Scale{
+		Name:             "quick",
+		Requests:         104_000,
+		FilePages:        31_718,
+		PageCachePages:   10 << 10, // 40 MiB
+		FGRCDataBytes:    12 << 20,
+		RecTableBytes:    768 << 20,
+		GraphNodes:       2 << 20,
+		AppRequests:      180_000,
+		LatencySizes:     []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
+		LatencyFilePages: 768,
+		LatencyPCPages:   96,
+		LatencyRequests:  5_000,
+		LatencyWarmup:    10_000,
+	}
+}
+
+// TinyScale is for tests of the harness itself.
+func TinyScale() Scale {
+	return Scale{
+		Name:             "tiny",
+		Requests:         6_000,
+		FilePages:        1_830,
+		PageCachePages:   600,
+		FGRCDataBytes:    1 << 20,
+		RecTableBytes:    48 << 20,
+		GraphNodes:       160 << 10,
+		AppRequests:      12_000,
+		LatencySizes:     []int{8, 128, 1024, 4096},
+		LatencyFilePages: 48,
+		LatencyPCPages:   8,
+		LatencyRequests:  400,
+		LatencyWarmup:    1_200,
+	}
+}
+
+// FileSize reports the synthetic file size in bytes.
+func (s Scale) FileSize() int64 { return int64(s.FilePages) * 4096 }
+
+// stackConfig builds the per-engine system configuration for this scale.
+func (s Scale) stackConfig(fileSize int64) baseline.StackConfig {
+	cfg := baseline.DefaultStackConfig(fileSize)
+	cfg.VFS.PageCachePages = s.PageCachePages
+	cfg.Core.HMB.DataBytes = s.FGRCDataBytes
+	cfg.Core.OverflowMaxBytes = s.FGRCDataBytes
+	cfg.Core.PageCacheFloorPages = s.PageCachePages / 8
+	return cfg
+}
+
+// engineSet builds the paper's five engines over identical private systems.
+func engineSet(cfg baseline.StackConfig) ([]baseline.Engine, error) {
+	blk, err := baseline.NewBlockIO(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: block i/o: %w", err)
+	}
+	mmio, err := baseline.NewTwoBSSD(cfg, baseline.MMIO)
+	if err != nil {
+		return nil, err
+	}
+	dma, err := baseline.NewTwoBSSD(cfg, baseline.DMA)
+	if err != nil {
+		return nil, err
+	}
+	noc, err := baseline.NewPipetteNoCache(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pip, err := baseline.NewPipette(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []baseline.Engine{blk, mmio, dma, noc, pip}, nil
+}
+
+// RunOpts tunes one replay.
+type RunOpts struct {
+	Warmup      int // requests replayed before measurement starts
+	VerifyEvery int // verify read contents every N reads (0 = off)
+}
+
+// Result is one engine × workload measurement.
+type Result struct {
+	Snapshot metrics.Snapshot
+	Hist     metrics.Histogram
+}
+
+// Run replays requests from gen against e and measures the paper's
+// metrics. Write requests carry a deterministic payload.
+func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) (*Result, error) {
+	var now sim.Time
+	buf := make([]byte, 4096)
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i*7 + 13)
+	}
+	grow := func(n int) {
+		for n > len(buf) {
+			buf = make([]byte, 2*len(buf))
+		}
+		for n > len(payload) {
+			old := payload
+			payload = make([]byte, 2*len(payload))
+			copy(payload, old)
+			copy(payload[len(old):], old)
+		}
+	}
+
+	// Warmup phase: replay without measuring.
+	for i := 0; i < opts.Warmup; i++ {
+		req := gen.Next()
+		grow(req.Size)
+		var err error
+		if req.Write {
+			now, err = e.WriteAt(now, payload[:req.Size], req.Off)
+		} else {
+			now, err = e.ReadAt(now, buf[:req.Size], req.Off)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: warmup request %d: %w", i, err)
+		}
+	}
+	base := e.Snapshot()
+	start := now
+
+	res := &Result{}
+	for i := 0; i < requests; i++ {
+		req := gen.Next()
+		grow(req.Size)
+		before := now
+		var err error
+		if req.Write {
+			now, err = e.WriteAt(now, payload[:req.Size], req.Off)
+		} else {
+			now, err = e.ReadAt(now, buf[:req.Size], req.Off)
+			if err == nil && opts.VerifyEvery > 0 && i%opts.VerifyEvery == 0 {
+				want := make([]byte, req.Size)
+				if oerr := e.Oracle(want, req.Off); oerr != nil {
+					return nil, oerr
+				}
+				if !bytes.Equal(buf[:req.Size], want) {
+					return nil, fmt.Errorf("bench: %s returned wrong bytes at %d (+%d)",
+						e.Name(), req.Off, req.Size)
+				}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: request %d (%+v): %w", i, req, err)
+		}
+		res.Hist.Observe(now - before)
+	}
+
+	snap := e.Snapshot()
+	subIO(&snap.IO, base.IO)
+	subCache(&snap.PageCache, base.PageCache)
+	subCache(&snap.FineCache, base.FineCache)
+	snap.Ops = uint64(requests)
+	snap.Elapsed = now - start
+	snap.MeanLat = res.Hist.Mean()
+	snap.P99Lat = res.Hist.Quantile(0.99)
+	snap.MaxLat = res.Hist.Max()
+	res.Snapshot = snap
+	return res, nil
+}
+
+func subIO(a *metrics.IO, b metrics.IO) {
+	a.BytesRequested -= b.BytesRequested
+	a.BytesTransferred -= b.BytesTransferred
+	a.BytesWritten -= b.BytesWritten
+	a.BlockReads -= b.BlockReads
+	a.FineReads -= b.FineReads
+	a.Writes -= b.Writes
+}
+
+func subCache(a *metrics.Cache, b metrics.Cache) {
+	a.Hits -= b.Hits
+	a.Accesses -= b.Accesses
+	a.Insertions -= b.Insertions
+	a.Evictions -= b.Evictions
+	a.Bypasses -= b.Bypasses
+}
+
+// EngineNames is the canonical row order of the paper's tables.
+var EngineNames = []string{
+	"Block I/O", "2B-SSD MMIO", "2B-SSD DMA", "Pipette w/o cache", "Pipette",
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pipette/internal/workload"
+)
+
+// Experiment regenerates one or more of the paper's artifacts.
+type Experiment struct {
+	ID        string
+	Artifacts []string // paper tables/figures this run produces
+	Title     string
+	Run       func(w io.Writer, s Scale) error
+}
+
+// Experiments returns the full suite.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:        "synthetic-uniform",
+			Artifacts: []string{"fig6", "table2"},
+			Title:     "Synthetic mixes A-E, uniform distribution (Figure 6 + Table 2)",
+			Run: func(w io.Writer, s Scale) error {
+				return writeSynthetic(w, s, workload.Uniform, "Figure 6", "Table 2")
+			},
+		},
+		{
+			ID:        "synthetic-zipfian",
+			Artifacts: []string{"fig7", "table3"},
+			Title:     "Synthetic mixes A-E, zipfian(0.8) distribution (Figure 7 + Table 3)",
+			Run: func(w io.Writer, s Scale) error {
+				return writeSynthetic(w, s, workload.Zipfian, "Figure 7", "Table 3")
+			},
+		},
+		{
+			ID:        "latency",
+			Artifacts: []string{"fig8"},
+			Title:     "Read latency vs request size, workload E uniform (Figure 8)",
+			Run:       writeLatencySweep,
+		},
+		{
+			ID:        "apps",
+			Artifacts: []string{"fig1", "fig9a", "fig9b", "table4"},
+			Title:     "Real applications: recommender + social graph (Figures 1, 9; Table 4)",
+			Run:       writeApps,
+		},
+		{
+			ID:        "ablation",
+			Artifacts: []string{"ablation"},
+			Title:     "Pipette design-choice ablations (beyond the paper)",
+			Run:       writeAblation,
+		},
+		{
+			ID:        "sensitivity",
+			Artifacts: []string{"sensitivity", "search"},
+			Title:     "Cache-size sensitivity + search-engine workload (beyond the paper)",
+			Run:       writeSensitivity,
+		},
+	}
+}
+
+// Find resolves an experiment by its ID or by one of the paper artifacts it
+// produces (e.g. "fig6" or "table2" both select synthetic-uniform).
+func Find(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == name {
+			return e, nil
+		}
+		for _, a := range e.Artifacts {
+			if a == name {
+				return e, nil
+			}
+		}
+	}
+	var known []string
+	for _, e := range Experiments() {
+		known = append(known, e.ID)
+		known = append(known, e.Artifacts...)
+	}
+	sort.Strings(known)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (known: %v)", name, known)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, s Scale) error {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "### %s\n\n", e.Title)
+		if err := e.Run(w, s); err != nil {
+			return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pipette/internal/baseline"
+	"pipette/internal/metrics"
+	"pipette/internal/workload"
+)
+
+// Two sensitivity studies beyond the paper: how Pipette's win depends on
+// (a) the fine-grained read cache's arena size, and (b) the workload — the
+// paper's intro also motivates search engines, so the WiSER-flavoured
+// inverted-index workload runs against all five engines here.
+
+// RunCacheSensitivity sweeps the fine-cache arena over mix E zipfian and
+// reports hit ratio, traffic, and throughput per size.
+func RunCacheSensitivity(s Scale) (*metrics.Table, error) {
+	mix := workload.Mixes(s.FileSize(), 4096, workload.Uniform, 0x5e45)[4] // E
+	t := &metrics.Table{Header: []string{
+		"FGRC arena", "ops/s", "vs Block I/O", "Traffic MB", "FGRC hit %", "FGRC mem MB",
+	}}
+
+	// Block I/O reference.
+	blkEng, err := baseline.NewBlockIO(s.stackConfig(s.FileSize()))
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewSynthetic(mix)
+	if err != nil {
+		return nil, err
+	}
+	blk, err := Run(blkEng, gen, s.Requests, RunOpts{})
+	if err != nil {
+		return nil, err
+	}
+	blkOps := blk.Snapshot.ThroughputOpsPerSec()
+	t.AddRow("(Block I/O)",
+		fmt.Sprintf("%.0f", blkOps), "1.00x",
+		fmt.Sprintf("%.1f", blk.Snapshot.IO.TrafficMB()), "-", "-")
+
+	for _, frac := range []int{32, 8, 2, 1} {
+		cfg := s.stackConfig(s.FileSize())
+		cfg.Core.HMB.DataBytes = s.FGRCDataBytes / frac
+		cfg.Core.OverflowMaxBytes = cfg.Core.HMB.DataBytes
+		// Keep at least 8 slabs in the smallest arenas.
+		if cfg.Core.SlabSize > cfg.Core.HMB.DataBytes/8 {
+			cfg.Core.SlabSize = cfg.Core.HMB.DataBytes / 8
+		}
+		eng, err := baseline.NewPipette(cfg)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewSynthetic(mix)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(eng, gen, s.Requests, RunOpts{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: sensitivity 1/%d: %w", frac, err)
+		}
+		snap := res.Snapshot
+		t.AddRow(
+			fmt.Sprintf("1/%d (%.1f MB)", frac, float64(s.FGRCDataBytes/frac)/(1<<20)),
+			fmt.Sprintf("%.0f", snap.ThroughputOpsPerSec()),
+			fmt.Sprintf("%.2fx", snap.ThroughputOpsPerSec()/blkOps),
+			fmt.Sprintf("%.1f", snap.IO.TrafficMB()),
+			fmt.Sprintf("%.1f", snap.FineCache.HitRatio()*100),
+			fmt.Sprintf("%.1f", snap.MemoryMB),
+		)
+	}
+	return t, nil
+}
+
+// RunSearchEngine replays the inverted-index workload against all five
+// engines.
+func RunSearchEngine(s Scale) (*metrics.Table, error) {
+	cfg := workload.DefaultSearchEngineConfig()
+	// Vocabulary scaled so the index is a few times the page cache.
+	cfg.Terms = uint64(s.PageCachePages) * 8
+	probe, err := workload.NewSearchEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	engines, err := engineSet(s.stackConfig(probe.FileSize()))
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{Header: []string{
+		"Engine", "ops/s", "vs Block I/O", "Traffic MB", "Mean lat us",
+	}}
+	var blkOps float64
+	for _, e := range engines {
+		gen, err := workload.NewSearchEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(e, gen, s.AppRequests, RunOpts{VerifyEvery: s.AppRequests/64 + 1})
+		if err != nil {
+			return nil, fmt.Errorf("bench: search %s: %w", e.Name(), err)
+		}
+		snap := res.Snapshot
+		ops := snap.ThroughputOpsPerSec()
+		if e.Name() == "Block I/O" {
+			blkOps = ops
+		}
+		t.AddRow(e.Name(),
+			fmt.Sprintf("%.0f", ops),
+			fmt.Sprintf("%.2fx", ops/blkOps),
+			fmt.Sprintf("%.1f", snap.IO.TrafficMB()),
+			fmt.Sprintf("%.1f", snap.MeanLat.Micros()),
+		)
+	}
+	return t, nil
+}
+
+// RunWriteBuffer contrasts the controller write buffer on the write-heavy
+// social-graph workload: buffered writes acknowledge at DMA speed instead
+// of paying tPROG inline.
+func RunWriteBuffer(s Scale) (*metrics.Table, error) {
+	gcfg := workload.DefaultSocialGraphConfig()
+	gcfg.Nodes = s.GraphNodes
+	probe, err := workload.NewSocialGraph(gcfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{Header: []string{"Config", "ops/s", "Mean lat us", "P99 lat us"}}
+	for _, bufPages := range []int{0, 1024} {
+		cfg := s.stackConfig(probe.FileSize())
+		cfg.SSD.WriteBufferPages = bufPages
+		eng, err := baseline.NewPipette(cfg)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewSocialGraph(gcfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(eng, gen, s.AppRequests, RunOpts{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: write buffer %d: %w", bufPages, err)
+		}
+		label := "no write buffer"
+		if bufPages > 0 {
+			label = fmt.Sprintf("write buffer %d pages", bufPages)
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%.0f", res.Snapshot.ThroughputOpsPerSec()),
+			fmt.Sprintf("%.1f", res.Snapshot.MeanLat.Micros()),
+			fmt.Sprintf("%.1f", res.Snapshot.P99Lat.Micros()),
+		)
+	}
+	return t, nil
+}
+
+func writeSensitivity(w io.Writer, s Scale) error {
+	t, err := RunCacheSensitivity(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "=== Sensitivity: fine-cache arena size, mix E uniform (scale %s) ===\n", s.Name)
+	fmt.Fprint(w, t.Render())
+	t2, err := RunSearchEngine(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n=== Search engine (WiSER-flavoured inverted index, scale %s) ===\n", s.Name)
+	fmt.Fprint(w, t2.Render())
+	t3, err := RunWriteBuffer(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n=== Controller write buffer, social-graph workload (scale %s) ===\n", s.Name)
+	fmt.Fprint(w, t3.Render())
+	fmt.Fprintln(w)
+	return nil
+}

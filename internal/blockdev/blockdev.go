@@ -1,0 +1,186 @@
+// Package blockdev models the generic block layer: it takes page-granular
+// read/write requests from the filesystem, coalesces adjacent LBAs into
+// larger device commands (the merge step of §2.1's read path), and
+// dispatches them through the NVMe driver, charging a per-request software
+// cost for the queueing/scheduling machinery.
+//
+// Commands for disjoint runs are issued at the same virtual instant —
+// NVMe queue depth lets them race across the device's channels — and the
+// aggregate completes when the last one does.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pipette/internal/nvme"
+	"pipette/internal/sim"
+)
+
+// Config tunes the layer.
+type Config struct {
+	// PerRequestOverhead is the block-layer software cost per merged
+	// device command (request allocation, scheduling, completion path).
+	PerRequestOverhead sim.Time
+	// MaxPagesPerCommand bounds merging (device MDTS).
+	MaxPagesPerCommand int
+}
+
+// DefaultConfig returns kernel-flavoured costs.
+func DefaultConfig() Config {
+	return Config{
+		PerRequestOverhead: 3 * sim.Microsecond,
+		MaxPagesPerCommand: 64,
+	}
+}
+
+// Stats counts layer activity.
+type Stats struct {
+	ReadRequests  uint64 // page-granular reads accepted
+	WriteRequests uint64
+	ReadCommands  uint64 // device commands after merging
+	WriteCommands uint64
+	PagesRead     uint64
+	PagesWritten  uint64
+}
+
+// Layer is the block layer bound to one device queue pair.
+type Layer struct {
+	cfg      Config
+	drv      *nvme.Driver
+	pageSize int
+	stats    Stats
+}
+
+// New creates a layer over a driver.
+func New(drv *nvme.Driver, pageSize int, cfg Config) (*Layer, error) {
+	if pageSize <= 0 {
+		return nil, errors.New("blockdev: page size must be positive")
+	}
+	if cfg.MaxPagesPerCommand <= 0 {
+		return nil, errors.New("blockdev: MaxPagesPerCommand must be positive")
+	}
+	return &Layer{cfg: cfg, drv: drv, pageSize: pageSize}, nil
+}
+
+// Stats returns a copy of the counters.
+func (l *Layer) Stats() Stats { return l.stats }
+
+// run is a merged contiguous extent.
+type run struct {
+	start uint64
+	count int
+}
+
+// coalesce sorts and merges page LBAs into contiguous runs, capped at
+// MaxPagesPerCommand. Duplicate LBAs are collapsed.
+func (l *Layer) coalesce(lbas []uint64) []run {
+	if len(lbas) == 0 {
+		return nil
+	}
+	sorted := make([]uint64, len(lbas))
+	copy(sorted, lbas)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var runs []run
+	cur := run{start: sorted[0], count: 1}
+	for _, lba := range sorted[1:] {
+		switch {
+		case lba == cur.start+uint64(cur.count)-1:
+			// duplicate: collapse
+		case lba == cur.start+uint64(cur.count) && cur.count < l.cfg.MaxPagesPerCommand:
+			cur.count++
+		default:
+			runs = append(runs, cur)
+			cur = run{start: lba, count: 1}
+		}
+	}
+	return append(runs, cur)
+}
+
+// ReadPages reads the given page LBAs. It returns the page contents keyed
+// by LBA and the completion time of the last command. All merged commands
+// issue at now and race on the device.
+func (l *Layer) ReadPages(now sim.Time, lbas []uint64) (map[uint64][]byte, sim.Time, uint64, error) {
+	if len(lbas) == 0 {
+		return nil, now, 0, nil
+	}
+	l.stats.ReadRequests += uint64(len(lbas))
+	out := make(map[uint64][]byte, len(lbas))
+	done := now
+	var moved uint64
+	for _, r := range l.coalesce(lbas) {
+		buf := make([]byte, r.count*l.pageSize)
+		issueAt := now + l.cfg.PerRequestOverhead
+		comp, err := l.drv.Submit(issueAt, nvme.Command{
+			Op: nvme.OpRead, LBA: r.start, Pages: r.count, Data: buf,
+		})
+		if err != nil {
+			return nil, now, moved, fmt.Errorf("blockdev: read submit: %w", err)
+		}
+		if !comp.Ok() {
+			return nil, comp.Done, moved, fmt.Errorf("blockdev: read [%d,+%d): %v", r.start, r.count, comp.Status)
+		}
+		for i := 0; i < r.count; i++ {
+			out[r.start+uint64(i)] = buf[i*l.pageSize : (i+1)*l.pageSize]
+		}
+		if comp.Done > done {
+			done = comp.Done
+		}
+		moved += comp.BytesMoved
+		l.stats.ReadCommands++
+		l.stats.PagesRead += uint64(r.count)
+	}
+	return out, done, moved, nil
+}
+
+// WritePages writes contiguous pages starting at lba. data must be
+// page-aligned in length. Commands are split at MaxPagesPerCommand and
+// chained (writes serialize on the FTL frontier anyway).
+func (l *Layer) WritePages(now sim.Time, lba uint64, data []byte) (sim.Time, uint64, error) {
+	if len(data) == 0 || len(data)%l.pageSize != 0 {
+		return now, 0, fmt.Errorf("blockdev: write of %d bytes not page-aligned", len(data))
+	}
+	pages := len(data) / l.pageSize
+	l.stats.WriteRequests += uint64(pages)
+	t := now
+	var moved uint64
+	for off := 0; off < pages; off += l.cfg.MaxPagesPerCommand {
+		n := l.cfg.MaxPagesPerCommand
+		if off+n > pages {
+			n = pages - off
+		}
+		comp, err := l.drv.Submit(t+l.cfg.PerRequestOverhead, nvme.Command{
+			Op:    nvme.OpWrite,
+			LBA:   lba + uint64(off),
+			Pages: n,
+			Data:  data[off*l.pageSize : (off+n)*l.pageSize],
+		})
+		if err != nil {
+			return t, moved, fmt.Errorf("blockdev: write submit: %w", err)
+		}
+		if !comp.Ok() {
+			return comp.Done, moved, fmt.Errorf("blockdev: write [%d,+%d): %v", lba+uint64(off), n, comp.Status)
+		}
+		t = comp.Done
+		moved += comp.BytesMoved
+		l.stats.WriteCommands++
+		l.stats.PagesWritten += uint64(n)
+	}
+	return t, moved, nil
+}
+
+// Trim discards the given contiguous page range.
+func (l *Layer) Trim(now sim.Time, lba uint64, pages int) (sim.Time, error) {
+	comp, err := l.drv.Submit(now+l.cfg.PerRequestOverhead, nvme.Command{
+		Op: nvme.OpTrim, LBA: lba, Pages: pages,
+	})
+	if err != nil {
+		return now, err
+	}
+	if !comp.Ok() {
+		return comp.Done, fmt.Errorf("blockdev: trim: %v", comp.Status)
+	}
+	return comp.Done, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"container/list"
+)
+
+// entryState tracks where an access range's data lives.
+type entryState uint8
+
+const (
+	stateGhost    entryState = iota // seen, not cached (reference counting only)
+	stateSlab                       // cached in the Data Area arena
+	stateOverflow                   // cached out-of-arena after a slab migration
+)
+
+// rangeKey identifies an access range within a file — the unit the
+// per-file hash lookup table is keyed by.
+type rangeKey struct {
+	off int64
+	n   int32
+}
+
+// entry is one tracked access range.
+type entry struct {
+	key   rangeKey
+	state entryState
+
+	refCount uint32 // compared against the adaptive threshold on access
+
+	slabOff  int    // valid in stateSlab: arena offset of the item
+	slabCls  int    // valid in stateSlab
+	data     []byte // valid in stateOverflow
+	overElem *list.Element
+
+	table *fileTable
+}
+
+// fileTable is the per-file hash lookup table of §3.1.2 plus the per-page
+// interval index used for write invalidation and containment hits.
+type fileTable struct {
+	ino     uint64
+	entries map[rangeKey]*entry
+	byPage  map[uint64]map[rangeKey]*entry
+}
+
+func newFileTable(ino uint64) *fileTable {
+	return &fileTable{
+		ino:     ino,
+		entries: make(map[rangeKey]*entry),
+		byPage:  make(map[uint64]map[rangeKey]*entry),
+	}
+}
+
+// pages iterates the page indices a range touches.
+func (k rangeKey) pages(pageSize int) (first, last uint64) {
+	first = uint64(k.off) / uint64(pageSize)
+	last = uint64(k.off+int64(k.n)-1) / uint64(pageSize)
+	return first, last
+}
+
+// contains reports whether k fully covers [off, off+n).
+func (k rangeKey) contains(off int64, n int) bool {
+	return k.off <= off && off+int64(n) <= k.off+int64(k.n)
+}
+
+// overlaps reports whether k intersects [off, off+n).
+func (k rangeKey) overlaps(off int64, n int) bool {
+	return k.off < off+int64(n) && off < k.off+int64(k.n)
+}
+
+// index inserts e into the lookup table and the per-page index.
+func (t *fileTable) index(e *entry, pageSize int) {
+	t.entries[e.key] = e
+	first, last := e.key.pages(pageSize)
+	for p := first; p <= last; p++ {
+		set, ok := t.byPage[p]
+		if !ok {
+			set = make(map[rangeKey]*entry)
+			t.byPage[p] = set
+		}
+		set[e.key] = e
+	}
+}
+
+// unindex removes e from both indexes.
+func (t *fileTable) unindex(e *entry, pageSize int) {
+	delete(t.entries, e.key)
+	first, last := e.key.pages(pageSize)
+	for p := first; p <= last; p++ {
+		if set, ok := t.byPage[p]; ok {
+			delete(set, e.key)
+			if len(set) == 0 {
+				delete(t.byPage, p)
+			}
+		}
+	}
+}
+
+// findCovering locates a cached (non-ghost) entry whose range fully covers
+// [off, off+n): the exact key if cached, else a containment scan over the
+// entries touching the first page. This lets a small read hit a previously
+// cached larger range.
+func (t *fileTable) findCovering(off int64, n int, pageSize int) *entry {
+	if e, ok := t.entries[rangeKey{off: off, n: int32(n)}]; ok && e.state != stateGhost {
+		return e
+	}
+	first := uint64(off) / uint64(pageSize)
+	for _, e := range t.byPage[first] {
+		if e.state != stateGhost && e.key.contains(off, n) {
+			return e
+		}
+	}
+	return nil
+}
+
+// overlapping collects entries intersecting [off, off+n) — the write
+// invalidation set.
+func (t *fileTable) overlapping(off int64, n int, pageSize int) []*entry {
+	first := uint64(off) / uint64(pageSize)
+	last := uint64(off+int64(n)-1) / uint64(pageSize)
+	seen := make(map[rangeKey]bool)
+	var out []*entry
+	for p := first; p <= last; p++ {
+		for k, e := range t.byPage[p] {
+			if !seen[k] && k.overlaps(off, n) {
+				seen[k] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+
+	"pipette/internal/hmb"
+	"pipette/internal/metrics"
+	"pipette/internal/nvme"
+	"pipette/internal/sim"
+	"pipette/internal/slab"
+	"pipette/internal/ssd"
+	"pipette/internal/vfs"
+)
+
+// Pipette is the fine-grained read framework. It implements vfs.FineRouter.
+// Not safe for concurrent use (the simulation is single-threaded; see
+// Runner for the wall-clock maintenance thread used outside simulation).
+type Pipette struct {
+	cfg      Config
+	v        *vfs.VFS
+	drv      *nvme.Driver
+	ctrl     *ssd.Controller
+	region   *hmb.Region
+	alloc    *slab.Allocator
+	pageSize int
+
+	tables    map[uint64]*fileTable
+	bySlabOff map[int]*entry
+	overflow  *list.List // FIFO of *entry in stateOverflow
+	overBytes int
+
+	threshold  uint32
+	winAccess  uint64
+	winReuse   uint64
+	sinceMaint uint64
+
+	evictSnap   []uint64
+	staleStages []int
+
+	basePCPages int
+	fg          metrics.Cache
+	io          metrics.IO
+	rng         *sim.RNG
+	stats       Stats
+
+	cacheDisabled bool
+}
+
+var _ vfs.FineRouter = (*Pipette)(nil)
+
+// New assembles the framework over an existing VFS and its device driver:
+// it allocates the HMB region, performs the HMB handshake with the
+// controller, builds the Data Area slab allocator, and installs itself as
+// the VFS's fine router.
+func New(v *vfs.VFS, drv *nvme.Driver, cfg Config) (*Pipette, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HMB.TempSlot < cfg.FineMaxBytes {
+		return nil, fmt.Errorf("core: TempSlot %d < FineMaxBytes %d", cfg.HMB.TempSlot, cfg.FineMaxBytes)
+	}
+	region, err := hmb.New(cfg.HMB)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := slab.New(slab.Config{
+		ArenaSize: cfg.HMB.DataBytes,
+		SlabSize:  cfg.SlabSize,
+		ItemSizes: cfg.ItemSizes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctrl := v.FS().Controller()
+	ctrl.EnableHMB(region)
+	p := &Pipette{
+		cfg:         cfg,
+		v:           v,
+		drv:         drv,
+		ctrl:        ctrl,
+		region:      region,
+		alloc:       alloc,
+		pageSize:    v.FS().PageSize(),
+		tables:      make(map[uint64]*fileTable),
+		bySlabOff:   make(map[int]*entry),
+		overflow:    list.New(),
+		threshold:   cfg.InitialThreshold,
+		evictSnap:   make([]uint64, alloc.Classes()),
+		staleStages: make([]int, alloc.Classes()),
+		basePCPages: v.PageCache().Capacity(),
+		rng:         sim.NewRNG(cfg.Seed),
+	}
+	v.SetRouter(p)
+	return p, nil
+}
+
+// DisableCache switches the framework into the paper's "Pipette w/o cache"
+// configuration: the byte-granular path stays, every read bounces through
+// the TempBuf, nothing is admitted.
+func (p *Pipette) DisableCache() { p.cacheDisabled = true }
+
+// Threshold reports the current adaptive admission threshold.
+func (p *Pipette) Threshold() uint32 { return p.threshold }
+
+// Stats returns a copy of the framework counters.
+func (p *Pipette) Stats() Stats { return p.stats }
+
+// CacheStats returns the fine-grained read cache hit counters.
+func (p *Pipette) CacheStats() metrics.Cache { return p.fg }
+
+// IO returns fine-path traffic accounting (merged with the VFS's block
+// traffic by the benchmark engines).
+func (p *Pipette) IO() metrics.IO { return p.io }
+
+// MemoryBytes reports resident fine-cache memory: arena slabs in use plus
+// the overflow region — the paper's Table 4 metric.
+func (p *Pipette) MemoryBytes() uint64 {
+	return uint64(p.alloc.UsedBytes()) + uint64(p.overBytes)
+}
+
+// Region exposes the HMB region (tests and the ablation benches peek).
+func (p *Pipette) Region() *hmb.Region { return p.region }
+
+// Allocator exposes the Data Area allocator (telemetry).
+func (p *Pipette) Allocator() *slab.Allocator { return p.alloc }
+
+func (p *Pipette) table(ino uint64) *fileTable {
+	t, ok := p.tables[ino]
+	if !ok {
+		// The per-file hash lookup table is created on the file's first
+		// fine-grained read (§3.1.2).
+		t = newFileTable(ino)
+		p.tables[ino] = t
+	}
+	return t
+}
+
+// TryFineRead implements the fine-grained read path of §3.1.2: Detector ->
+// Dispatcher -> cache lookup -> (on miss) Constructor + Requester -> Read
+// Engine. The VFS has already tried the page cache.
+func (p *Pipette) TryFineRead(now sim.Time, f *vfs.File, off int64, buf []byte) (sim.Time, bool, error) {
+	n := len(buf)
+	// Dispatcher: large reads take the conventional block path.
+	if n > p.cfg.FineMaxBytes {
+		p.stats.Declined++
+		return now, false, nil
+	}
+	p.stats.FineReads++
+
+	if p.cacheDisabled {
+		done, err := p.fetchFine(now, f, off, buf, -1)
+		if err != nil {
+			return now, false, err
+		}
+		p.stats.TempBypasses++
+		return done, true, nil
+	}
+
+	// Detector: record the access range (ghost entries give the adaptive
+	// mechanism reference counts for data that is not cached yet).
+	tbl := p.table(f.Inode().Ino)
+	key := rangeKey{off: off, n: int32(n)}
+	p.winAccess++
+	p.sinceMaint++
+	exact, seenExact := tbl.entries[key]
+	covering := tbl.findCovering(off, n, p.pageSize)
+	if seenExact || covering != nil {
+		p.winReuse++
+	}
+
+	if covering != nil {
+		// Cache hit.
+		p.fg.Record(true)
+		covering.refCount++
+		p.serveFrom(covering, off, buf)
+		p.afterAccess()
+		return now + p.cfg.HitService, true, nil
+	}
+	p.fg.Record(false)
+
+	if !seenExact {
+		exact = &entry{key: key, state: stateGhost, table: tbl}
+		tbl.index(exact, p.pageSize)
+	}
+	exact.refCount++
+
+	// Adaptive admission: cache once the reference count reaches the
+	// threshold; below it, the TempBuf keeps cold data out of the arena.
+	dest := -1
+	var ref slab.Ref
+	admitted := false
+	if exact.refCount >= p.threshold {
+		if r, ok := p.allocItem(n); ok {
+			ref, dest, admitted = r, r.Off, true
+		}
+	}
+
+	done, err := p.fetchFine(now, f, off, buf, dest)
+	if err != nil {
+		if admitted {
+			_ = p.alloc.Release(ref)
+		}
+		return now, false, err
+	}
+
+	if admitted {
+		exact.state = stateSlab
+		exact.slabOff = ref.Off
+		exact.slabCls = ref.Class
+		p.bySlabOff[ref.Off] = exact
+		p.fg.Insertions++
+		p.stats.Admissions++
+	} else {
+		p.stats.TempBypasses++
+		p.fg.Bypasses++
+	}
+	p.afterAccess()
+	return done, true, nil
+}
+
+// fetchFine is the Constructor + Requester: extract the page LBAs (the
+// filesystem extension bypassing the block layer), reserve the HMB
+// destination, append the Info Area record, and submit the reconstructed
+// vendor command. dest < 0 means "use the TempBuf". The demanded bytes are
+// copied into buf from the DMA destination.
+func (p *Pipette) fetchFine(now sim.Time, f *vfs.File, off int64, buf []byte, dest int) (sim.Time, error) {
+	n := len(buf)
+	lbas, err := f.Inode().ExtractLBAs(off, n, p.pageSize)
+	if err != nil {
+		return now, err
+	}
+	if dest < 0 {
+		d, err := p.region.AllocTemp(n)
+		if err != nil {
+			return now, err
+		}
+		dest = d
+	}
+	rec := hmb.InfoRecord{
+		LBA:     lbas[0],
+		ByteOff: int(off % int64(p.pageSize)),
+		ByteLen: n,
+		Dest:    dest,
+	}
+	if err := p.region.Info().Push(rec); err != nil {
+		return now, fmt.Errorf("core: info ring: %w", err)
+	}
+	comp, err := p.drv.Submit(now+p.cfg.MissHostOverhead, nvme.Command{
+		Op:       nvme.OpFineRead,
+		FineLBAs: lbas,
+	})
+	if err != nil {
+		return now, fmt.Errorf("core: fine read submit: %w", err)
+	}
+	if !comp.Ok() {
+		return comp.Done, fmt.Errorf("core: fine read failed: %v", comp.Status)
+	}
+	p.io.FineReads++
+	p.io.BytesTransferred += comp.BytesMoved
+	if err := p.region.ReadAt(dest, buf); err != nil {
+		return comp.Done, err
+	}
+	return comp.Done, nil
+}
+
+// serveFrom copies the demanded window out of a cached entry and maintains
+// recency.
+func (p *Pipette) serveFrom(e *entry, off int64, buf []byte) {
+	delta := int(off - e.key.off)
+	switch e.state {
+	case stateSlab:
+		_ = p.region.ReadAt(e.slabOff+delta, buf)
+		_ = p.alloc.Touch(slab.Ref{Off: e.slabOff, Class: e.slabCls})
+	case stateOverflow:
+		copy(buf, e.data[delta:])
+		p.repromote(e)
+	}
+}
+
+// repromote moves an overflow entry back into the arena when a free item
+// is available without displacing anyone (TryAlloc only: repromotion must
+// never trigger migration, or it could thrash).
+func (p *Pipette) repromote(e *entry) {
+	cls, ok := p.alloc.ClassFor(int(e.key.n))
+	if !ok {
+		return
+	}
+	ref, ok := p.alloc.TryAlloc(cls)
+	if !ok {
+		return
+	}
+	dst, err := p.region.Slice(ref.Off, int(e.key.n))
+	if err != nil {
+		_ = p.alloc.Release(ref)
+		return
+	}
+	copy(dst, e.data)
+	p.removeOverflow(e)
+	e.state = stateSlab
+	e.slabOff = ref.Off
+	e.slabCls = ref.Class
+	e.data = nil
+	p.bySlabOff[ref.Off] = e
+	p.stats.Repromotions++
+	p.syncBudget()
+}
+
+// OnWrite implements the consistency rule of §3.1.3: every write deletes
+// the overlapping fine-cache items, so subsequent fine reads see either the
+// updated page cache or the flushed flash content.
+func (p *Pipette) OnWrite(ino uint64, off int64, n int) {
+	tbl, ok := p.tables[ino]
+	if !ok {
+		return
+	}
+	for _, e := range tbl.overlapping(off, n, p.pageSize) {
+		p.deleteEntry(e)
+		p.stats.Invalidations++
+	}
+	p.syncBudget()
+}
+
+// deleteEntry removes an entry entirely, releasing whatever backs it.
+func (p *Pipette) deleteEntry(e *entry) {
+	switch e.state {
+	case stateSlab:
+		delete(p.bySlabOff, e.slabOff)
+		_ = p.alloc.Release(slab.Ref{Off: e.slabOff, Class: e.slabCls})
+	case stateOverflow:
+		p.removeOverflow(e)
+	}
+	e.table.unindex(e, p.pageSize)
+}
+
+func (p *Pipette) removeOverflow(e *entry) {
+	if e.overElem != nil {
+		p.overflow.Remove(e.overElem)
+		e.overElem = nil
+	}
+	p.overBytes -= len(e.data)
+	e.data = nil
+}

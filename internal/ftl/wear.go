@@ -1,0 +1,136 @@
+package ftl
+
+import (
+	"fmt"
+
+	"pipette/internal/nand"
+	"pipette/internal/sim"
+)
+
+// Static wear leveling: dynamic (GC-driven) allocation alone lets blocks
+// holding cold data sit at low erase counts forever while the rest of the
+// die churns. When the spread between a die's most-worn free block and its
+// least-worn closed block exceeds WearDelta, the cold block's contents move
+// into the worn block, releasing the young block into the hot allocation
+// pool.
+
+// WearDelta is the erase-count spread that triggers a static wear-leveling
+// move. Exposed on Config; 0 disables wear leveling.
+const defaultWearDelta = 16
+
+// WearLevelTick runs one wear-leveling pass over every die and performs at
+// most one cold-data move per die. It returns the number of moves and the
+// completion time of the last one. Intended to be driven periodically by
+// firmware idle time (tests and the simulator's maintenance hooks call it
+// directly).
+func (f *FTL) WearLevelTick(now sim.Time) (moves int, done sim.Time, err error) {
+	delta := f.cfg.WearDelta
+	if delta <= 0 {
+		return 0, now, nil
+	}
+	done = now
+	for die := 0; die < f.geo.Dies(); die++ {
+		moved, t, err := f.wearLevelDie(now, die, uint32(delta))
+		if err != nil {
+			return moves, done, err
+		}
+		if moved {
+			moves++
+			if t > done {
+				done = t
+			}
+		}
+	}
+	return moves, done, nil
+}
+
+// wearLevelDie performs one move on a die if its wear spread warrants it.
+func (f *FTL) wearLevelDie(now sim.Time, die int, delta uint32) (bool, sim.Time, error) {
+	// Most-worn free block: the destination candidate.
+	pool := f.freeBlocks[die]
+	if len(pool) == 0 {
+		return false, now, nil
+	}
+	wornIdx := 0
+	for i, b := range pool {
+		if f.eraseCount[b] > f.eraseCount[pool[wornIdx]] {
+			wornIdx = i
+		}
+	}
+	worn := pool[wornIdx]
+
+	// Least-worn closed block: the cold-data candidate.
+	var cold nand.BlockID
+	found := false
+	for b := range f.fullBlocks {
+		if f.dieOfBlock(b) != die || f.validCount[b] == 0 {
+			continue
+		}
+		if !found || f.eraseCount[b] < f.eraseCount[cold] {
+			cold, found = b, true
+		}
+	}
+	if !found {
+		return false, now, nil
+	}
+	if f.eraseCount[worn] < f.eraseCount[cold]+delta {
+		return false, now, nil
+	}
+
+	// Move the cold block's live pages into the worn block directly
+	// (sequential program order within the destination).
+	f.freeBlocks[die] = append(pool[:wornIdx], pool[wornIdx+1:]...)
+	dstNext := 0
+	first := f.geo.FirstPPA(cold)
+	t := now
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		src := first + nand.PPA(i)
+		lba := f.p2l[src]
+		if lba == invalidLBA {
+			continue
+		}
+		data, rt, err := f.arr.ReadPage(t, src)
+		if err != nil {
+			return false, t, fmt.Errorf("ftl: wear-level read: %w", err)
+		}
+		dst := f.geo.FirstPPA(worn) + nand.PPA(dstNext)
+		dstNext++
+		pt, err := f.arr.ProgramPage(rt, dst, data)
+		if err != nil {
+			return false, rt, fmt.Errorf("ftl: wear-level program: %w", err)
+		}
+		t = pt
+		f.setMapping(lba, dst)
+		f.stats.WearMoves++
+	}
+	// The destination is now a closed block; the cold block erases into the
+	// free pool, releasing its young erase budget for hot data.
+	f.fullBlocks[worn] = true
+	delete(f.fullBlocks, cold)
+	et, err := f.arr.EraseBlock(t, cold)
+	if err != nil {
+		return false, t, fmt.Errorf("ftl: wear-level erase: %w", err)
+	}
+	f.eraseCount[cold]++
+	f.stats.BlocksErased++
+	f.validCount[cold] = 0
+	f.freeBlocks[die] = append(f.freeBlocks[die], cold)
+	return true, et, nil
+}
+
+// WearSpread reports the current max-min erase-count spread (telemetry).
+func (f *FTL) WearSpread() uint32 {
+	if len(f.eraseCount) == 0 {
+		return 0
+	}
+	min, max := f.eraseCount[0], f.eraseCount[0]
+	for _, e := range f.eraseCount {
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return max - min
+}

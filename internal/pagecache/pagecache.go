@@ -1,0 +1,260 @@
+// Package pagecache models the kernel page cache: 4 KiB pages in an LRU
+// with a capacity budget, dirty tracking with a writeback hook, and a
+// Linux-flavoured on-demand read-ahead state machine per file.
+//
+// Clean pages do not materialize data — the simulator can regenerate any
+// clean page's bytes from the device oracle without timing, which keeps
+// multi-gigabyte working sets cheap in host RAM. Dirty pages hold their
+// real bytes until writeback.
+//
+// This is the cache the paper's block I/O baseline lives and dies by: page
+// granularity promotes 4 KiB for every 128 B read, and read-ahead
+// multiplies traffic for access patterns it mispredicts (§2.1).
+package pagecache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Key identifies a cached page.
+type Key struct {
+	File  uint64 // inode number
+	Index uint64 // page index within the file
+}
+
+// entry is one resident page.
+type entry struct {
+	key        Key
+	dirty      bool
+	data       []byte // nil unless dirty
+	prev, next *entry
+}
+
+// EvictFunc is called when a page leaves the cache. For dirty pages, data
+// holds the bytes that must be written back.
+type EvictFunc func(key Key, dirty bool, data []byte)
+
+// Cache is the page cache. Not safe for concurrent use.
+type Cache struct {
+	capacity int // pages; 0 means empty cache (everything misses)
+	pages    map[Key]*entry
+	head     *entry // sentinel: most recent after head
+	tail     *entry // sentinel: least recent before tail
+	onEvict  EvictFunc
+
+	pageSize int
+
+	hits     uint64
+	accesses uint64
+	inserts  uint64
+	evicts   uint64
+}
+
+// New creates a cache with a capacity budget in pages.
+func New(capacityPages, pageSize int, onEvict EvictFunc) (*Cache, error) {
+	if capacityPages < 0 {
+		return nil, errors.New("pagecache: negative capacity")
+	}
+	if pageSize <= 0 {
+		return nil, errors.New("pagecache: page size must be positive")
+	}
+	c := &Cache{
+		capacity: capacityPages,
+		pages:    make(map[Key]*entry),
+		head:     &entry{},
+		tail:     &entry{},
+		onEvict:  onEvict,
+		pageSize: pageSize,
+	}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	return c, nil
+}
+
+// Len reports resident pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Capacity reports the page budget.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// MemoryBytes reports resident memory charged to the cache (every resident
+// page counts at page granularity — the paper's Table 4 "memory usage"
+// metric — even though clean pages are not materialized here).
+func (c *Cache) MemoryBytes() uint64 {
+	return uint64(len(c.pages)) * uint64(c.pageSize)
+}
+
+// Stats reports hits, accesses, insertions, evictions.
+func (c *Cache) Stats() (hits, accesses, inserts, evicts uint64) {
+	return c.hits, c.accesses, c.inserts, c.evicts
+}
+
+// HitRatio reports hits/accesses (0 when unused) — the input to the
+// paper's dynamic allocation strategy (§3.2.4).
+func (c *Cache) HitRatio() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.accesses)
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = c.head
+	e.next = c.head.next
+	c.head.next.prev = e
+	c.head.next = e
+}
+
+func (c *Cache) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// Lookup checks residency and counts the access. On a hit the page moves to
+// the LRU front. It returns the dirty payload (nil for clean pages — the
+// caller regenerates clean bytes from the device oracle).
+func (c *Cache) Lookup(key Key) (data []byte, dirty, ok bool) {
+	c.accesses++
+	e, found := c.pages[key]
+	if !found {
+		return nil, false, false
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	return e.data, e.dirty, true
+}
+
+// Contains checks residency without counting an access or touching LRU.
+func (c *Cache) Contains(key Key) bool {
+	_, ok := c.pages[key]
+	return ok
+}
+
+// Insert makes a page resident. data must be nil for clean pages and the
+// page's bytes for dirty ones. Inserting over an existing entry replaces
+// its state. Eviction keeps residency within capacity.
+func (c *Cache) Insert(key Key, dirty bool, data []byte) error {
+	if dirty && len(data) != c.pageSize {
+		return fmt.Errorf("pagecache: dirty insert with %d bytes, want %d", len(data), c.pageSize)
+	}
+	if !dirty && data != nil {
+		return errors.New("pagecache: clean pages must not materialize data")
+	}
+	if c.capacity == 0 {
+		// Zero-budget cache admits nothing; dirty data is immediately
+		// "written back" through the evict hook.
+		if c.onEvict != nil {
+			c.onEvict(key, dirty, data)
+		}
+		return nil
+	}
+	if e, ok := c.pages[key]; ok {
+		e.dirty = dirty
+		e.data = data
+		c.unlink(e)
+		c.pushFront(e)
+		return nil
+	}
+	e := &entry{key: key, dirty: dirty, data: data}
+	c.pages[key] = e
+	c.pushFront(e)
+	c.inserts++
+	c.evictOverflow()
+	return nil
+}
+
+// MarkDirty transitions a resident page to dirty with its bytes. Returns
+// false if the page is not resident.
+func (c *Cache) MarkDirty(key Key, data []byte) (bool, error) {
+	if len(data) != c.pageSize {
+		return false, fmt.Errorf("pagecache: dirty data %d bytes, want %d", len(data), c.pageSize)
+	}
+	e, ok := c.pages[key]
+	if !ok {
+		return false, nil
+	}
+	e.dirty = true
+	e.data = data
+	c.unlink(e)
+	c.pushFront(e)
+	return true, nil
+}
+
+// Remove drops a page (invalidation). Dirty data is passed to the evict
+// hook for writeback.
+func (c *Cache) Remove(key Key) bool {
+	e, ok := c.pages[key]
+	if !ok {
+		return false
+	}
+	c.dropEntry(e)
+	return true
+}
+
+func (c *Cache) dropEntry(e *entry) {
+	c.unlink(e)
+	delete(c.pages, e.key)
+	c.evicts++
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.dirty, e.data)
+	}
+}
+
+// evictOverflow trims LRU pages until within capacity.
+func (c *Cache) evictOverflow() {
+	for len(c.pages) > c.capacity {
+		lru := c.tail.prev
+		if lru == c.head {
+			return
+		}
+		c.dropEntry(lru)
+	}
+}
+
+// Resize changes the capacity budget, evicting overflow immediately. The
+// dynamic allocation strategy uses this to shift memory between the page
+// cache and the fine-grained read cache.
+func (c *Cache) Resize(capacityPages int) error {
+	if capacityPages < 0 {
+		return errors.New("pagecache: negative capacity")
+	}
+	c.capacity = capacityPages
+	c.evictOverflow()
+	return nil
+}
+
+// FlushDirty invokes fn for every dirty page in LRU order (oldest first)
+// and marks them clean. fn is the writeback. Clean pages drop their data.
+func (c *Cache) FlushDirty(fn func(key Key, data []byte) error) error {
+	return c.FlushDirtySelect(func(Key) bool { return true }, fn)
+}
+
+// FlushDirtySelect flushes only the dirty pages match accepts — fsync of a
+// single file, while FlushDirty is syncfs.
+func (c *Cache) FlushDirtySelect(match func(Key) bool, fn func(key Key, data []byte) error) error {
+	for e := c.tail.prev; e != c.head; e = e.prev {
+		if !e.dirty || !match(e.key) {
+			continue
+		}
+		if err := fn(e.key, e.data); err != nil {
+			return err
+		}
+		e.dirty = false
+		e.data = nil
+	}
+	return nil
+}
+
+// DirtyCount reports resident dirty pages.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for _, e := range c.pages {
+		if e.dirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package sim
+
+// RNG is a small, fast, deterministic random source (splitmix64 core).
+// It is not safe for concurrent use; give each generator its own RNG.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed. Distinct seeds give independent
+// streams for practical purposes.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with n == 0")
+	}
+	// Lemire's nearly-divisionless method would be faster; a plain modulo
+	// is fine here because n is tiny relative to 2^64 in all our uses.
+	// Reject the biased tail to keep the distribution exact.
+	max := (^uint64(0)) - (^uint64(0))%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Int63n returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with n <= 0")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (r *RNG) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := int(r.Uint64n(uint64(i + 1)))
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Split derives an independent RNG from this one, for handing to a
+// sub-generator without correlating streams.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa5a5a5a55a5a5a5a)
+}

@@ -1,0 +1,414 @@
+// Package slab implements the Data Area allocator of the paper's
+// fine-grained read cache (§3.2.1): memory is organized into uniformly
+// sized slabs, each pre-divided into items of one capacity; slabs are
+// grouped into classes by item capacity; data goes to the smallest class
+// that fits it.
+//
+// Per class, the allocator keeps the carving frontier of the last allocated
+// slab (start offset of the next free item plus the number remaining), a
+// cleanup array of recycled item offsets, an LRU list of live items, and an
+// eviction counter. A free-slab pool serves classes that exhaust their
+// slabs. Eviction and slab-migration mechanics are provided here; *policy*
+// (when to evict vs. migrate, §3.2.4, and when to reassign slabs between
+// classes, §3.2.3) lives in the cache layer that owns the allocator.
+package slab
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Config sizes the allocator.
+type Config struct {
+	ArenaSize int   // total Data Area bytes
+	SlabSize  int   // uniform slab size
+	ItemSizes []int // ascending item capacities, one per class
+}
+
+// DefaultItemSizes returns the class capacities used by default: powers of
+// two from 64 B (covers the 11.3 B LinkBench edges with tolerable internal
+// fragmentation) to 4 KiB (one full page, the largest fine read).
+func DefaultItemSizes() []int {
+	return []int{64, 128, 256, 512, 1024, 2048, 4096}
+}
+
+// DefaultConfig returns a 60 MiB arena of 64 KiB slabs with the default
+// classes, matching the HMB Data Area default.
+func DefaultConfig() Config {
+	return Config{ArenaSize: 60 << 20, SlabSize: 64 << 10, ItemSizes: DefaultItemSizes()}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.SlabSize <= 0:
+		return errors.New("slab: SlabSize must be positive")
+	case c.ArenaSize < c.SlabSize:
+		return fmt.Errorf("slab: arena %d smaller than one slab %d", c.ArenaSize, c.SlabSize)
+	case len(c.ItemSizes) == 0:
+		return errors.New("slab: at least one item class required")
+	}
+	if !sort.IntsAreSorted(c.ItemSizes) {
+		return errors.New("slab: ItemSizes must be ascending")
+	}
+	for i, s := range c.ItemSizes {
+		if s <= 0 || s > c.SlabSize {
+			return fmt.Errorf("slab: item size %d out of (0, %d]", s, c.SlabSize)
+		}
+		if i > 0 && s == c.ItemSizes[i-1] {
+			return fmt.Errorf("slab: duplicate item size %d", s)
+		}
+	}
+	return nil
+}
+
+// Ref identifies a live item: its arena offset and its class.
+type Ref struct {
+	Off   int
+	Class int
+}
+
+// node is an LRU list element for one live item.
+type node struct {
+	off        int
+	slabBase   int
+	prev, next *node
+}
+
+// class is the per-capacity state from the paper's Figure 3.
+type class struct {
+	itemSize int
+	slabs    []int // base offsets of owned slabs
+
+	carveOff  int // absolute offset of the next never-used item
+	carveLeft int // items remaining in the carving slab
+
+	recycled []int // cleanup array: offsets of freed items
+
+	lruHead, lruTail *node // sentinels
+	live             int
+	evictions        uint64
+}
+
+func (c *class) pushFront(n *node) {
+	n.prev = c.lruHead
+	n.next = c.lruHead.next
+	c.lruHead.next.prev = n
+	c.lruHead.next = n
+}
+
+func unlink(n *node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}
+
+// Allocator manages the arena. Not safe for concurrent use.
+type Allocator struct {
+	cfg       Config
+	classes   []class
+	freeSlabs []int
+	items     map[int]*node // live item offset -> LRU node
+}
+
+// New creates an allocator; the whole arena starts in the free-slab pool.
+func New(cfg Config) (*Allocator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Allocator{
+		cfg:     cfg,
+		classes: make([]class, len(cfg.ItemSizes)),
+		items:   make(map[int]*node),
+	}
+	for i := range a.classes {
+		c := &a.classes[i]
+		c.itemSize = cfg.ItemSizes[i]
+		c.lruHead = &node{}
+		c.lruTail = &node{}
+		c.lruHead.next = c.lruTail
+		c.lruTail.prev = c.lruHead
+	}
+	for base := 0; base+cfg.SlabSize <= cfg.ArenaSize; base += cfg.SlabSize {
+		a.freeSlabs = append(a.freeSlabs, base)
+	}
+	return a, nil
+}
+
+// Classes reports the number of classes.
+func (a *Allocator) Classes() int { return len(a.classes) }
+
+// ItemSize reports the capacity of a class.
+func (a *Allocator) ItemSize(class int) int { return a.classes[class].itemSize }
+
+// ClassFor returns the smallest class whose items hold size bytes.
+func (a *Allocator) ClassFor(size int) (int, bool) {
+	if size <= 0 {
+		return 0, false
+	}
+	for i, s := range a.cfg.ItemSizes {
+		if size <= s {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// FreeSlabs reports the free-slab pool size.
+func (a *Allocator) FreeSlabs() int { return len(a.freeSlabs) }
+
+// SlabCount reports slabs owned by a class.
+func (a *Allocator) SlabCount(class int) int { return len(a.classes[class].slabs) }
+
+// LiveItems reports live items in a class.
+func (a *Allocator) LiveItems(class int) int { return a.classes[class].live }
+
+// Evictions reports the class's eviction counter (§3.2.3's reassignment
+// monitor watches these).
+func (a *Allocator) Evictions(class int) uint64 { return a.classes[class].evictions }
+
+// UsedBytes reports bytes of arena held by classes (live or carvable).
+func (a *Allocator) UsedBytes() int {
+	used := 0
+	for i := range a.classes {
+		used += len(a.classes[i].slabs) * a.cfg.SlabSize
+	}
+	return used
+}
+
+// slabOf returns the base offset of the slab containing off.
+func (a *Allocator) slabOf(off int) int { return off - off%a.cfg.SlabSize }
+
+// TryAlloc obtains a free item of the class without evicting: first from
+// the cleanup array, then by carving the current slab, then by claiming a
+// slab from the free pool. Returns false when all three fail — the caller
+// then applies the paper's dynamic allocation strategy (evict or migrate).
+func (a *Allocator) TryAlloc(class int) (Ref, bool) {
+	c := &a.classes[class]
+	var off int
+	switch {
+	case len(c.recycled) > 0:
+		off = c.recycled[len(c.recycled)-1]
+		c.recycled = c.recycled[:len(c.recycled)-1]
+	case c.carveLeft > 0:
+		off = c.carveOff
+		c.carveOff += c.itemSize
+		c.carveLeft--
+	case len(a.freeSlabs) > 0:
+		base := a.freeSlabs[len(a.freeSlabs)-1]
+		a.freeSlabs = a.freeSlabs[:len(a.freeSlabs)-1]
+		c.slabs = append(c.slabs, base)
+		c.carveOff = base
+		c.carveLeft = a.cfg.SlabSize / c.itemSize
+		off = c.carveOff
+		c.carveOff += c.itemSize
+		c.carveLeft--
+	default:
+		return Ref{}, false
+	}
+	n := &node{off: off, slabBase: a.slabOf(off)}
+	c.pushFront(n)
+	c.live++
+	a.items[off] = n
+	return Ref{Off: off, Class: class}, true
+}
+
+// Touch moves a live item to the front of its class's LRU list.
+func (a *Allocator) Touch(ref Ref) error {
+	n, ok := a.items[ref.Off]
+	if !ok {
+		return fmt.Errorf("slab: touch of dead item %d", ref.Off)
+	}
+	unlink(n)
+	a.classes[ref.Class].pushFront(n)
+	return nil
+}
+
+// Release frees a live item into its class's cleanup array.
+func (a *Allocator) Release(ref Ref) error {
+	n, ok := a.items[ref.Off]
+	if !ok {
+		return fmt.Errorf("slab: release of dead item %d", ref.Off)
+	}
+	unlink(n)
+	delete(a.items, ref.Off)
+	c := &a.classes[ref.Class]
+	c.live--
+	c.recycled = append(c.recycled, ref.Off)
+	return nil
+}
+
+// LRUTail returns the least recently used live item of a class without
+// evicting it.
+func (a *Allocator) LRUTail(class int) (Ref, bool) {
+	c := &a.classes[class]
+	if c.lruTail.prev == c.lruHead {
+		return Ref{}, false
+	}
+	return Ref{Off: c.lruTail.prev.off, Class: class}, true
+}
+
+// EvictLRU removes the least recently used item of the class (solution 1 of
+// §3.2.1: evict within class, bump the eviction count, record the recycled
+// offset in the cleanup array). The evicted ref is returned so the caller
+// can drop its lookup-table entry.
+func (a *Allocator) EvictLRU(class int) (Ref, bool) {
+	ref, ok := a.LRUTail(class)
+	if !ok {
+		return Ref{}, false
+	}
+	if err := a.Release(ref); err != nil {
+		return Ref{}, false
+	}
+	a.classes[class].evictions++
+	return ref, true
+}
+
+// DonorClass picks a class other than exclude owning more than one slab
+// (solution 2's "randomly pick an additional slab class with more than one
+// slab"). pick is a random value the caller supplies (so the allocator
+// stays RNG-free and deterministic under test).
+func (a *Allocator) DonorClass(pick uint64, exclude int) (int, bool) {
+	var candidates []int
+	for i := range a.classes {
+		if i != exclude && len(a.classes[i].slabs) > 1 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	return candidates[pick%uint64(len(candidates))], true
+}
+
+// VictimSlab selects the slab of a class with the fewest live items — the
+// cheapest slab to detach for migration or reassignment.
+func (a *Allocator) VictimSlab(class int) (base int, ok bool) {
+	c := &a.classes[class]
+	if len(c.slabs) == 0 {
+		return 0, false
+	}
+	liveBySlab := make(map[int]int, len(c.slabs))
+	for _, b := range c.slabs {
+		liveBySlab[b] = 0
+	}
+	for n := c.lruHead.next; n != c.lruTail; n = n.next {
+		liveBySlab[n.slabBase]++
+	}
+	best := -1
+	for _, b := range c.slabs {
+		if best == -1 || liveBySlab[b] < liveBySlab[best] {
+			best = b
+		}
+	}
+	return best, true
+}
+
+// DetachSlab removes one slab (by base offset) from a class and returns it
+// to the free pool. The refs of live items that resided in the slab are
+// returned so the caller can relocate their data and fix its lookup tables
+// — the mechanics of §3.2.1 solution 2 and §3.2.3's re-balance thread.
+func (a *Allocator) DetachSlab(class, base int) ([]Ref, error) {
+	c := &a.classes[class]
+	idx := -1
+	for i, b := range c.slabs {
+		if b == base {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return nil, fmt.Errorf("slab: class %d does not own slab %d", class, base)
+	}
+
+	// Collect and unlink live items in the slab.
+	var refs []Ref
+	for n := c.lruHead.next; n != c.lruTail; {
+		next := n.next
+		if n.slabBase == base {
+			refs = append(refs, Ref{Off: n.off, Class: class})
+			unlink(n)
+			delete(a.items, n.off)
+			c.live--
+		}
+		n = next
+	}
+	// Purge recycled offsets that pointed into the slab.
+	kept := c.recycled[:0]
+	for _, off := range c.recycled {
+		if a.slabOf(off) != base {
+			kept = append(kept, off)
+		}
+	}
+	c.recycled = kept
+	// Drop the carving frontier if it lived in this slab.
+	if c.carveLeft > 0 && a.slabOf(c.carveOff) == base {
+		c.carveOff, c.carveLeft = 0, 0
+	}
+
+	c.slabs = append(c.slabs[:idx], c.slabs[idx+1:]...)
+	a.freeSlabs = append(a.freeSlabs, base)
+	return refs, nil
+}
+
+// CheckInvariants validates internal consistency; property tests call it
+// after random operation sequences.
+func (a *Allocator) CheckInvariants() error {
+	// Every slab is owned exactly once (by a class or the free pool).
+	owner := make(map[int]string)
+	for _, b := range a.freeSlabs {
+		if prev, dup := owner[b]; dup {
+			return fmt.Errorf("slab %d owned by %s and free pool", b, prev)
+		}
+		owner[b] = "free"
+	}
+	for i := range a.classes {
+		for _, b := range a.classes[i].slabs {
+			if prev, dup := owner[b]; dup {
+				return fmt.Errorf("slab %d owned by %s and class %d", b, prev, i)
+			}
+			owner[b] = fmt.Sprintf("class %d", i)
+		}
+	}
+	if want := a.cfg.ArenaSize / a.cfg.SlabSize; len(owner) != want {
+		return fmt.Errorf("%d slabs tracked, want %d", len(owner), want)
+	}
+
+	for i := range a.classes {
+		c := &a.classes[i]
+		ownedBy := func(off int) bool {
+			return owner[a.slabOf(off)] == fmt.Sprintf("class %d", i)
+		}
+		// LRU walk must match live count, and items must sit in owned slabs
+		// at class-aligned offsets.
+		count := 0
+		for n := c.lruHead.next; n != c.lruTail; n = n.next {
+			if !ownedBy(n.off) {
+				return fmt.Errorf("class %d live item %d in foreign slab", i, n.off)
+			}
+			if (n.off-n.slabBase)%c.itemSize != 0 {
+				return fmt.Errorf("class %d item %d misaligned", i, n.off)
+			}
+			if a.items[n.off] != n {
+				return fmt.Errorf("class %d item %d not indexed", i, n.off)
+			}
+			count++
+		}
+		if count != c.live {
+			return fmt.Errorf("class %d live=%d but LRU holds %d", i, c.live, count)
+		}
+		for _, off := range c.recycled {
+			if !ownedBy(off) {
+				return fmt.Errorf("class %d recycled item %d in foreign slab", i, off)
+			}
+			if _, alive := a.items[off]; alive {
+				return fmt.Errorf("class %d item %d both live and recycled", i, off)
+			}
+		}
+		if c.carveLeft > 0 && !ownedBy(c.carveOff) {
+			return fmt.Errorf("class %d carve frontier %d in foreign slab", i, c.carveOff)
+		}
+	}
+	return nil
+}

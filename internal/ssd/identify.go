@@ -1,0 +1,121 @@
+package ssd
+
+import (
+	"fmt"
+	"strings"
+
+	"pipette/internal/sim"
+)
+
+// Identify is the controller's self-description, in the spirit of the NVMe
+// Identify Controller / Identify Namespace data structures. cmd/pipette-sim
+// prints it; tests assert the geometry wiring.
+type Identify struct {
+	Model           string
+	Channels        int
+	WaysPerChannel  int
+	PlanesPerDie    int
+	BlocksPerPlane  int
+	PagesPerBlock   int
+	PageSize        int
+	CellType        string
+	RawCapacity     uint64 // bytes
+	LogicalCapacity uint64 // bytes exported after overprovisioning
+	HMBEnabled      bool
+	CMBBytes        int
+}
+
+// Identify reports the device description.
+func (c *Controller) Identify() Identify {
+	n := c.cfg.NAND
+	return Identify{
+		Model:           "PIPETTE-SIM YS9203-class",
+		Channels:        n.Channels,
+		WaysPerChannel:  n.WaysPerChannel,
+		PlanesPerDie:    n.PlanesPerDie,
+		BlocksPerPlane:  n.BlocksPerPlane,
+		PagesPerBlock:   n.PagesPerBlock,
+		PageSize:        n.PageSize,
+		CellType:        n.Cell.String(),
+		RawCapacity:     n.CapacityBytes(),
+		LogicalCapacity: c.fl.LogicalPages() * uint64(n.PageSize),
+		HMBEnabled:      c.hmbRegion != nil,
+		CMBBytes:        c.cfg.CMBBytes,
+	}
+}
+
+// String renders the identification block.
+func (id Identify) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d ch x %d way x %d plane, %d blk/plane x %d pg/blk x %d B (%s)\n",
+		id.Model, id.Channels, id.WaysPerChannel, id.PlanesPerDie,
+		id.BlocksPerPlane, id.PagesPerBlock, id.PageSize, id.CellType)
+	fmt.Fprintf(&b, "capacity: %.1f GiB raw, %.1f GiB exported; HMB=%v CMB=%d KiB",
+		float64(id.RawCapacity)/(1<<30), float64(id.LogicalCapacity)/(1<<30),
+		id.HMBEnabled, id.CMBBytes>>10)
+	return b.String()
+}
+
+// Smart is a SMART-style health/activity log assembled from the stack's
+// counters — the device-side view of everything the host benchmarks
+// measure from above.
+type Smart struct {
+	HostReadCommands  uint64
+	FineReadCommands  uint64
+	HostWriteCommands uint64
+	BytesRead         uint64 // device -> host
+	BytesWritten      uint64 // host -> device
+
+	NANDReads          uint64
+	NANDProgams        uint64
+	NANDErases         uint64
+	NANDReadRetries    uint64
+	GCRuns             uint64
+	WriteAmplification float64
+	MaxEraseCount      uint32
+	AvgEraseCount      float64
+
+	ChannelBusyTime []sim.Time // per-channel cumulative occupancy
+}
+
+// Smart reports the health/activity log.
+func (c *Controller) Smart() Smart {
+	fstats := c.fl.Stats()
+	astats := c.arr.Stats()
+	s := Smart{
+		HostReadCommands:   c.stats.BlockReadCmds,
+		FineReadCommands:   c.stats.FineReadCmds,
+		HostWriteCommands:  c.stats.WriteCmds,
+		BytesRead:          c.stats.BytesToHost,
+		BytesWritten:       c.stats.BytesFromHost,
+		NANDReads:          astats.Reads,
+		NANDProgams:        astats.Programs,
+		NANDErases:         astats.Erases,
+		NANDReadRetries:    astats.ReadRetries,
+		GCRuns:             fstats.GCRuns,
+		WriteAmplification: fstats.WriteAmplification(),
+	}
+	var sum uint64
+	counts := c.fl.EraseCounts()
+	for _, e := range counts {
+		sum += uint64(e)
+		if e > s.MaxEraseCount {
+			s.MaxEraseCount = e
+		}
+	}
+	if len(counts) > 0 {
+		s.AvgEraseCount = float64(sum) / float64(len(counts))
+	}
+	return s
+}
+
+// String renders the SMART log.
+func (s Smart) String() string {
+	return fmt.Sprintf(
+		"host: %d block reads, %d fine reads, %d writes; %.1f MB out, %.1f MB in\n"+
+			"nand: %d reads (%d retries), %d programs, %d erases; GC runs %d, WA %.2f; wear max/avg %d/%.2f",
+		s.HostReadCommands, s.FineReadCommands, s.HostWriteCommands,
+		float64(s.BytesRead)/(1<<20), float64(s.BytesWritten)/(1<<20),
+		s.NANDReads, s.NANDReadRetries, s.NANDProgams, s.NANDErases,
+		s.GCRuns, s.WriteAmplification, s.MaxEraseCount, s.AvgEraseCount)
+}

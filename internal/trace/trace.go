@@ -1,0 +1,187 @@
+// Package trace records and replays workload request streams in a compact
+// binary format, so experiments can be repeated bit-exactly, inspected, or
+// exchanged: generate once with cmd/pipette-trace, replay anywhere.
+//
+// Format: an 8-byte header ("PIPTRC" + 2-byte version), then one 14-byte
+// little-endian record per request: op(1) pad(1) off(8) size(4).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pipette/internal/workload"
+)
+
+var magic = [6]byte{'P', 'I', 'P', 'T', 'R', 'C'}
+
+// Version of the on-disk format.
+const Version uint16 = 1
+
+const recordSize = 14
+
+// Op codes.
+const (
+	opRead  byte = 0
+	opWrite byte = 1
+)
+
+// Writer streams requests to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	var v [2]byte
+	binary.LittleEndian.PutUint16(v[:], Version)
+	if _, err := bw.Write(v[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Append records one request.
+func (w *Writer) Append(r workload.Request) error {
+	if r.Size <= 0 || r.Off < 0 {
+		return fmt.Errorf("trace: invalid request %+v", r)
+	}
+	var buf [recordSize]byte
+	if r.Write {
+		buf[0] = opWrite
+	}
+	binary.LittleEndian.PutUint64(buf[2:], uint64(r.Off))
+	binary.LittleEndian.PutUint32(buf[10:], uint32(r.Size))
+	_, err := w.w.Write(buf[:])
+	if err == nil {
+		w.count++
+	}
+	return err
+}
+
+// Count reports appended records.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams requests from an io.Reader.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// ErrBadHeader reports a stream that is not a trace.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	for i, b := range magic {
+		if hdr[i] != b {
+			return nil, ErrBadHeader
+		}
+	}
+	if v := binary.LittleEndian.Uint16(hdr[6:]); v != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadHeader, v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next reads one request; io.EOF after the last.
+func (r *Reader) Next() (workload.Request, error) {
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return workload.Request{}, fmt.Errorf("trace: truncated record: %w", io.EOF)
+		}
+		return workload.Request{}, err
+	}
+	return workload.Request{
+		Write: buf[0] == opWrite,
+		Off:   int64(binary.LittleEndian.Uint64(buf[2:])),
+		Size:  int(binary.LittleEndian.Uint32(buf[10:])),
+	}, nil
+}
+
+// ReadAll slurps a whole trace.
+func ReadAll(r io.Reader) ([]workload.Request, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []workload.Request
+	for {
+		req, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+	}
+}
+
+// Record captures n requests from a generator into w.
+func Record(w io.Writer, gen workload.Generator, n int) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Append(gen.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Replayer adapts a recorded trace to the workload.Generator interface.
+// Next cycles when the trace is exhausted.
+type Replayer struct {
+	name     string
+	fileSize int64
+	reqs     []workload.Request
+	pos      int
+}
+
+// NewReplayer wraps recorded requests. fileSize must cover every request.
+func NewReplayer(name string, fileSize int64, reqs []workload.Request) (*Replayer, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("trace: empty trace")
+	}
+	for i, r := range reqs {
+		if r.Off < 0 || r.Off+int64(r.Size) > fileSize {
+			return nil, fmt.Errorf("trace: request %d [%d,+%d) outside file %d", i, r.Off, r.Size, fileSize)
+		}
+	}
+	return &Replayer{name: name, fileSize: fileSize, reqs: reqs}, nil
+}
+
+// Name implements workload.Generator.
+func (r *Replayer) Name() string { return "trace:" + r.name }
+
+// FileSize implements workload.Generator.
+func (r *Replayer) FileSize() int64 { return r.fileSize }
+
+// Len reports the trace length.
+func (r *Replayer) Len() int { return len(r.reqs) }
+
+// Next implements workload.Generator, cycling at the end.
+func (r *Replayer) Next() workload.Request {
+	req := r.reqs[r.pos]
+	r.pos = (r.pos + 1) % len(r.reqs)
+	return req
+}

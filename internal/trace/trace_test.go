@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"pipette/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	reqs := []workload.Request{
+		{Off: 0, Size: 128},
+		{Off: 4096, Size: 64, Write: true},
+		{Off: 1 << 40, Size: 4096},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(offs []uint32, sizes []uint16, writes []bool) bool {
+		n := len(offs)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		var reqs []workload.Request
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, workload.Request{
+				Off: int64(offs[i]), Size: int(sizes[i]) + 1, Write: writes[i],
+			})
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, r := range reqs {
+			if err := w.Append(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(reqs) {
+			return false
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidRequestsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(workload.Request{Off: -1, Size: 10}); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := w.Append(workload.Request{Off: 0, Size: 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("empty err = %v", err)
+	}
+	// Wrong version.
+	bad := append([]byte("PIPTRC"), 0x63, 0x00)
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("version err = %v", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(workload.Request{Off: 0, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("truncated read err = %v", err)
+	}
+}
+
+func TestRecordFromGenerator(t *testing.T) {
+	cfg := workload.Mixes(1<<20, 4096, workload.Uniform, 5)[4]
+	gen, err := workload.NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 100); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 100 {
+		t.Fatalf("recorded %d", len(reqs))
+	}
+	// Same-seed generator reproduces the trace.
+	gen2, _ := workload.NewSynthetic(cfg)
+	for i, r := range reqs {
+		if want := gen2.Next(); r != want {
+			t.Fatalf("record %d: %+v != %+v", i, r, want)
+		}
+	}
+}
+
+func TestReplayer(t *testing.T) {
+	reqs := []workload.Request{{Off: 0, Size: 128}, {Off: 4096, Size: 64}}
+	r, err := NewReplayer("test", 1<<20, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "trace:test" || r.FileSize() != 1<<20 || r.Len() != 2 {
+		t.Fatalf("replayer metadata wrong")
+	}
+	// Cycles.
+	for i := 0; i < 5; i++ {
+		if got := r.Next(); got != reqs[i%2] {
+			t.Fatalf("replay %d: %+v", i, got)
+		}
+	}
+	// Validation.
+	if _, err := NewReplayer("x", 100, reqs); err == nil {
+		t.Error("out-of-file trace accepted")
+	}
+	if _, err := NewReplayer("x", 100, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

@@ -1,0 +1,387 @@
+// Package vfs is the virtual filesystem layer: file handles with open
+// flags (including the paper's O_FINE_GRAINED), the conventional
+// block-based read path through the page cache with read-ahead (§2.1), the
+// write path with read-modify-write and deferred writeback, and the hook
+// where Pipette's fine-grained read path plugs in after a page-cache miss
+// (§3.1.2).
+//
+// The VFS is deliberately framework-agnostic: a FineRouter implementation
+// (Pipette's core, or a 2B-SSD baseline) intercepts fine-grained reads;
+// with no router installed, every read takes the block path.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"pipette/internal/blockdev"
+	"pipette/internal/extfs"
+	"pipette/internal/ftl"
+	"pipette/internal/metrics"
+	"pipette/internal/pagecache"
+	"pipette/internal/sim"
+)
+
+// OpenFlag is a bit set of open(2)-style flags.
+type OpenFlag uint32
+
+// Open flags. FineGrained is the paper's new O_FINE_GRAINED: it permits the
+// byte-granular read path for this file descriptor.
+const (
+	ReadOnly    OpenFlag = 0
+	ReadWrite   OpenFlag = 1 << 0
+	FineGrained OpenFlag = 1 << 1
+)
+
+// FineRouter is the fine-grained read framework's entry point. The VFS
+// calls TryFineRead after a fine-grained read misses the page cache; the
+// router may serve it (handled=true) or decline, sending the request down
+// the conventional block path — the Dispatcher decision of §3.1.2.
+// OnWrite is the consistency hook of §3.1.3: every write invalidates
+// overlapping fine-cache entries.
+type FineRouter interface {
+	TryFineRead(now sim.Time, f *File, off int64, buf []byte) (done sim.Time, handled bool, err error)
+	OnWrite(ino uint64, off int64, n int)
+}
+
+// Config tunes host-side software costs.
+type Config struct {
+	SyscallOverhead sim.Time // VFS entry: syscall + fd resolution + locking
+	CopyOverhead    sim.Time // copy-out to the user buffer per request
+	PageCachePages  int      // page cache budget
+	ReadaheadInit   int      // initial read-ahead window (pages)
+	ReadaheadMax    int      // maximum read-ahead window (pages)
+}
+
+// DefaultConfig returns Linux-flavoured costs and windows.
+func DefaultConfig() Config {
+	return Config{
+		SyscallOverhead: 1200 * sim.Nanosecond,
+		CopyOverhead:    300 * sim.Nanosecond,
+		PageCachePages:  64 << 10, // 256 MiB of 4 KiB pages
+		ReadaheadInit:   4,
+		ReadaheadMax:    32,
+	}
+}
+
+// VFS binds the filesystem metadata, the page cache, and the block layer.
+// Not safe for concurrent use.
+type VFS struct {
+	fs     *extfs.FS
+	blk    *blockdev.Layer
+	cache  *pagecache.Cache
+	ra     map[uint64]*pagecache.Readahead
+	router FineRouter
+	cfg    Config
+
+	io        metrics.IO
+	pendingWB []wbEntry
+}
+
+type wbEntry struct {
+	key  pagecache.Key
+	data []byte
+}
+
+// New builds a VFS.
+func New(fs *extfs.FS, blk *blockdev.Layer, cfg Config) (*VFS, error) {
+	if cfg.PageCachePages < 0 {
+		return nil, errors.New("vfs: negative page cache budget")
+	}
+	v := &VFS{
+		fs:  fs,
+		blk: blk,
+		ra:  make(map[uint64]*pagecache.Readahead),
+		cfg: cfg,
+	}
+	cache, err := pagecache.New(cfg.PageCachePages, fs.PageSize(), v.onEvict)
+	if err != nil {
+		return nil, err
+	}
+	v.cache = cache
+	return v, nil
+}
+
+// onEvict queues dirty evictees for writeback at the next opportunity.
+func (v *VFS) onEvict(key pagecache.Key, dirty bool, data []byte) {
+	if dirty {
+		v.pendingWB = append(v.pendingWB, wbEntry{key: key, data: data})
+	}
+}
+
+// SetRouter installs the fine-grained read framework. Passing nil removes
+// it (plain block I/O).
+func (v *VFS) SetRouter(r FineRouter) { v.router = r }
+
+// FS exposes the filesystem metadata layer.
+func (v *VFS) FS() *extfs.FS { return v.fs }
+
+// PageCache exposes the cache (the dynamic allocation strategy resizes it
+// and reads its hit ratio).
+func (v *VFS) PageCache() *pagecache.Cache { return v.cache }
+
+// IO returns accumulated host I/O accounting.
+func (v *VFS) IO() metrics.IO { return v.io }
+
+// ResetIO zeroes the accounting (between benchmark phases).
+func (v *VFS) ResetIO() { v.io = metrics.IO{} }
+
+// File is an open file descriptor.
+type File struct {
+	v     *VFS
+	inode *extfs.Inode
+	flags OpenFlag
+}
+
+// Open opens an existing file.
+func (v *VFS) Open(name string, flags OpenFlag) (*File, error) {
+	ino, err := v.fs.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{v: v, inode: ino, flags: flags}, nil
+}
+
+// Create makes and opens a new fixed-size file.
+func (v *VFS) Create(name string, size int64, opts extfs.CreateOpts, flags OpenFlag) (*File, error) {
+	ino, err := v.fs.Create(name, size, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &File{v: v, inode: ino, flags: flags}, nil
+}
+
+// Inode exposes the file's metadata (the fine router's LBA extraction
+// needs it).
+func (f *File) Inode() *extfs.Inode { return f.inode }
+
+// Flags reports the open flags.
+func (f *File) Flags() OpenFlag { return f.flags }
+
+// Size reports the file size.
+func (f *File) Size() int64 { return f.inode.Size }
+
+func (v *VFS) readahead(ino uint64) *pagecache.Readahead {
+	ra, ok := v.ra[ino]
+	if !ok {
+		ra = pagecache.NewReadahead(v.cfg.ReadaheadInit, v.cfg.ReadaheadMax)
+		v.ra[ino] = ra
+	}
+	return ra
+}
+
+// ReadAt reads up to len(buf) bytes at off, returning bytes read, the
+// virtual completion time, and io.EOF past the end.
+func (f *File) ReadAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error) {
+	v := f.v
+	if off < 0 {
+		return 0, now, fmt.Errorf("vfs: negative offset %d", off)
+	}
+	if off >= f.inode.Size {
+		return 0, now, io.EOF
+	}
+	n := len(buf)
+	var eof error
+	if rem := f.inode.Size - off; int64(n) > rem {
+		n = int(rem)
+		eof = io.EOF
+	}
+	if n == 0 {
+		return 0, now, eof
+	}
+	buf = buf[:n]
+	now += v.cfg.SyscallOverhead
+	v.io.BytesRequested += uint64(n)
+
+	// Fine-grained path: consult the page cache first (§3.1.2); on a miss
+	// hand the request to the router, which may still decline (Dispatcher
+	// routes large reads back here).
+	if f.flags&FineGrained != 0 && v.router != nil {
+		if served, done := v.tryServeFromCache(now, f, buf, off); served {
+			return n, done + v.cfg.CopyOverhead, eof
+		}
+		done, handled, err := v.router.TryFineRead(now, f, off, buf)
+		if err != nil {
+			return 0, done, err
+		}
+		if handled {
+			return n, done + v.cfg.CopyOverhead, eof
+		}
+	}
+
+	done, err := v.blockRead(now, f, buf, off)
+	if err != nil {
+		return 0, done, err
+	}
+	return n, done + v.cfg.CopyOverhead, eof
+}
+
+// tryServeFromCache serves the request if every covering page is resident.
+// Each covering page's lookup is counted (hit or miss) exactly as the
+// paper's dual-cache accounting expects.
+func (v *VFS) tryServeFromCache(now sim.Time, f *File, buf []byte, off int64) (bool, sim.Time) {
+	ps := int64(v.fs.PageSize())
+	first := uint64(off / ps)
+	last := uint64((off + int64(len(buf)) - 1) / ps)
+	// Peek residency without accounting, then do counted lookups so a
+	// partially-resident range registers as one miss, not several.
+	for p := first; p <= last; p++ {
+		if !v.cache.Contains(pagecache.Key{File: f.inode.Ino, Index: p}) {
+			v.cache.Lookup(pagecache.Key{File: f.inode.Ino, Index: p}) // counted miss
+			return false, now
+		}
+	}
+	for n := 0; n < len(buf); {
+		abs := off + int64(n)
+		p := uint64(abs / ps)
+		inPage := int(abs % ps)
+		chunk := v.fs.PageSize() - inPage
+		if rem := len(buf) - n; chunk > rem {
+			chunk = rem
+		}
+		data, dirty, ok := v.cache.Lookup(pagecache.Key{File: f.inode.Ino, Index: p})
+		if !ok {
+			return false, now // impossible after Contains, defensive
+		}
+		if dirty {
+			copy(buf[n:n+chunk], data[inPage:])
+		} else if err := v.fs.Peek(f.inode, abs, buf[n:n+chunk]); err != nil {
+			return false, now
+		}
+		n += chunk
+	}
+	return true, now
+}
+
+// blockRead is the conventional path of §2.1: per-page cache lookups,
+// read-ahead on misses, merged block-layer fetches, page-granular
+// promotion into the cache.
+func (v *VFS) blockRead(now sim.Time, f *File, buf []byte, off int64) (sim.Time, error) {
+	ps := int64(v.fs.PageSize())
+	first := uint64(off / ps)
+	last := uint64((off + int64(len(buf)) - 1) / ps)
+	filePages := f.inode.PageCount(v.fs.PageSize())
+	ra := v.readahead(f.inode.Ino)
+	done := now
+
+	for p := first; p <= last; p++ {
+		key := pagecache.Key{File: f.inode.Ino, Index: p}
+		data, dirty, ok := v.cache.Lookup(key)
+		if ok {
+			ra.OnHit(p)
+			v.copyFromPage(f, buf, off, p, data, dirty)
+			continue
+		}
+		// Miss: read-ahead decides the fetch window.
+		count := ra.OnMiss(p)
+		if p+uint64(count) > filePages {
+			count = int(filePages - p)
+		}
+		fetched, fetchDone, err := v.fetchPages(now, f, p, count)
+		if err != nil {
+			return fetchDone, err
+		}
+		if fetchDone > done {
+			done = fetchDone
+		}
+		if pageData, ok := fetched[p]; ok {
+			v.copyBytes(buf, off, p, pageData)
+		} else if err := v.fs.Peek(f.inode, int64(p)*ps, make([]byte, 0)); err == nil {
+			// Hole page: zeros (buf regions default to stale caller bytes,
+			// so clear explicitly).
+			v.zeroFill(buf, off, p)
+		}
+	}
+	return v.drainWriteback(done)
+}
+
+// fetchPages reads up to count pages starting at page p through the block
+// layer, skipping already-resident pages and unmapped holes, and promotes
+// every fetched page into the cache (clean).
+func (v *VFS) fetchPages(now sim.Time, f *File, p uint64, count int) (map[uint64][]byte, sim.Time, error) {
+	ftlLayer := v.fs.Controller().FTL()
+	var lbas []uint64
+	pageOfLBA := make(map[uint64]uint64, count)
+	for i := 0; i < count; i++ {
+		page := p + uint64(i)
+		key := pagecache.Key{File: f.inode.Ino, Index: page}
+		if v.cache.Contains(key) {
+			continue
+		}
+		lba, err := f.inode.PageToLBA(page)
+		if err != nil {
+			return nil, now, err
+		}
+		if !ftlLayer.IsMapped(ftl.LBA(lba)) {
+			continue // hole: reads as zeros, nothing to fetch
+		}
+		lbas = append(lbas, lba)
+		pageOfLBA[lba] = page
+	}
+	if len(lbas) == 0 {
+		return nil, now, nil
+	}
+	byLBA, done, moved, err := v.blk.ReadPages(now, lbas)
+	if err != nil {
+		return nil, done, err
+	}
+	v.io.BytesTransferred += moved
+	v.io.BlockReads += uint64(len(lbas))
+
+	byPage := make(map[uint64][]byte, len(byLBA))
+	for lba, data := range byLBA {
+		page := pageOfLBA[lba]
+		byPage[page] = data
+		if err := v.cache.Insert(pagecache.Key{File: f.inode.Ino, Index: page}, false, nil); err != nil {
+			return nil, done, err
+		}
+	}
+	return byPage, done, nil
+}
+
+// copyFromPage serves the overlap of page p with the request from a
+// resident page (dirty bytes if present, oracle otherwise).
+func (v *VFS) copyFromPage(f *File, buf []byte, off int64, p uint64, dirtyData []byte, dirty bool) {
+	lo, hi, bufLo, pageLo := overlap(off, len(buf), p, v.fs.PageSize())
+	if hi <= lo {
+		return
+	}
+	if dirty {
+		copy(buf[bufLo:bufLo+int(hi-lo)], dirtyData[pageLo:])
+		return
+	}
+	// Clean resident page: regenerate from the device oracle (zero time).
+	_ = v.fs.Peek(f.inode, lo, buf[bufLo:bufLo+int(hi-lo)])
+}
+
+// copyBytes serves the overlap of page p from freshly fetched page data.
+func (v *VFS) copyBytes(buf []byte, off int64, p uint64, pageData []byte) {
+	lo, hi, bufLo, pageLo := overlap(off, len(buf), p, len(pageData))
+	if hi > lo {
+		copy(buf[bufLo:bufLo+int(hi-lo)], pageData[pageLo:])
+	}
+}
+
+func (v *VFS) zeroFill(buf []byte, off int64, p uint64) {
+	lo, hi, bufLo, _ := overlap(off, len(buf), p, v.fs.PageSize())
+	for i := lo; i < hi; i++ {
+		buf[bufLo+int(i-lo)] = 0
+	}
+}
+
+// overlap computes the byte overlap of request [off, off+n) with page p:
+// absolute range [lo, hi), plus the offsets into the request buffer and
+// the page.
+func overlap(off int64, n int, p uint64, pageSize int) (lo, hi int64, bufLo, pageLo int) {
+	ps := int64(pageSize)
+	pStart := int64(p) * ps
+	lo, hi = off, off+int64(n)
+	if pStart > lo {
+		lo = pStart
+	}
+	if pEnd := pStart + ps; pEnd < hi {
+		hi = pEnd
+	}
+	return lo, hi, int(lo - off), int(lo - pStart)
+}

@@ -1,0 +1,188 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+
+	"pipette/internal/pagecache"
+	"pipette/internal/sim"
+)
+
+// WriteAt writes len(data) bytes at off through the page cache: full-page
+// overwrites go straight to dirty pages; partial pages read-modify-write.
+// Dirty pages persist on Sync or when evicted (writeback). The fine-grained
+// router's OnWrite hook fires for consistency (§3.1.3): every write deletes
+// overlapping fine-cache items so later fine reads see either the updated
+// page cache or the post-flush flash content.
+func (f *File) WriteAt(now sim.Time, data []byte, off int64) (int, sim.Time, error) {
+	v := f.v
+	if f.flags&ReadWrite == 0 {
+		return 0, now, fmt.Errorf("vfs: %q not opened for writing", f.inode.Name)
+	}
+	if off < 0 {
+		return 0, now, fmt.Errorf("vfs: negative offset %d", off)
+	}
+	if off+int64(len(data)) > f.inode.Size {
+		return 0, now, fmt.Errorf("vfs: write [%d,+%d) beyond fixed size %d of %q",
+			off, len(data), f.inode.Size, f.inode.Name)
+	}
+	if len(data) == 0 {
+		return 0, now, nil
+	}
+	now += v.cfg.SyscallOverhead
+	ps := int64(v.fs.PageSize())
+	first := uint64(off / ps)
+	last := uint64((off + int64(len(data)) - 1) / ps)
+	done := now
+
+	for p := first; p <= last; p++ {
+		lo, hi, dataLo, pageLo := overlap(off, len(data), p, v.fs.PageSize())
+		if hi <= lo {
+			continue
+		}
+		page := make([]byte, v.fs.PageSize())
+		fullPage := pageLo == 0 && hi-lo == ps
+		if !fullPage {
+			// Read-modify-write: obtain the current page content.
+			t, err := v.loadPageForRMW(done, f, p, page)
+			if err != nil {
+				return 0, t, err
+			}
+			done = t
+		}
+		copy(page[pageLo:], data[dataLo:dataLo+int(hi-lo)])
+
+		key := pagecache.Key{File: f.inode.Ino, Index: p}
+		marked, err := v.cache.MarkDirty(key, page)
+		if err != nil {
+			return 0, done, err
+		}
+		if !marked {
+			if err := v.cache.Insert(key, true, page); err != nil {
+				return 0, done, err
+			}
+		}
+	}
+	v.io.Writes++
+	if v.router != nil {
+		v.router.OnWrite(f.inode.Ino, off, len(data))
+	}
+	done, err := v.drainWriteback(done)
+	if err != nil {
+		return 0, done, err
+	}
+	return len(data), done + v.cfg.CopyOverhead, nil
+}
+
+// loadPageForRMW fills page with the current content of file page p:
+// from the dirty cache copy, the clean oracle, the device (timed block
+// read), or zeros for a hole.
+func (v *VFS) loadPageForRMW(now sim.Time, f *File, p uint64, page []byte) (sim.Time, error) {
+	key := pagecache.Key{File: f.inode.Ino, Index: p}
+	if data, dirty, ok := v.cache.Lookup(key); ok {
+		if dirty {
+			copy(page, data)
+			return now, nil
+		}
+		return now, v.fs.Peek(f.inode, int64(p)*int64(v.fs.PageSize()), pageTrim(page, f, p, v.fs.PageSize()))
+	}
+	fetched, done, err := v.fetchPages(now, f, p, 1)
+	if err != nil {
+		return done, err
+	}
+	if data, ok := fetched[p]; ok {
+		copy(page, data)
+	}
+	// Hole pages stay zero.
+	return done, nil
+}
+
+// pageTrim bounds the oracle read to the file tail (the last page of a
+// file whose size is not page-aligned is shorter on the device).
+func pageTrim(page []byte, f *File, p uint64, pageSize int) []byte {
+	start := int64(p) * int64(pageSize)
+	if rem := f.inode.Size - start; rem < int64(len(page)) {
+		return page[:rem]
+	}
+	return page
+}
+
+// Sync flushes this file's dirty pages to the device, chaining write
+// completions in virtual time — fsync(2).
+func (f *File) Sync(now sim.Time) (sim.Time, error) {
+	v := f.v
+	done := now
+	err := v.cache.FlushDirtySelect(
+		func(k pagecache.Key) bool { return k.File == f.inode.Ino },
+		func(k pagecache.Key, data []byte) error {
+			t, err := v.writebackPage(done, k, data)
+			if err != nil {
+				return err
+			}
+			done = t
+			return nil
+		})
+	return done, err
+}
+
+// SyncAll flushes every dirty page of every file — syncfs(2).
+func (v *VFS) SyncAll(now sim.Time) (sim.Time, error) {
+	done := now
+	err := v.cache.FlushDirty(func(k pagecache.Key, data []byte) error {
+		t, err := v.writebackPage(done, k, data)
+		if err != nil {
+			return err
+		}
+		done = t
+		return nil
+	})
+	return done, err
+}
+
+// writebackPage persists one dirty page.
+func (v *VFS) writebackPage(now sim.Time, key pagecache.Key, data []byte) (sim.Time, error) {
+	ino, err := v.fs.InodeByID(key.File)
+	if err != nil {
+		return now, err
+	}
+	lba, err := ino.PageToLBA(key.Index)
+	if err != nil {
+		return now, err
+	}
+	done, moved, err := v.blk.WritePages(now, lba, data)
+	if err != nil {
+		return done, err
+	}
+	v.io.BytesWritten += moved
+	return done, nil
+}
+
+// drainWriteback persists dirty pages that were evicted since the last
+// drain. Writeback is asynchronous, as in the kernel's flusher threads: the
+// device commands issue at now and occupy the FTL/NAND resource timelines
+// (delaying later foreground I/O through contention), but the calling
+// request does not block on the program latency.
+func (v *VFS) drainWriteback(now sim.Time) (sim.Time, error) {
+	for len(v.pendingWB) > 0 {
+		pending := v.pendingWB
+		v.pendingWB = nil
+		for _, wb := range pending {
+			if _, err := v.writebackPage(now, wb.key, wb.data); err != nil {
+				return now, err
+			}
+		}
+	}
+	return now, nil
+}
+
+// ReadFull reads exactly len(buf) bytes at off or fails.
+func (f *File) ReadFull(now sim.Time, buf []byte, off int64) (sim.Time, error) {
+	n, done, err := f.ReadAt(now, buf, off)
+	if err != nil && err != io.EOF {
+		return done, err
+	}
+	if n != len(buf) {
+		return done, fmt.Errorf("vfs: short read %d of %d at %d", n, len(buf), off)
+	}
+	return done, nil
+}

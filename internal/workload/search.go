@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"errors"
+	"math"
+
+	"pipette/internal/sim"
+)
+
+// SearchEngineConfig parameterizes the search-engine workload from the
+// paper's motivation (§1 cites WiSER, FAST'20): query processing reads
+// per-term metadata entries and posting lists from an inverted index on
+// flash. Term-entry reads are tiny and fixed-size; posting-list reads are
+// variable, mostly small (rare terms) with a heavy tail (frequent terms).
+type SearchEngineConfig struct {
+	Terms         uint64  // vocabulary size
+	EntryBytes    int     // per-term metadata entry (offset/len/df)
+	MeanPosting   int     // mean posting-list bytes
+	MaxPosting    int     // posting-list cap
+	TermsPerQuery int     // conjunctive terms per query
+	Theta         float64 // query-term popularity skew
+	Seed          uint64
+}
+
+// DefaultSearchEngineConfig returns a WiSER-flavoured index.
+func DefaultSearchEngineConfig() SearchEngineConfig {
+	return SearchEngineConfig{
+		Terms:         1 << 20,
+		EntryBytes:    16,
+		MeanPosting:   512,
+		MaxPosting:    16 << 10,
+		TermsPerQuery: 3,
+		Theta:         0.8,
+		Seed:          0x5ea7c4,
+	}
+}
+
+// SearchEngine lays the index out as a term-entry table followed by a
+// postings region (prefix sums over deterministic Pareto-ish list sizes);
+// each query emits one entry read plus one posting-list read per term.
+type SearchEngine struct {
+	cfg       SearchEngineConfig
+	postBytes []uint32 // per-term posting-list size
+	postOff   []uint64 // prefix sums into the postings region
+	postBase  int64
+	size      int64
+
+	zipf    *sim.ScrambledZipf
+	pending []Request // queued requests of the in-flight query
+}
+
+// NewSearchEngine builds the generator (index layout included).
+func NewSearchEngine(cfg SearchEngineConfig) (*SearchEngine, error) {
+	if cfg.Terms == 0 || cfg.EntryBytes <= 0 || cfg.MeanPosting <= 0 ||
+		cfg.MaxPosting < cfg.MeanPosting || cfg.TermsPerQuery < 1 {
+		return nil, errors.New("workload: bad search engine config")
+	}
+	s := &SearchEngine{cfg: cfg}
+	z, err := sim.NewScrambledZipf(sim.NewRNG(cfg.Seed), cfg.Terms, cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	s.zipf = z
+
+	s.postBytes = make([]uint32, cfg.Terms)
+	s.postOff = make([]uint64, cfg.Terms+1)
+	for i := uint64(0); i < cfg.Terms; i++ {
+		s.postBytes[i] = postingSize(cfg.Seed, i, cfg.MeanPosting, cfg.MaxPosting)
+		s.postOff[i+1] = s.postOff[i] + uint64(s.postBytes[i])
+	}
+	s.postBase = int64(cfg.Terms) * int64(cfg.EntryBytes)
+	s.size = s.postBase + int64(s.postOff[cfg.Terms])
+	return s, nil
+}
+
+// postingSize derives a term's posting-list size: log-uniform between a
+// fraction of the mean and the cap, so most lists are short and a few are
+// huge — the document-frequency distribution of real corpora.
+func postingSize(seed, term uint64, mean, max int) uint32 {
+	u := float64(sim.Mix64(seed^0xdead^(term+1))>>11) / (1 << 53)
+	lo := math.Log(float64(mean) / 8)
+	hi := math.Log(float64(max))
+	v := math.Exp(lo + u*u*(hi-lo)) // u^2 biases toward short lists
+	if v < 8 {
+		v = 8
+	}
+	if v > float64(max) {
+		v = float64(max)
+	}
+	return uint32(v)
+}
+
+// Name identifies the workload.
+func (s *SearchEngine) Name() string { return "searchengine" }
+
+// FileSize reports the index size.
+func (s *SearchEngine) FileSize() int64 { return s.size }
+
+// PostingBytes exposes a term's posting-list size (tests).
+func (s *SearchEngine) PostingBytes(term uint64) int { return int(s.postBytes[term]) }
+
+// Next emits the next request: queries are expanded into a sequence of
+// term-entry reads and posting-list reads, drained one request at a time.
+func (s *SearchEngine) Next() Request {
+	if len(s.pending) == 0 {
+		for t := 0; t < s.cfg.TermsPerQuery; t++ {
+			term := s.zipf.Next()
+			s.pending = append(s.pending,
+				Request{Off: int64(term) * int64(s.cfg.EntryBytes), Size: s.cfg.EntryBytes},
+				Request{
+					Off:  s.postBase + int64(s.postOff[term]),
+					Size: int(s.postBytes[term]),
+				})
+		}
+	}
+	req := s.pending[0]
+	s.pending = s.pending[1:]
+	return req
+}

@@ -1,0 +1,86 @@
+package workload
+
+import "testing"
+
+func TestSearchEngineValidation(t *testing.T) {
+	bad := []SearchEngineConfig{
+		{},
+		{Terms: 100, EntryBytes: 0, MeanPosting: 10, MaxPosting: 100, TermsPerQuery: 1},
+		{Terms: 100, EntryBytes: 16, MeanPosting: 0, MaxPosting: 100, TermsPerQuery: 1},
+		{Terms: 100, EntryBytes: 16, MeanPosting: 200, MaxPosting: 100, TermsPerQuery: 1},
+		{Terms: 100, EntryBytes: 16, MeanPosting: 10, MaxPosting: 100, TermsPerQuery: 0},
+	}
+	for i, c := range bad {
+		if _, err := NewSearchEngine(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSearchEngineLayout(t *testing.T) {
+	cfg := DefaultSearchEngineConfig()
+	cfg.Terms = 1 << 12
+	s, err := NewSearchEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entryRegion := int64(cfg.Terms) * int64(cfg.EntryBytes)
+	if s.FileSize() <= entryRegion {
+		t.Fatal("index has no postings region")
+	}
+	// Posting sizes respect bounds and show a spread.
+	var small, big int
+	for term := uint64(0); term < cfg.Terms; term++ {
+		n := s.PostingBytes(term)
+		if n < 8 || n > cfg.MaxPosting {
+			t.Fatalf("posting %d size %d out of bounds", term, n)
+		}
+		if n < cfg.MeanPosting {
+			small++
+		}
+		if n > 4*cfg.MeanPosting {
+			big++
+		}
+	}
+	if small == 0 || big == 0 {
+		t.Fatalf("posting size distribution degenerate: %d small, %d big", small, big)
+	}
+}
+
+func TestSearchEngineQueriesAlternate(t *testing.T) {
+	cfg := DefaultSearchEngineConfig()
+	cfg.Terms = 1 << 12
+	cfg.TermsPerQuery = 2
+	s, err := NewSearchEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entryRegion := int64(cfg.Terms) * int64(cfg.EntryBytes)
+	for q := 0; q < 500; q++ {
+		for term := 0; term < cfg.TermsPerQuery; term++ {
+			entry := s.Next()
+			if entry.Size != cfg.EntryBytes || entry.Off >= entryRegion {
+				t.Fatalf("query %d: expected entry read, got %+v", q, entry)
+			}
+			post := s.Next()
+			if post.Off < entryRegion || post.Off+int64(post.Size) > s.FileSize() {
+				t.Fatalf("query %d: posting read out of region: %+v", q, post)
+			}
+			if post.Write || entry.Write {
+				t.Fatal("search workload is read-only")
+			}
+		}
+	}
+}
+
+func TestSearchEngineDeterminism(t *testing.T) {
+	cfg := DefaultSearchEngineConfig()
+	cfg.Terms = 1 << 10
+	a, _ := NewSearchEngine(cfg)
+	b, _ := NewSearchEngine(cfg)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed search generators diverged")
+		}
+	}
+}

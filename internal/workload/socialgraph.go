@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"errors"
+	"math"
+
+	"pipette/internal/sim"
+)
+
+// SocialGraphConfig parameterizes the LinkBench-flavoured social-graph
+// workload of §4.3: tiny node and edge objects (LinkBench/TAO report
+// 87.6 B average nodes and 11.3 B average edges) accessed with the
+// LinkBench default operation mix, which is read-dominated but includes a
+// write stream that exercises the fine-cache invalidation path.
+type SocialGraphConfig struct {
+	Nodes     uint64  // graph size
+	NodeBytes int     // storage slot per node (87.6 B average -> 96 B slot)
+	EdgeBytes int     // storage slot per edge (11.3 B average -> 12 B slot)
+	MaxDegree int     // out-degree cap
+	Alpha     float64 // Pareto shape of the degree distribution
+	Theta     float64 // zipfian skew of node popularity
+	Seed      uint64
+}
+
+// DefaultSocialGraphConfig mirrors LinkBench defaults at a laptop-friendly
+// scale; the harness scales Nodes for full runs.
+func DefaultSocialGraphConfig() SocialGraphConfig {
+	return SocialGraphConfig{
+		Nodes:     1 << 20,
+		NodeBytes: 96,
+		EdgeBytes: 12,
+		MaxDegree: 128,
+		Alpha:     2.0,
+		// Social-graph request skew is famously extreme (TAO reports a
+		// tiny fraction of objects receiving most reads); 0.95 gives the
+		// hot-node reuse LinkBench's zipfian access models.
+		Theta: 0.95,
+		Seed:  0x50c1a1,
+	}
+}
+
+// opKind is a LinkBench operation.
+type opKind int
+
+const (
+	opGetNode opKind = iota
+	opUpdateNode
+	opAddNode
+	opDeleteNode
+	opGetLinksList
+	opMultigetLink
+	opCountLink
+	opAddLink
+	opDeleteLink
+	opUpdateLink
+)
+
+// linkbenchMix is the default LinkBench workload mix (Armstrong et al.,
+// SIGMOD'13), in percent.
+var linkbenchMix = []struct {
+	op  opKind
+	pct float64
+}{
+	{opGetLinksList, 50.7},
+	{opGetNode, 12.9},
+	{opAddLink, 9.0},
+	{opUpdateLink, 8.0},
+	{opUpdateNode, 7.4},
+	{opCountLink, 4.9},
+	{opDeleteLink, 3.0},
+	{opAddNode, 2.6},
+	{opDeleteNode, 1.0},
+	{opMultigetLink, 0.5},
+}
+
+// SocialGraph lays the graph out in one file: a node region of fixed slots
+// followed by an edge region holding each node's adjacency run at a
+// deterministic offset (prefix sums over a Pareto degree distribution).
+type SocialGraph struct {
+	cfg      SocialGraphConfig
+	rng      *sim.RNG
+	zipf     *sim.ScrambledZipf
+	degrees  []uint32
+	edgeOff  []uint64 // prefix sums: node i's edges start at edgeOff[i]
+	edgeBase int64
+	size     int64
+	cdf      []float64
+}
+
+// NewSocialGraph builds the generator (graph layout included).
+func NewSocialGraph(cfg SocialGraphConfig) (*SocialGraph, error) {
+	if cfg.Nodes == 0 || cfg.NodeBytes <= 0 || cfg.EdgeBytes <= 0 || cfg.MaxDegree < 1 {
+		return nil, errors.New("workload: bad social graph config")
+	}
+	g := &SocialGraph{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	z, err := sim.NewScrambledZipf(sim.NewRNG(cfg.Seed^0x77), cfg.Nodes, cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	g.zipf = z
+
+	// Deterministic Pareto out-degrees and their prefix sums.
+	g.degrees = make([]uint32, cfg.Nodes)
+	g.edgeOff = make([]uint64, cfg.Nodes+1)
+	for i := uint64(0); i < cfg.Nodes; i++ {
+		g.degrees[i] = paretoDegree(cfg.Seed, i, cfg.Alpha, cfg.MaxDegree)
+		g.edgeOff[i+1] = g.edgeOff[i] + uint64(g.degrees[i])
+	}
+	g.edgeBase = int64(cfg.Nodes) * int64(cfg.NodeBytes)
+	g.size = g.edgeBase + int64(g.edgeOff[cfg.Nodes])*int64(cfg.EdgeBytes)
+
+	var cum float64
+	for _, m := range linkbenchMix {
+		cum += m.pct
+		g.cdf = append(g.cdf, cum)
+	}
+	return g, nil
+}
+
+// paretoDegree derives node i's out-degree from a hashed Pareto draw
+// (x_m = 1, shape alpha: X = u^(-1/alpha)), capped at maxDeg.
+func paretoDegree(seed, i uint64, alpha float64, maxDeg int) uint32 {
+	u := float64(sim.Mix64(seed^(i+1))>>11) / (1 << 53)
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	d := math.Pow(u, -1.0/alpha)
+	if d > float64(maxDeg) {
+		d = float64(maxDeg)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return uint32(d)
+}
+
+// Name identifies the workload.
+func (g *SocialGraph) Name() string { return "socialgraph" }
+
+// FileSize reports the graph store size.
+func (g *SocialGraph) FileSize() int64 { return g.size }
+
+// Degree exposes a node's out-degree (tests).
+func (g *SocialGraph) Degree(node uint64) int { return int(g.degrees[node]) }
+
+func (g *SocialGraph) nodeOffset(node uint64) int64 {
+	return int64(node) * int64(g.cfg.NodeBytes)
+}
+
+func (g *SocialGraph) edgeRun(node uint64) (off int64, n int) {
+	start := g.edgeBase + int64(g.edgeOff[node])*int64(g.cfg.EdgeBytes)
+	return start, int(g.degrees[node]) * g.cfg.EdgeBytes
+}
+
+// Next draws one LinkBench operation and renders it as a file request.
+func (g *SocialGraph) Next() Request {
+	p := g.rng.Float64() * 100
+	op := linkbenchMix[len(linkbenchMix)-1].op
+	for i, c := range g.cdf {
+		if p < c {
+			op = linkbenchMix[i].op
+			break
+		}
+	}
+	node := g.zipf.Next()
+	switch op {
+	case opGetNode:
+		return Request{Off: g.nodeOffset(node), Size: g.cfg.NodeBytes}
+	case opUpdateNode, opAddNode, opDeleteNode:
+		return Request{Off: g.nodeOffset(node), Size: g.cfg.NodeBytes, Write: true}
+	case opGetLinksList:
+		off, n := g.edgeRun(node)
+		return Request{Off: off, Size: n}
+	case opMultigetLink:
+		off, n := g.edgeRun(node)
+		want := 4 * g.cfg.EdgeBytes
+		if want > n {
+			want = n
+		}
+		return Request{Off: off, Size: want}
+	case opCountLink:
+		// The link count is a small header field co-located with the node.
+		return Request{Off: g.nodeOffset(node), Size: 8}
+	case opAddLink, opDeleteLink, opUpdateLink:
+		off, n := g.edgeRun(node)
+		idx := int(g.rng.Uint64n(uint64(n / g.cfg.EdgeBytes)))
+		return Request{Off: off + int64(idx)*int64(g.cfg.EdgeBytes), Size: g.cfg.EdgeBytes, Write: true}
+	default:
+		return Request{Off: g.nodeOffset(node), Size: g.cfg.NodeBytes}
+	}
+}

@@ -1,0 +1,177 @@
+// Package workload generates the paper's evaluation workloads: the five
+// synthetic mixes of Table 1 (uniform and zipfian α=0.8 request
+// distributions over a large file), a DLRM-flavoured recommender-system
+// embedding-lookup stream (128 B vectors out of multi-gigabyte tables), and
+// a LinkBench-flavoured social-graph operation stream (87.6 B nodes,
+// 11.3 B edges, the default LinkBench operation mix).
+//
+// All generators are deterministic given their seed. Offsets in the
+// synthetic mixes are page-aligned — the property that makes the paper's
+// block-I/O traffic identical across mixes A–E (every request touches
+// exactly one page, so only the location distribution matters; see Table 2
+// and the discussion in §4.2).
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"pipette/internal/sim"
+)
+
+// Request is one generated operation.
+type Request struct {
+	Off   int64
+	Size  int
+	Write bool
+}
+
+// Generator produces a deterministic request stream.
+type Generator interface {
+	Name() string
+	// FileSize is the dataset size the driver must create (preloaded).
+	FileSize() int64
+	Next() Request
+}
+
+// Dist selects the request location distribution.
+type Dist int
+
+// Distributions used by Table 1's footnote.
+const (
+	Uniform Dist = iota
+	Zipfian
+)
+
+// String names the distribution.
+func (d Dist) String() string {
+	if d == Uniform {
+		return "uniform"
+	}
+	return "zipfian"
+}
+
+// SyntheticConfig parameterizes a Table 1 mix.
+type SyntheticConfig struct {
+	Name       string
+	FileSize   int64
+	PageSize   int
+	SmallRatio float64 // fraction of small reads
+	SmallSize  int     // default 128 B
+	LargeSize  int     // default 4096 B
+	Dist       Dist
+	Theta      float64 // zipfian exponent (paper: 0.8)
+	Seed       uint64
+}
+
+// Mixes returns the five Table 1 configurations (A..E) over a file of the
+// given size.
+func Mixes(fileSize int64, pageSize int, dist Dist, seed uint64) []SyntheticConfig {
+	ratios := []struct {
+		name  string
+		small float64
+	}{
+		{"A", 0.0}, {"B", 0.1}, {"C", 0.5}, {"D", 0.9}, {"E", 1.0},
+	}
+	out := make([]SyntheticConfig, 0, len(ratios))
+	for _, r := range ratios {
+		out = append(out, SyntheticConfig{
+			Name:       r.name,
+			FileSize:   fileSize,
+			PageSize:   pageSize,
+			SmallRatio: r.small,
+			SmallSize:  128,
+			LargeSize:  4096,
+			Dist:       dist,
+			Theta:      0.8,
+			Seed:       seed,
+		})
+	}
+	return out
+}
+
+// Synthetic draws page-aligned offsets from the configured distribution and
+// sizes from the large/small mix.
+type Synthetic struct {
+	cfg   SyntheticConfig
+	pages uint64
+	rng   *sim.RNG
+	zipf  *sim.ScrambledZipf
+}
+
+// NewSynthetic builds a Table 1 generator.
+func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
+	if cfg.PageSize <= 0 || cfg.FileSize < int64(cfg.PageSize) {
+		return nil, errors.New("workload: file must hold at least one page")
+	}
+	if cfg.SmallRatio < 0 || cfg.SmallRatio > 1 {
+		return nil, fmt.Errorf("workload: small ratio %g outside [0,1]", cfg.SmallRatio)
+	}
+	if cfg.SmallSize <= 0 || cfg.LargeSize <= 0 || cfg.LargeSize > cfg.PageSize {
+		return nil, errors.New("workload: bad request sizes")
+	}
+	s := &Synthetic{
+		cfg:   cfg,
+		pages: uint64(cfg.FileSize) / uint64(cfg.PageSize),
+		rng:   sim.NewRNG(cfg.Seed),
+	}
+	if cfg.Dist == Zipfian {
+		z, err := sim.NewScrambledZipf(sim.NewRNG(cfg.Seed^0x5a5a), s.pages, cfg.Theta)
+		if err != nil {
+			return nil, err
+		}
+		s.zipf = z
+	}
+	return s, nil
+}
+
+// Name identifies the mix.
+func (s *Synthetic) Name() string {
+	return fmt.Sprintf("synthetic-%s-%s", s.cfg.Name, s.cfg.Dist)
+}
+
+// FileSize reports the dataset size.
+func (s *Synthetic) FileSize() int64 { return s.cfg.FileSize }
+
+// Next draws one read.
+func (s *Synthetic) Next() Request {
+	var page uint64
+	if s.zipf != nil {
+		page = s.zipf.Next()
+	} else {
+		page = s.rng.Uint64n(s.pages)
+	}
+	size := s.cfg.LargeSize
+	if s.rng.Float64() < s.cfg.SmallRatio {
+		size = s.cfg.SmallSize
+	}
+	return Request{Off: int64(page) * int64(s.cfg.PageSize), Size: size}
+}
+
+// FixedSize wraps a generator, forcing every request to one size — the
+// Figure 8 latency sweep (workload E with request sizes 8 B .. 4 KiB).
+type FixedSize struct {
+	inner Generator
+	size  int
+}
+
+// NewFixedSize forces size onto every request of inner.
+func NewFixedSize(inner Generator, size int) *FixedSize {
+	return &FixedSize{inner: inner, size: size}
+}
+
+// Name identifies the wrapped stream.
+func (f *FixedSize) Name() string { return fmt.Sprintf("%s-%dB", f.inner.Name(), f.size) }
+
+// FileSize reports the dataset size.
+func (f *FixedSize) FileSize() int64 { return f.inner.FileSize() }
+
+// Next draws a request and overrides its size.
+func (f *FixedSize) Next() Request {
+	r := f.inner.Next()
+	r.Size = f.size
+	if r.Off+int64(r.Size) > f.inner.FileSize() {
+		r.Off = f.inner.FileSize() - int64(r.Size)
+	}
+	return r
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMixesMatchTableOne(t *testing.T) {
+	ms := Mixes(1<<30, 4096, Uniform, 1)
+	if len(ms) != 5 {
+		t.Fatalf("mixes = %d", len(ms))
+	}
+	wantRatio := map[string]float64{"A": 0, "B": 0.1, "C": 0.5, "D": 0.9, "E": 1}
+	for _, m := range ms {
+		if m.SmallRatio != wantRatio[m.Name] {
+			t.Errorf("mix %s ratio %g", m.Name, m.SmallRatio)
+		}
+		if m.SmallSize != 128 || m.LargeSize != 4096 || m.Theta != 0.8 {
+			t.Errorf("mix %s sizes/theta wrong: %+v", m.Name, m)
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := []SyntheticConfig{
+		{FileSize: 100, PageSize: 4096},
+		{FileSize: 1 << 20, PageSize: 4096, SmallRatio: 1.5, SmallSize: 128, LargeSize: 4096},
+		{FileSize: 1 << 20, PageSize: 4096, SmallSize: 0, LargeSize: 4096},
+		{FileSize: 1 << 20, PageSize: 4096, SmallSize: 128, LargeSize: 8192},
+	}
+	for i, c := range bad {
+		if _, err := NewSynthetic(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSyntheticPageAlignedAndBounded(t *testing.T) {
+	for _, dist := range []Dist{Uniform, Zipfian} {
+		cfg := Mixes(16<<20, 4096, dist, 42)[2] // mix C
+		g, err := NewSynthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, large := 0, 0
+		for i := 0; i < 10000; i++ {
+			r := g.Next()
+			if r.Off%4096 != 0 {
+				t.Fatalf("%v offset %d not page-aligned", dist, r.Off)
+			}
+			if r.Off < 0 || r.Off+int64(r.Size) > g.FileSize() {
+				t.Fatalf("%v request [%d,+%d) out of file", dist, r.Off, r.Size)
+			}
+			if r.Write {
+				t.Fatal("synthetic mixes are read-only")
+			}
+			if r.Size == 128 {
+				small++
+			} else if r.Size == 4096 {
+				large++
+			} else {
+				t.Fatalf("unexpected size %d", r.Size)
+			}
+		}
+		// Mix C: ~50/50.
+		if small < 4500 || small > 5500 {
+			t.Errorf("%v mix C small fraction %d/10000", dist, small)
+		}
+		_ = large
+	}
+}
+
+func TestSyntheticZipfSkewed(t *testing.T) {
+	cfg := Mixes(16<<20, 4096, Zipfian, 7)[4] // mix E
+	g, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[g.Next().Off]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	// Uniform over 4096 pages would give ~12 per offset; zipf's hottest
+	// page must be far above that.
+	if best < 100 {
+		t.Fatalf("hottest offset drawn %d times; zipf skew missing", best)
+	}
+	// Uniform for contrast: should NOT concentrate.
+	ucfg := Mixes(16<<20, 4096, Uniform, 7)[4]
+	ug, _ := NewSynthetic(ucfg)
+	ucounts := make(map[int64]int)
+	for i := 0; i < draws; i++ {
+		ucounts[ug.Next().Off]++
+	}
+	ubest := 0
+	for _, c := range ucounts {
+		if c > ubest {
+			ubest = c
+		}
+	}
+	if ubest > 60 {
+		t.Fatalf("uniform hottest offset drawn %d times", ubest)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	cfg := Mixes(1<<20, 4096, Zipfian, 99)[1]
+	a, _ := NewSynthetic(cfg)
+	b, _ := NewSynthetic(cfg)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	cfg := Mixes(1<<20, 4096, Uniform, 3)[4]
+	g, _ := NewSynthetic(cfg)
+	f := NewFixedSize(g, 2048)
+	for i := 0; i < 1000; i++ {
+		r := f.Next()
+		if r.Size != 2048 {
+			t.Fatalf("size %d", r.Size)
+		}
+		if r.Off+int64(r.Size) > f.FileSize() {
+			t.Fatalf("request escapes file")
+		}
+	}
+}
+
+func TestRecommenderLayout(t *testing.T) {
+	cfg := DefaultRecommenderConfig()
+	cfg.TableBytes = 32 << 20
+	cfg.Tables = 4
+	r, err := NewRecommender(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FileSize() > cfg.TableBytes || r.FileSize() < cfg.TableBytes/2 {
+		t.Fatalf("FileSize = %d", r.FileSize())
+	}
+	vecs := r.TableVectors()
+	if len(vecs) != 4 {
+		t.Fatalf("tables = %d", len(vecs))
+	}
+	// Geometric size skew: first table strictly biggest.
+	if vecs[0] <= vecs[3] {
+		t.Fatalf("table sizes not skewed: %v", vecs)
+	}
+	for i := 0; i < 10000; i++ {
+		req := r.Next()
+		if req.Size != 128 || req.Write {
+			t.Fatalf("req %+v", req)
+		}
+		if req.Off%128 != 0 {
+			t.Fatalf("offset %d not vector-aligned", req.Off)
+		}
+		if req.Off < 0 || req.Off+128 > r.FileSize() {
+			t.Fatalf("lookup out of file: %d", req.Off)
+		}
+	}
+}
+
+func TestRecommenderValidation(t *testing.T) {
+	bad := DefaultRecommenderConfig()
+	bad.VectorSize = 0
+	if _, err := NewRecommender(bad); err == nil {
+		t.Error("zero vector size accepted")
+	}
+	bad = DefaultRecommenderConfig()
+	bad.TableBytes = 10
+	if _, err := NewRecommender(bad); err == nil {
+		t.Error("tables smaller than a vector accepted")
+	}
+}
+
+func TestSocialGraphLayout(t *testing.T) {
+	cfg := DefaultSocialGraphConfig()
+	cfg.Nodes = 1 << 12
+	g, err := NewSocialGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FileSize() <= int64(cfg.Nodes)*int64(cfg.NodeBytes) {
+		t.Fatal("file has no edge region")
+	}
+	reads, writes := 0, 0
+	for i := 0; i < 20000; i++ {
+		r := g.Next()
+		if r.Off < 0 || r.Off+int64(r.Size) > g.FileSize() {
+			t.Fatalf("request [%d,+%d) outside file %d", r.Off, r.Size, g.FileSize())
+		}
+		if r.Size <= 0 {
+			t.Fatalf("empty request %+v", r)
+		}
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	// LinkBench default mix is ~69% reads / ~31% writes.
+	readFrac := float64(reads) / 20000
+	if readFrac < 0.62 || readFrac > 0.76 {
+		t.Fatalf("read fraction %.2f outside LinkBench mix", readFrac)
+	}
+}
+
+func TestSocialGraphDegreesPowerLaw(t *testing.T) {
+	cfg := DefaultSocialGraphConfig()
+	cfg.Nodes = 1 << 14
+	g, err := NewSocialGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones, big := 0, 0
+	for i := uint64(0); i < cfg.Nodes; i++ {
+		d := g.Degree(i)
+		if d < 1 || d > cfg.MaxDegree {
+			t.Fatalf("degree %d out of range", d)
+		}
+		if d == 1 {
+			ones++
+		}
+		if d >= 16 {
+			big++
+		}
+	}
+	// Pareto(alpha=2): most mass near 1, a real tail.
+	if frac := float64(ones) / float64(cfg.Nodes); frac < 0.3 {
+		t.Fatalf("degree-1 fraction %.2f too small for a power law", frac)
+	}
+	if big == 0 {
+		t.Fatal("no high-degree nodes: tail missing")
+	}
+}
+
+func TestSocialGraphValidation(t *testing.T) {
+	bad := DefaultSocialGraphConfig()
+	bad.Nodes = 0
+	if _, err := NewSocialGraph(bad); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+// Property: every generator's requests stay within its file for arbitrary
+// seeds.
+func TestGeneratorsInBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := Mixes(4<<20, 4096, Zipfian, seed)[3]
+		g, err := NewSynthetic(cfg)
+		if err != nil {
+			return false
+		}
+		sg, err := NewSocialGraph(SocialGraphConfig{
+			Nodes: 1 << 10, NodeBytes: 96, EdgeBytes: 12, MaxDegree: 64,
+			Alpha: 2, Theta: 0.8, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			if r := g.Next(); r.Off < 0 || r.Off+int64(r.Size) > g.FileSize() {
+				return false
+			}
+			if r := sg.Next(); r.Off < 0 || r.Off+int64(r.Size) > sg.FileSize() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

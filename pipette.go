@@ -1,0 +1,295 @@
+// Package pipette is the public facade of the Pipette reproduction: a
+// complete simulated storage system — NAND flash, FTL, NVMe controller with
+// the fine-grained read engine, block layer, extent filesystem, page cache —
+// with the Pipette fine-grained read framework (DAC'22) installed on top.
+//
+// A System owns its virtual clock: callers use ordinary ReadAt/WriteAt and
+// the system advances simulated time internally, so application code looks
+// like normal file I/O:
+//
+//	sys, _ := pipette.New(pipette.Options{CapacityBytes: 1 << 30})
+//	_ = sys.CreateFile("embeddings", 256<<20, true)
+//	f, _ := sys.Open("embeddings", pipette.FineGrained)
+//	buf := make([]byte, 128)
+//	f.ReadAt(buf, 4096)             // byte-granular SSD read
+//	fmt.Println(sys.Report())       // traffic, hit ratios, virtual time
+//
+// The deeper layers live in internal/ packages; experiments and ablations
+// are driven by cmd/pipette-bench.
+package pipette
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"pipette/internal/blockdev"
+	"pipette/internal/core"
+	"pipette/internal/extfs"
+	"pipette/internal/metrics"
+	"pipette/internal/nvme"
+	"pipette/internal/sim"
+	"pipette/internal/ssd"
+	"pipette/internal/vfs"
+)
+
+// OpenFlag mirrors the VFS open flags.
+type OpenFlag = vfs.OpenFlag
+
+// Open flags: FineGrained is the paper's O_FINE_GRAINED.
+const (
+	ReadOnly    = vfs.ReadOnly
+	ReadWrite   = vfs.ReadWrite
+	FineGrained = vfs.FineGrained
+)
+
+// Options configures a System. Zero values take defaults.
+type Options struct {
+	// CapacityBytes provisions the flash array (default 1 GiB).
+	CapacityBytes int64
+	// PageCacheBytes budgets the host page cache (default 256 MiB).
+	PageCacheBytes int64
+	// FineCacheBytes budgets the fine-grained read cache's Data Area
+	// (default 60 MiB, the paper's HMB mapping region scale).
+	FineCacheBytes int
+	// DisableFineCache runs the byte-granular path without the cache
+	// (the paper's "Pipette w/o cache" configuration).
+	DisableFineCache bool
+	// Core overrides the framework tuning; leave zero for defaults.
+	Core *core.Config
+}
+
+// System is one simulated host + SSD with Pipette installed.
+// All methods are safe for concurrent use.
+type System struct {
+	mu    sync.Mutex
+	clock sim.Clock
+
+	ctrl *ssd.Controller
+	v    *vfs.VFS
+	core *core.Pipette
+}
+
+// New assembles a system.
+func New(opts Options) (*System, error) {
+	if opts.CapacityBytes == 0 {
+		opts.CapacityBytes = 1 << 30
+	}
+	if opts.PageCacheBytes == 0 {
+		opts.PageCacheBytes = 256 << 20
+	}
+	if opts.CapacityBytes < 0 || opts.PageCacheBytes < 0 || opts.FineCacheBytes < 0 {
+		return nil, errors.New("pipette: negative budgets")
+	}
+
+	scfg := ssd.DefaultConfig()
+	pageBytes := int64(scfg.NAND.PageSize)
+	needPages := opts.CapacityBytes / pageBytes
+	perPlane := int(needPages/int64(scfg.NAND.Dies()*scfg.NAND.PagesPerBlock*scfg.NAND.PlanesPerDie)) + 1
+	if perPlane < 6 {
+		perPlane = 6
+	}
+	scfg.NAND.BlocksPerPlane = perPlane
+	ctrl, err := ssd.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	drv := nvme.NewDriver(ctrl, 256, nvme.DefaultCosts())
+	blk, err := blockdev.New(drv, ctrl.PageSize(), blockdev.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	fs := extfs.New(ctrl)
+	vcfg := vfs.DefaultConfig()
+	vcfg.PageCachePages = int(opts.PageCacheBytes / pageBytes)
+	v, err := vfs.New(fs, blk, vcfg)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := core.DefaultConfig()
+	if opts.Core != nil {
+		ccfg = *opts.Core
+	}
+	if opts.FineCacheBytes != 0 {
+		ccfg.HMB.DataBytes = opts.FineCacheBytes
+	}
+	p, err := core.New(v, drv, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DisableFineCache {
+		p.DisableCache()
+	}
+	return &System{ctrl: ctrl, v: v, core: p}, nil
+}
+
+// CreateFile makes a fixed-size file. preload fills it with deterministic
+// device content at zero virtual cost (dataset setup).
+func (s *System) CreateFile(name string, size int64, preload bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.v.FS().Create(name, size, extfs.CreateOpts{Preload: preload})
+	return err
+}
+
+// RemoveFile deletes a file and trims its blocks.
+func (s *System) RemoveFile(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v.FS().Remove(name)
+}
+
+// Files lists file names.
+func (s *System) Files() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v.FS().Files()
+}
+
+// File is an open handle. ReadAt/WriteAt implement io.ReaderAt/io.WriterAt
+// over virtual time.
+type File struct {
+	sys *System
+	f   *vfs.File
+}
+
+// Open opens an existing file. Pass FineGrained to permit the byte-granular
+// read path for this descriptor.
+func (s *System) Open(name string, flags OpenFlag) (*File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.v.Open(name, flags)
+	if err != nil {
+		return nil, err
+	}
+	return &File{sys: s, f: f}, nil
+}
+
+// Size reports the file size.
+func (f *File) Size() int64 { return f.f.Size() }
+
+// Name reports the file name.
+func (f *File) Name() string { return f.f.Inode().Name }
+
+// ReadAt reads len(p) bytes at off, advancing the system's virtual clock by
+// the simulated service time.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	s := f.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, done, err := f.f.ReadAt(s.clock.Now(), p, off)
+	s.clock.AdvanceTo(done)
+	return n, err
+}
+
+// WriteAt writes len(p) bytes at off.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	s := f.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, done, err := f.f.WriteAt(s.clock.Now(), p, off)
+	s.clock.AdvanceTo(done)
+	return n, err
+}
+
+// Sync flushes the file's dirty pages (fsync).
+func (f *File) Sync() error {
+	s := f.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	done, err := f.f.Sync(s.clock.Now())
+	s.clock.AdvanceTo(done)
+	return err
+}
+
+// Now reports elapsed virtual time.
+func (s *System) Now() sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock.Now()
+}
+
+// MaintenanceTick runs one stage of the fine cache's maintenance thread
+// (§3.2.3). StartMaintenance runs it periodically in wall-clock time.
+func (s *System) MaintenanceTick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.core.MaintenanceTick()
+}
+
+// StartMaintenance launches the maintenance goroutine; the returned stop
+// function terminates it.
+func (s *System) StartMaintenance(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.MaintenanceTick()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Report summarizes system activity.
+type Report struct {
+	Elapsed sim.Time
+
+	IO        metrics.IO
+	PageCache metrics.Cache
+	FineCache metrics.Cache
+
+	FineCacheMemoryBytes uint64
+	PageCacheMemoryBytes uint64
+	Threshold            uint32
+	Core                 core.Stats
+}
+
+// Report gathers a snapshot.
+func (s *System) Report() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := Report{
+		Elapsed:   s.clock.Now(),
+		IO:        s.v.IO(),
+		FineCache: s.core.CacheStats(),
+		Threshold: s.core.Threshold(),
+		Core:      s.core.Stats(),
+	}
+	fio := s.core.IO()
+	r.IO.BytesTransferred += fio.BytesTransferred
+	r.IO.FineReads = fio.FineReads
+	hits, accesses, ins, evs := s.v.PageCache().Stats()
+	r.PageCache = metrics.Cache{Hits: hits, Accesses: accesses, Insertions: ins, Evictions: evs}
+	r.PageCacheMemoryBytes = s.v.PageCache().MemoryBytes()
+	r.FineCacheMemoryBytes = s.core.MemoryBytes()
+	return r
+}
+
+// String renders the report for humans.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual time      %v\n", r.Elapsed)
+	fmt.Fprintf(&b, "requested         %.2f MB\n", float64(r.IO.BytesRequested)/(1<<20))
+	fmt.Fprintf(&b, "read traffic      %.2f MB (amplification %.2fx)\n",
+		r.IO.TrafficMB(), r.IO.ReadAmplification())
+	fmt.Fprintf(&b, "write traffic     %.2f MB\n", float64(r.IO.BytesWritten)/(1<<20))
+	fmt.Fprintf(&b, "page cache        %.1f%% hit (%d/%d), %.1f MB resident\n",
+		r.PageCache.HitRatio()*100, r.PageCache.Hits, r.PageCache.Accesses,
+		float64(r.PageCacheMemoryBytes)/(1<<20))
+	fmt.Fprintf(&b, "fine cache        %.1f%% hit (%d/%d), %.1f MB resident, threshold %d\n",
+		r.FineCache.HitRatio()*100, r.FineCache.Hits, r.FineCache.Accesses,
+		float64(r.FineCacheMemoryBytes)/(1<<20), r.Threshold)
+	fmt.Fprintf(&b, "fine path         %d reads, %d admissions, %d bypasses, %d evictions, %d migrations, %d invalidations",
+		r.Core.FineReads, r.Core.Admissions, r.Core.TempBypasses,
+		r.Core.Evictions, r.Core.Migrations, r.Core.Invalidations)
+	return b.String()
+}
