@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"pipette/internal/bench"
+	"pipette/internal/telemetry"
 	"pipette/internal/workload"
 )
 
@@ -123,6 +124,34 @@ func BenchmarkWrite4K(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTracingOverhead quantifies the cost of the telemetry seams on
+// the full read stack. The "off" case is the default no-op tracer every
+// layer ships with: each instrumentation site is one Enabled() call on a
+// static interface value, so "off" must stay within noise (<2%) of an
+// uninstrumented build — compare against BenchmarkFineRead128Hot, which is
+// the same loop without SetTracer ever having been called. The "on" case
+// records every span and bounds the worst-case cost of -trace-out.
+func BenchmarkTracingOverhead(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		f := benchSystem(b, true)
+		if traced {
+			f.sys.SetTracer(telemetry.NewRecorder())
+		} else {
+			f.sys.SetTracer(nil) // explicit no-op default
+		}
+		buf := make([]byte, 128)
+		b.SetBytes(128)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.ReadAt(buf, int64(i%1024)*4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkWorkloadGenerators measures request-generation overhead (it must

@@ -7,6 +7,7 @@
 //	pipette-bench -exp all -scale quick
 //	pipette-bench -exp fig6               # or table2, fig8, apps, ...
 //	pipette-bench -exp apps -scale full   # paper-scale (slow)
+//	pipette-bench -exp phases -trace-out trace.json -stats-out stats.csv
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"pipette/internal/bench"
+	"pipette/internal/sim"
 )
 
 func main() {
@@ -24,6 +26,9 @@ func main() {
 		expName   = flag.String("exp", "all", "experiment id or paper artifact (fig6, table2, ... ; 'all')")
 		scaleName = flag.String("scale", "quick", "experiment scale: tiny, quick, or full")
 		list      = flag.Bool("list", false, "list experiments and exit")
+		traceOut  = flag.String("trace-out", "", "phases experiment: write Chrome trace-event JSON (open in Perfetto)")
+		statsOut  = flag.String("stats-out", "", "phases experiment: write sampled time-series CSV")
+		statsInt  = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
 	)
 	flag.Parse()
 
@@ -48,6 +53,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	topts := bench.TelemetryOpts{
+		TraceOut:      *traceOut,
+		StatsOut:      *statsOut,
+		StatsInterval: sim.Time((*statsInt).Nanoseconds()),
+	}
+
 	start := time.Now()
 	var err error
 	if *expName == "all" {
@@ -57,7 +68,12 @@ func main() {
 		exp, err = bench.Find(*expName)
 		if err == nil {
 			fmt.Printf("### %s\n\n", exp.Title)
-			err = exp.Run(os.Stdout, scale)
+			if exp.ID == "phases" {
+				// The phases experiment honours the export flags.
+				err = bench.WritePhaseBreakdown(os.Stdout, scale, topts)
+			} else {
+				err = exp.Run(os.Stdout, scale)
+			}
 		}
 	}
 	if err != nil {

@@ -8,16 +8,27 @@
 //	pipette-sim -workload mixE -dist zipfian -requests 100000
 //	pipette-sim -workload recommender -requests 200000 -fine=false
 //	pipette-sim -workload socialgraph -pagecache 64 -finecache 8
+//	pipette-sim -trace-out trace.json -stats-out stats.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pipette"
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 	"pipette/internal/workload"
 )
+
+// telemetryOpts are the observability exports of one run.
+type telemetryOpts struct {
+	traceOut      string
+	statsOut      string
+	statsInterval sim.Time
+}
 
 func main() {
 	var (
@@ -29,16 +40,24 @@ func main() {
 		fgMB     = flag.Int("finecache", 8, "fine-grained read cache arena (MiB)")
 		fine     = flag.Bool("fine", true, "enable the fine-grained read cache")
 		seed     = flag.Uint64("seed", 42, "workload seed")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto)")
+		statsOut = flag.String("stats-out", "", "write sampled time-series CSV")
+		statsInt = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
 	)
 	flag.Parse()
 
-	if err := run(*wl, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed); err != nil {
+	topts := telemetryOpts{
+		traceOut:      *traceOut,
+		statsOut:      *statsOut,
+		statsInterval: sim.Time((*statsInt).Nanoseconds()),
+	}
+	if err := run(*wl, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, topts); err != nil {
 		fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64) error {
+func run(wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, topts telemetryOpts) error {
 	gen, err := makeGenerator(wl, dist, fileMB<<20, seed)
 	if err != nil {
 		return err
@@ -59,6 +78,31 @@ func run(wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool,
 	f, err := sys.Open("workload.dat", pipette.ReadWrite|pipette.FineGrained)
 	if err != nil {
 		return err
+	}
+
+	// Open export files before the replay so a bad path fails fast, not
+	// after minutes of simulation.
+	var rec *telemetry.Recorder
+	var traceFile *os.File
+	if topts.traceOut != "" {
+		if traceFile, err = os.Create(topts.traceOut); err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		rec = telemetry.NewRecorder()
+		sys.SetTracer(rec)
+	}
+	var sampler *telemetry.Sampler
+	var statsFile *os.File
+	if topts.statsOut != "" {
+		sampler, err = telemetry.NewSampler(topts.statsInterval, sys.Probes())
+		if err != nil {
+			return err
+		}
+		if statsFile, err = os.Create(topts.statsOut); err != nil {
+			return err
+		}
+		defer statsFile.Close()
 	}
 
 	fmt.Printf("workload %s over %.1f MiB, %d requests (fine cache: %v)\n\n",
@@ -82,12 +126,37 @@ func run(wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool,
 		} else if _, err := f.ReadAt(buf[:req.Size], req.Off); err != nil {
 			return fmt.Errorf("request %d: %w", i, err)
 		}
+		if sampler != nil {
+			sampler.Tick(sys.Now())
+		}
 	}
 
 	rep := sys.Report()
 	fmt.Println(rep)
 	fmt.Printf("\nthroughput        %.0f ops/s (virtual)\n",
 		float64(requests)/rep.Elapsed.Seconds())
+
+	if rec != nil {
+		fmt.Printf("\nper-phase latency breakdown:\n%s", rec.Breakdown().Render())
+		if err := rec.WriteChromeTrace(traceFile); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d events; open in Perfetto / chrome://tracing)\n",
+			topts.traceOut, rec.Events())
+	}
+	if sampler != nil {
+		if err := sampler.WriteCSV(statsFile); err != nil {
+			return err
+		}
+		if err := statsFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("time series written to %s (%d samples, %d series)\n",
+			topts.statsOut, sampler.Rows(), len(sampler.Series()))
+	}
 	return nil
 }
 

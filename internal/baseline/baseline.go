@@ -18,6 +18,7 @@ import (
 	"pipette/internal/nvme"
 	"pipette/internal/sim"
 	"pipette/internal/ssd"
+	"pipette/internal/telemetry"
 	"pipette/internal/vfs"
 )
 
@@ -35,6 +36,11 @@ type Engine interface {
 	// cache-consistent for engines with caches — used by the harness to
 	// verify correctness without timing.
 	Oracle(buf []byte, off int64) error
+	// SetTracer instruments every layer of the engine's private stack.
+	SetTracer(tr telemetry.Tracer)
+	// Probes returns the engine's sampled time series (hit ratios, read
+	// amplification, per-channel utilization, ...).
+	Probes() []telemetry.Probe
 }
 
 // StackConfig assembles one engine's private system.
@@ -91,6 +97,7 @@ func DefaultStackConfig(fileSize int64) StackConfig {
 type stack struct {
 	ctrl *ssd.Controller
 	drv  *nvme.Driver
+	blk  *blockdev.Layer
 	v    *vfs.VFS
 	file *vfs.File
 }
@@ -121,7 +128,67 @@ func newStack(cfg StackConfig, flags vfs.OpenFlag) (*stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &stack{ctrl: ctrl, drv: drv, v: v, file: file}, nil
+	return &stack{ctrl: ctrl, drv: drv, blk: blk, v: v, file: file}, nil
+}
+
+// setTracer instruments every layer of the stack.
+func (s *stack) setTracer(tr telemetry.Tracer) {
+	tr = telemetry.OrNop(tr)
+	s.v.SetTracer(tr)
+	s.blk.SetTracer(tr)
+	s.drv.SetTracer(tr)
+	s.ctrl.SetTracer(tr)
+}
+
+// stackProbes builds the time series every engine shares: read
+// amplification, page-cache hit ratio, and per-channel NAND bus
+// utilization. p, when non-nil, extends them with the fine-path series
+// (fine hit ratio, adaptive threshold, resident memory, overflow FIFO,
+// HMB info-ring occupancy).
+func stackProbes(s *stack, p *core.Pipette) []telemetry.Probe {
+	probes := []telemetry.Probe{
+		telemetry.GaugeProbe("read_amp", func() float64 {
+			io := s.v.IO()
+			if p != nil {
+				fio := p.IO()
+				io.BytesTransferred += fio.BytesTransferred
+			}
+			return io.ReadAmplification()
+		}),
+		telemetry.GaugeProbe("pc_hit_ratio", func() float64 {
+			hits, accesses, _, _ := s.v.PageCache().Stats()
+			c := metrics.Cache{Hits: hits, Accesses: accesses}
+			return c.HitRatio()
+		}),
+	}
+	if p != nil {
+		probes = append(probes,
+			telemetry.GaugeProbe("fine_hit_ratio", func() float64 {
+				c := p.CacheStats()
+				return c.HitRatio()
+			}),
+			telemetry.GaugeProbe("threshold", func() float64 {
+				return float64(p.Threshold())
+			}),
+			telemetry.GaugeProbe("fine_mem_bytes", func() float64 {
+				return float64(p.MemoryBytes())
+			}),
+			telemetry.GaugeProbe("overflow_bytes", func() float64 {
+				return float64(p.OverflowBytes())
+			}),
+			telemetry.GaugeProbe("hmb_info_pending", func() float64 {
+				return float64(p.Region().Info().Pending())
+			}),
+		)
+	}
+	arr := s.ctrl.Array()
+	for ch := 0; ch < arr.Config().Channels; ch++ {
+		ch := ch
+		probes = append(probes, telemetry.RateProbe(
+			fmt.Sprintf("ch%d_busy", ch),
+			func() sim.Time { return arr.ChannelBusy(ch) }))
+	}
+	return probes
 }
 
 // oracle reads the engine-consistent view: dirty page-cache content first,
@@ -171,6 +238,12 @@ func (e *BlockIO) Snapshot() metrics.Snapshot {
 
 // Oracle implements Engine.
 func (e *BlockIO) Oracle(buf []byte, off int64) error { return e.s.oracle(buf, off) }
+
+// SetTracer implements Engine.
+func (e *BlockIO) SetTracer(tr telemetry.Tracer) { e.s.setTracer(tr) }
+
+// Probes implements Engine.
+func (e *BlockIO) Probes() []telemetry.Probe { return stackProbes(e.s, nil) }
 
 // Sync exposes fsync for harness phases.
 func (e *BlockIO) Sync(now sim.Time) (sim.Time, error) { return e.s.file.Sync(now) }

@@ -4,6 +4,7 @@ import (
 	"pipette/internal/core"
 	"pipette/internal/metrics"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 	"pipette/internal/vfs"
 )
 
@@ -64,6 +65,17 @@ func (e *PipetteEngine) Snapshot() metrics.Snapshot {
 
 // Oracle implements Engine.
 func (e *PipetteEngine) Oracle(buf []byte, off int64) error { return e.s.oracle(buf, off) }
+
+// SetTracer implements Engine: instruments the stack and the fine-grained
+// read framework.
+func (e *PipetteEngine) SetTracer(tr telemetry.Tracer) {
+	e.s.setTracer(tr)
+	e.p.SetTracer(telemetry.OrNop(tr))
+}
+
+// Probes implements Engine: the shared stack series plus the fine-path
+// series.
+func (e *PipetteEngine) Probes() []telemetry.Probe { return stackProbes(e.s, e.p) }
 
 // Sync exposes fsync for harness phases.
 func (e *PipetteEngine) Sync(now sim.Time) (sim.Time, error) { return e.s.file.Sync(now) }

@@ -5,6 +5,7 @@ import (
 
 	"pipette/internal/metrics"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 	"pipette/internal/vfs"
 )
 
@@ -144,6 +145,12 @@ func (e *TwoBSSD) Snapshot() metrics.Snapshot {
 
 // Oracle implements Engine.
 func (e *TwoBSSD) Oracle(buf []byte, off int64) error { return e.s.oracle(buf, off) }
+
+// SetTracer implements Engine.
+func (e *TwoBSSD) SetTracer(tr telemetry.Tracer) { e.s.setTracer(tr) }
+
+// Probes implements Engine.
+func (e *TwoBSSD) Probes() []telemetry.Probe { return stackProbes(e.s, nil) }
 
 // Sync flushes buffered writes to flash — after which the byte interface
 // observes them.

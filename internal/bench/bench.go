@@ -16,6 +16,7 @@ import (
 	"pipette/internal/baseline"
 	"pipette/internal/metrics"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 	"pipette/internal/workload"
 )
 
@@ -146,6 +147,9 @@ func engineSet(cfg baseline.StackConfig) ([]baseline.Engine, error) {
 type RunOpts struct {
 	Warmup      int // requests replayed before measurement starts
 	VerifyEvery int // verify read contents every N reads (0 = off)
+	// Sampler, when set, is ticked with the virtual completion time after
+	// every measured request, producing the time-series CSV.
+	Sampler *telemetry.Sampler
 }
 
 // Result is one engine × workload measurement.
@@ -217,6 +221,9 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 			return nil, fmt.Errorf("bench: request %d (%+v): %w", i, req, err)
 		}
 		res.Hist.Observe(now - before)
+		if opts.Sampler != nil {
+			opts.Sampler.Tick(now)
+		}
 	}
 
 	snap := e.Snapshot()

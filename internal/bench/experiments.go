@@ -48,6 +48,14 @@ func Experiments() []Experiment {
 			Run:       writeApps,
 		},
 		{
+			ID:        "phases",
+			Artifacts: []string{"breakdown"},
+			Title:     "Per-phase latency breakdown, VFS to NAND (observability)",
+			Run: func(w io.Writer, s Scale) error {
+				return WritePhaseBreakdown(w, s, TelemetryOpts{})
+			},
+		},
+		{
 			ID:        "ablation",
 			Artifacts: []string{"ablation"},
 			Title:     "Pipette design-choice ablations (beyond the paper)",

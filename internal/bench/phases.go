@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"pipette/internal/baseline"
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+	"pipette/internal/workload"
+)
+
+// TelemetryOpts directs the optional export artifacts of the
+// phase-breakdown experiment. Zero values skip the corresponding file.
+type TelemetryOpts struct {
+	TraceOut      string   // Chrome trace-event JSON (open in Perfetto)
+	StatsOut      string   // time-series CSV
+	StatsInterval sim.Time // sampling interval; 0 = 1 ms virtual
+}
+
+// phaseEngines are the two ends of the comparison: the conventional path
+// and the full framework, so the breakdown shows where each spends time.
+func phaseEngines(cfg baseline.StackConfig) ([]baseline.Engine, error) {
+	blk, err := baseline.NewBlockIO(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pip, err := baseline.NewPipette(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []baseline.Engine{blk, pip}, nil
+}
+
+// WritePhaseBreakdown replays workload mix C (50% small / 50% 4 KiB,
+// uniform) against Block I/O and Pipette with every layer instrumented,
+// then prints the per-phase latency table of each engine: mean/p50/p99 per
+// span name, from the VFS syscall entry down to the NAND tR and bus
+// transfer. When opts names files, the Pipette run's trace (Chrome
+// trace-event JSON) and sampled time series (CSV) are written there too.
+func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts) error {
+	interval := opts.StatsInterval
+	if interval <= 0 {
+		interval = sim.Millisecond
+	}
+	mix := workload.Mixes(s.FileSize(), 4096, workload.Uniform, 0xbead)[2] // C
+	engines, err := phaseEngines(s.stackConfig(s.FileSize()))
+	if err != nil {
+		return err
+	}
+	for _, e := range engines {
+		gen, err := workload.NewSynthetic(mix)
+		if err != nil {
+			return err
+		}
+		rec := telemetry.NewRecorder()
+		e.SetTracer(rec)
+		sampler, err := telemetry.NewSampler(interval, e.Probes())
+		if err != nil {
+			return err
+		}
+		if _, err := Run(e, gen, s.Requests, RunOpts{Sampler: sampler}); err != nil {
+			return fmt.Errorf("bench: phases %s: %w", e.Name(), err)
+		}
+		fmt.Fprintf(w, "=== Per-phase latency breakdown: %s (mix C uniform, scale %s, %d requests) ===\n",
+			e.Name(), s.Name, s.Requests)
+		fmt.Fprint(w, rec.Breakdown().Render())
+		if dropped := rec.Dropped(); dropped > 0 {
+			fmt.Fprintf(w, "(trace kept %d events, dropped %d past the cap; histograms cover all)\n",
+				rec.Events(), dropped)
+		}
+		fmt.Fprintln(w)
+		if e.Name() == "Pipette" {
+			if opts.TraceOut != "" {
+				if err := writeFileWith(opts.TraceOut, rec.WriteChromeTrace); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "trace written to %s (open in Perfetto / chrome://tracing)\n", opts.TraceOut)
+			}
+			if opts.StatsOut != "" {
+				if err := writeFileWith(opts.StatsOut, sampler.WriteCSV); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "time series written to %s (%d samples at %v)\n",
+					opts.StatsOut, sampler.Rows(), interval)
+			}
+		}
+	}
+	return nil
+}
+
+// writeFileWith streams fn's output into path.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

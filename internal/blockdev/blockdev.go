@@ -16,6 +16,7 @@ import (
 
 	"pipette/internal/nvme"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // Config tunes the layer.
@@ -51,6 +52,7 @@ type Layer struct {
 	drv      *nvme.Driver
 	pageSize int
 	stats    Stats
+	tr       telemetry.Tracer
 }
 
 // New creates a layer over a driver.
@@ -61,11 +63,15 @@ func New(drv *nvme.Driver, pageSize int, cfg Config) (*Layer, error) {
 	if cfg.MaxPagesPerCommand <= 0 {
 		return nil, errors.New("blockdev: MaxPagesPerCommand must be positive")
 	}
-	return &Layer{cfg: cfg, drv: drv, pageSize: pageSize}, nil
+	return &Layer{cfg: cfg, drv: drv, pageSize: pageSize, tr: telemetry.Nop()}, nil
 }
 
 // Stats returns a copy of the counters.
 func (l *Layer) Stats() Stats { return l.stats }
+
+// SetTracer installs a tracer; each merged device command becomes one span
+// on the block track.
+func (l *Layer) SetTracer(tr telemetry.Tracer) { l.tr = telemetry.OrNop(tr) }
 
 // run is a merged contiguous extent.
 type run struct {
@@ -125,6 +131,9 @@ func (l *Layer) ReadPages(now sim.Time, lbas []uint64) (map[uint64][]byte, sim.T
 		for i := 0; i < r.count; i++ {
 			out[r.start+uint64(i)] = buf[i*l.pageSize : (i+1)*l.pageSize]
 		}
+		if l.tr.Enabled() {
+			l.tr.Span(telemetry.TrackBlock, "read", now, comp.Done)
+		}
 		if comp.Done > done {
 			done = comp.Done
 		}
@@ -162,6 +171,9 @@ func (l *Layer) WritePages(now sim.Time, lba uint64, data []byte) (sim.Time, uin
 		}
 		if !comp.Ok() {
 			return comp.Done, moved, fmt.Errorf("blockdev: write [%d,+%d): %v", lba+uint64(off), n, comp.Status)
+		}
+		if l.tr.Enabled() {
+			l.tr.Span(telemetry.TrackBlock, "write", t, comp.Done)
 		}
 		t = comp.Done
 		moved += comp.BytesMoved

@@ -10,6 +10,7 @@ import (
 	"pipette/internal/sim"
 	"pipette/internal/slab"
 	"pipette/internal/ssd"
+	"pipette/internal/telemetry"
 	"pipette/internal/vfs"
 )
 
@@ -43,6 +44,7 @@ type Pipette struct {
 	io          metrics.IO
 	rng         *sim.RNG
 	stats       Stats
+	tr          telemetry.Tracer
 
 	cacheDisabled bool
 }
@@ -90,6 +92,7 @@ func New(v *vfs.VFS, drv *nvme.Driver, cfg Config) (*Pipette, error) {
 		staleStages: make([]int, alloc.Classes()),
 		basePCPages: v.PageCache().Capacity(),
 		rng:         sim.NewRNG(cfg.Seed),
+		tr:          telemetry.Nop(),
 	}
 	v.SetRouter(p)
 	return p, nil
@@ -102,6 +105,12 @@ func (p *Pipette) DisableCache() { p.cacheDisabled = true }
 
 // Threshold reports the current adaptive admission threshold.
 func (p *Pipette) Threshold() uint32 { return p.threshold }
+
+// OverflowBytes reports bytes resident in the overflow FIFO.
+func (p *Pipette) OverflowBytes() int { return p.overBytes }
+
+// SetTracer installs a tracer on the fine-grained read path.
+func (p *Pipette) SetTracer(tr telemetry.Tracer) { p.tr = telemetry.OrNop(tr) }
 
 // Stats returns a copy of the framework counters.
 func (p *Pipette) Stats() Stats { return p.stats }
@@ -175,6 +184,9 @@ func (p *Pipette) TryFineRead(now sim.Time, f *vfs.File, off int64, buf []byte) 
 		covering.refCount++
 		p.serveFrom(covering, off, buf)
 		p.afterAccess()
+		if p.tr.Enabled() {
+			p.tr.Span(telemetry.TrackFine, "hit", now, now+p.cfg.HitService)
+		}
 		return now + p.cfg.HitService, true, nil
 	}
 	p.fg.Record(false)
@@ -260,6 +272,10 @@ func (p *Pipette) fetchFine(now sim.Time, f *vfs.File, off int64, buf []byte, de
 	p.io.BytesTransferred += comp.BytesMoved
 	if err := p.region.ReadAt(dest, buf); err != nil {
 		return comp.Done, err
+	}
+	if p.tr.Enabled() {
+		// Constructor + Requester host work before the command hits the wire.
+		p.tr.Span(telemetry.TrackFine, "construct", now, now+p.cfg.MissHostOverhead)
 	}
 	return comp.Done, nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"pipette/internal/nand"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // LBA is a logical block address in units of one flash page (4 KiB by
@@ -99,6 +100,7 @@ type FTL struct {
 
 	logicalPages uint64
 	stats        Stats
+	tr           telemetry.Tracer
 }
 
 // New builds an FTL over the array. Bad blocks already marked on the array
@@ -120,6 +122,7 @@ func New(arr *nand.Array, cfg Config) (*FTL, error) {
 		fullBlocks: make(map[nand.BlockID]bool),
 		freeBlocks: make([][]nand.BlockID, geo.Dies()),
 		open:       make([]openBlock, geo.Dies()),
+		tr:         telemetry.Nop(),
 	}
 	total := geo.TotalPages()
 	f.l2p = make([]nand.PPA, 0)
@@ -168,6 +171,12 @@ func (f *FTL) PageSize() int { return f.geo.PageSize }
 
 // Stats returns a copy of the counters.
 func (f *FTL) Stats() Stats { return f.stats }
+
+// SetTracer installs a tracer on the FTL and its NAND array.
+func (f *FTL) SetTracer(tr telemetry.Tracer) {
+	f.tr = telemetry.OrNop(tr)
+	f.arr.SetTracer(f.tr)
+}
 
 // Array exposes the underlying NAND array (the SSD controller needs it for
 // the fine-grained read engine's direct page loads).
@@ -274,6 +283,14 @@ func (f *FTL) ensureFree(now sim.Time, die int) (sim.Time, error) {
 // collectDie performs one greedy GC cycle on a die: pick the full block with
 // the fewest live pages, relocate them, erase.
 func (f *FTL) collectDie(now sim.Time, die int) (sim.Time, error) {
+	done, err := f.collectDieAt(now, die)
+	if err == nil && f.tr.Enabled() {
+		f.tr.Span(telemetry.TrackFTL, "gc", now, done)
+	}
+	return done, err
+}
+
+func (f *FTL) collectDieAt(now sim.Time, die int) (sim.Time, error) {
 	victim := nand.BlockID(0)
 	best := -1
 	for id := range f.fullBlocks {

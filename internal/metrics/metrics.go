@@ -8,6 +8,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -124,18 +125,63 @@ func (h *Histogram) Max() sim.Time { return h.max }
 // Sum reports the total of all samples.
 func (h *Histogram) Sum() sim.Time { return h.sum }
 
+// Merge folds other's samples into h. Bucket counts, count, and sum add;
+// min/max take the tighter extreme. Merging an empty histogram is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// ForEachBucket calls fn for every non-empty bucket, in ascending latency
+// order, with the bucket's [lo, hi) bounds and sample count. Iteration
+// stops early if fn returns false.
+func (h *Histogram) ForEachBucket(fn func(lo, hi sim.Time, count uint64) bool) {
+	const maxTime = sim.Time(math.MaxInt64)
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo := maxTime
+		if i == 0 {
+			lo = 0
+		} else if i < 63 {
+			lo = sim.Time(1) << uint(i)
+		}
+		hi := maxTime
+		if i < 62 {
+			hi = sim.Time(1) << uint(i+1)
+		}
+		if !fn(lo, hi, n) {
+			return
+		}
+	}
+}
+
 // Quantile estimates the q'th quantile (q in [0,1]) from the buckets.
 // The estimate is the geometric midpoint of the containing bucket, clamped
-// to the observed min/max.
+// to the observed min/max; q <= 0 and q >= 1 report the exact observed
+// extremes (so single-sample histograms are exact at every q).
 func (h *Histogram) Quantile(q float64) sim.Time {
 	if h.count == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	if q <= 0 {
+		return h.min
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return h.max
 	}
 	target := uint64(q * float64(h.count))
 	if target >= h.count {
@@ -259,19 +305,35 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (no quoting; callers use
-// plain numeric/label cells).
+// CSV renders the table as comma-separated values. Cells containing a
+// comma, double quote, or line break are quoted per RFC 4180 (embedded
+// quotes doubled), so arbitrary labels round-trip through CSV readers.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	if len(t.Header) > 0 {
-		b.WriteString(strings.Join(t.Header, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(c))
+		}
 		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
 	}
 	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
-		b.WriteByte('\n')
+		writeRow(row)
 	}
 	return b.String()
+}
+
+// csvCell quotes a cell if RFC 4180 requires it.
+func csvCell(c string) string {
+	if !strings.ContainsAny(c, ",\"\n\r") {
+		return c
+	}
+	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 }
 
 // SortRowsByFirstColumn orders rows lexically by their label column,

@@ -174,3 +174,127 @@ func TestTableSort(t *testing.T) {
 		t.Fatalf("rows not sorted: %v", tab.Rows)
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(100)
+	a.Observe(200)
+	b.Observe(50)
+	b.Observe(4000)
+
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Fatalf("merged count = %d, want 4", a.Count())
+	}
+	if a.Sum() != 4350 {
+		t.Fatalf("merged sum = %v, want 4350", a.Sum())
+	}
+	if a.Min() != 50 || a.Max() != 4000 {
+		t.Fatalf("merged min/max = %v/%v, want 50/4000", a.Min(), a.Max())
+	}
+
+	// Merging nil or an empty histogram is a no-op.
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Count() != 4 {
+		t.Fatalf("no-op merge changed count to %d", a.Count())
+	}
+
+	// Merging into an empty histogram copies the extremes.
+	var c Histogram
+	c.Merge(&a)
+	if c.Min() != 50 || c.Max() != 4000 || c.Count() != 4 {
+		t.Fatalf("merge into empty = min %v max %v count %d", c.Min(), c.Max(), c.Count())
+	}
+}
+
+func TestHistogramForEachBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(1) // bucket 0: [0,2)
+	h.Observe(5) // bucket 2: [4,8)
+	h.Observe(5)
+	h.Observe(1000) // bucket 9: [512,1024)
+
+	type row struct {
+		lo, hi sim.Time
+		n      uint64
+	}
+	var got []row
+	h.ForEachBucket(func(lo, hi sim.Time, n uint64) bool {
+		got = append(got, row{lo, hi, n})
+		return true
+	})
+	want := []row{{0, 2, 1}, {4, 8, 2}, {512, 1024, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Early stop after the first bucket.
+	calls := 0
+	h.ForEachBucket(func(lo, hi sim.Time, n uint64) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop made %d calls, want 1", calls)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	single := func() *Histogram {
+		var h Histogram
+		h.Observe(500)
+		return &h
+	}
+	multi := func() *Histogram {
+		var h Histogram
+		for _, v := range []sim.Time{100, 200, 300, 400, 10000} {
+			h.Observe(v)
+		}
+		return &h
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want sim.Time
+	}{
+		{"empty", &Histogram{}, 0.5, 0},
+		{"single q=0", single(), 0, 500},
+		{"single q=0.5", single(), 0.5, 500},
+		{"single q=1", single(), 1, 500},
+		{"single q<0", single(), -1, 500},
+		{"single q>1", single(), 2, 500},
+		{"multi q=0 exact min", multi(), 0, 100},
+		{"multi q=1 exact max", multi(), 1, 10000},
+	}
+	for _, c := range cases {
+		if got := c.h.Quantile(c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+	// Mid quantiles stay within the observed range.
+	h := multi()
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if v := h.Quantile(q); v < h.Min() || v > h.Max() {
+			t.Errorf("Quantile(%v) = %v outside [%v,%v]", q, v, h.Min(), h.Max())
+		}
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := Table{Header: []string{"phase", "note"}}
+	tab.AddRow("read, coalesced", "plain")
+	tab.AddRow(`say "hi"`, "line\nbreak")
+	want := "phase,note\n" +
+		`"read, coalesced",plain` + "\n" +
+		`"say ""hi""","line` + "\nbreak\"\n"
+	if got := tab.CSV(); got != want {
+		t.Fatalf("CSV quoting:\n got %q\nwant %q", got, want)
+	}
+}

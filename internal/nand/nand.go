@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // CellType selects a NAND latency profile.
@@ -241,6 +242,10 @@ type Array struct {
 	timing  Timing
 	stats   Stats
 	pattern patternSource
+
+	tr        telemetry.Tracer
+	dieTracks []string // per-die span track names ("nand/d3")
+	chTracks  []string // per-channel span track names ("nand/ch0")
 }
 
 // New creates an array. The whole device starts erased.
@@ -258,9 +263,34 @@ func New(cfg Config) (*Array, error) {
 		rng:     sim.NewRNG(cfg.ContentSeed ^ 0xfeed_beef),
 		timing:  timings[cfg.Cell],
 		pattern: patternSource{seed: cfg.ContentSeed, pageSize: cfg.PageSize},
+		tr:      telemetry.Nop(),
 	}
 	return a, nil
 }
+
+// SetTracer installs a tracer. Per-die and per-channel track names are
+// precomputed so the hot path does no formatting.
+func (a *Array) SetTracer(tr telemetry.Tracer) {
+	a.tr = telemetry.OrNop(tr)
+	if !a.tr.Enabled() {
+		return
+	}
+	a.dieTracks = make([]string, a.cfg.Dies())
+	for i := range a.dieTracks {
+		a.dieTracks[i] = fmt.Sprintf("nand/d%d", i)
+	}
+	a.chTracks = make([]string, a.cfg.Channels)
+	for i := range a.chTracks {
+		a.chTracks[i] = fmt.Sprintf("nand/ch%d", i)
+	}
+}
+
+// ChannelBusy reports the cumulative busy time of one channel bus — the
+// numerator of a per-channel utilization probe.
+func (a *Array) ChannelBusy(ch int) sim.Time { return a.buses.Get(ch).BusyTime() }
+
+// DieBusy reports the cumulative busy time of one die.
+func (a *Array) DieBusy(die int) sim.Time { return a.dies.Get(die).BusyTime() }
 
 // Config returns the array's configuration.
 func (a *Array) Config() Config { return a.cfg }
@@ -316,8 +346,13 @@ func (a *Array) ReadPage(now sim.Time, p PPA) ([]byte, sim.Time, error) {
 		tR += a.cfg.RetryPenalty
 		a.stats.ReadRetries++
 	}
-	_, senseEnd := a.dies.Acquire(a.cfg.DieOf(p), now, tR)
-	_, done := a.buses.Acquire(a.cfg.ChannelOf(p), senseEnd, a.cfg.transferTime(a.cfg.PageSize))
+	die, ch := a.cfg.DieOf(p), a.cfg.ChannelOf(p)
+	senseStart, senseEnd := a.dies.Acquire(die, now, tR)
+	txStart, done := a.buses.Acquire(ch, senseEnd, a.cfg.transferTime(a.cfg.PageSize))
+	if a.tr.Enabled() {
+		a.tr.Span(a.dieTracks[die], "tR", senseStart, senseEnd)
+		a.tr.Span(a.chTracks[ch], "xfer", txStart, done)
+	}
 
 	a.stats.Reads++
 	a.stats.BytesOut += uint64(a.cfg.PageSize)
@@ -377,8 +412,13 @@ func (a *Array) ProgramPage(now sim.Time, p PPA, data []byte) (sim.Time, error) 
 	}
 
 	// Bus transfer into the page register, then the program pulse.
-	_, txEnd := a.buses.Acquire(a.cfg.ChannelOf(p), now, a.cfg.transferTime(a.cfg.PageSize))
-	_, done := a.dies.Acquire(a.cfg.DieOf(p), txEnd, a.timing.Program)
+	die, ch := a.cfg.DieOf(p), a.cfg.ChannelOf(p)
+	txStart, txEnd := a.buses.Acquire(ch, now, a.cfg.transferTime(a.cfg.PageSize))
+	progStart, done := a.dies.Acquire(die, txEnd, a.timing.Program)
+	if a.tr.Enabled() {
+		a.tr.Span(a.chTracks[ch], "xfer", txStart, txEnd)
+		a.tr.Span(a.dieTracks[die], "tPROG", progStart, done)
+	}
 
 	stored := make([]byte, len(data))
 	copy(stored, data)
@@ -407,7 +447,10 @@ func (a *Array) EraseBlock(now sim.Time, b BlockID) (sim.Time, error) {
 	}
 	bs.nextPage = 0
 	die := a.cfg.DieOf(first)
-	_, done := a.dies.Acquire(die, now, a.timing.EraseBlock)
+	eraseStart, done := a.dies.Acquire(die, now, a.timing.EraseBlock)
+	if a.tr.Enabled() {
+		a.tr.Span(a.dieTracks[die], "tBERS", eraseStart, done)
+	}
 	a.stats.Erases++
 	return done, nil
 }

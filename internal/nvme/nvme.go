@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // Opcode identifies a command.
@@ -237,6 +238,7 @@ type Driver struct {
 	nextID    uint16
 	submitted uint64
 	completed uint64
+	tr        telemetry.Tracer
 }
 
 // NewDriver builds a queue pair of the given depth over a device.
@@ -246,8 +248,13 @@ func NewDriver(dev Device, queueDepth int, costs Costs) *Driver {
 		cq:    NewCQ(queueDepth),
 		dev:   dev,
 		costs: costs,
+		tr:    telemetry.Nop(),
 	}
 }
+
+// SetTracer installs a tracer; each submitted command becomes one span on
+// the nvme track, covering doorbell to completion reap.
+func (d *Driver) SetTracer(tr telemetry.Tracer) { d.tr = telemetry.OrNop(tr) }
 
 // Stats reports commands submitted and completed.
 func (d *Driver) Stats() (submitted, completed uint64) {
@@ -279,5 +286,8 @@ func (d *Driver) Submit(now sim.Time, cmd Command) (Completion, error) {
 		return Completion{}, fmt.Errorf("nvme: completion reap: %w", err)
 	}
 	d.completed++
+	if d.tr.Enabled() {
+		d.tr.Span(telemetry.TrackNVMe, fetched.Op.String(), now, reaped.Done)
+	}
 	return reaped, nil
 }

@@ -18,6 +18,7 @@ import (
 	"pipette/internal/nand"
 	"pipette/internal/nvme"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // PCIe models the host interconnect costs (Gen3 x4 in the paper's
@@ -128,6 +129,7 @@ type Controller struct {
 	wbufIdx map[uint64]int
 
 	stats Stats
+	tr    telemetry.Tracer
 }
 
 // New builds the full device stack: NAND array, FTL, controller.
@@ -165,6 +167,7 @@ func NewWithArray(cfg Config, arr *nand.Array) (*Controller, error) {
 		cmb:      make([]byte, cfg.CMBBytes),
 		cmbSlots: cfg.CMBBytes / cfg.NAND.PageSize,
 		wbufIdx:  make(map[uint64]int),
+		tr:       telemetry.Nop(),
 	}
 	c.cmbPages = make([]uint64, c.cmbSlots)
 	for i := range c.cmbPages {
@@ -182,6 +185,13 @@ func (c *Controller) Array() *nand.Array { return c.arr }
 
 // Stats returns a copy of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// SetTracer installs a tracer on the controller and cascades it down to the
+// FTL and NAND array, so one call instruments the whole device.
+func (c *Controller) SetTracer(tr telemetry.Tracer) {
+	c.tr = telemetry.OrNop(tr)
+	c.fl.SetTracer(c.tr)
+}
 
 // PageSize reports the device's page size.
 func (c *Controller) PageSize() int { return c.cfg.NAND.PageSize }
@@ -275,6 +285,11 @@ func (c *Controller) execBlockRead(now sim.Time, cmd *nvme.Command) nvme.Complet
 	moved = uint64(cmd.Pages * ps)
 	done := maxDone + c.cfg.PCIe.dmaTime(int(moved))
 	c.stats.BytesToHost += moved
+	if c.tr.Enabled() {
+		c.tr.Span(telemetry.TrackSSD, "read.firmware", now, start)
+		c.tr.Span(telemetry.TrackSSD, "read.nand", start, maxDone)
+		c.tr.Span(telemetry.TrackSSD, "read.dma", maxDone, done)
+	}
 	return nvme.Completion{Status: nvme.StatusOK, Done: done, BytesMoved: moved}
 }
 
@@ -286,7 +301,8 @@ func (c *Controller) execWrite(now sim.Time, cmd *nvme.Command) nvme.Completion 
 		return nvme.Completion{Status: nvme.StatusInvalidCommand, Done: now}
 	}
 	c.stats.WriteCmds++
-	t := now + c.cfg.FirmwareBlockOverhead + c.cfg.PCIe.dmaTime(len(cmd.Data))
+	hostDone := now + c.cfg.FirmwareBlockOverhead + c.cfg.PCIe.dmaTime(len(cmd.Data))
+	t := hostDone
 	c.stats.BytesFromHost += uint64(len(cmd.Data))
 	for i := 0; i < cmd.Pages; i++ {
 		done, err := c.fl.Write(t, ftl.LBA(cmd.LBA+uint64(i)), cmd.Data[i*ps:(i+1)*ps])
@@ -294,6 +310,10 @@ func (c *Controller) execWrite(now sim.Time, cmd *nvme.Command) nvme.Completion 
 			return nvme.Completion{Status: statusFor(err), Done: t}
 		}
 		t = done
+	}
+	if c.tr.Enabled() {
+		c.tr.Span(telemetry.TrackSSD, "write.dma", now, hostDone)
+		c.tr.Span(telemetry.TrackSSD, "write.program", hostDone, t)
 	}
 	return nvme.Completion{Status: nvme.StatusOK, Done: t, BytesMoved: uint64(len(cmd.Data))}
 }
@@ -374,6 +394,11 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 	done := maxDone + c.cfg.ExtractOverhead + c.cfg.PCIe.dmaTime(rec.ByteLen)
 	c.stats.RangesExtract++
 	c.stats.BytesToHost += uint64(rec.ByteLen)
+	if c.tr.Enabled() {
+		c.tr.Span(telemetry.TrackSSD, "fine.firmware", now, start)
+		c.tr.Span(telemetry.TrackSSD, "fine.load", start, maxDone)
+		c.tr.Span(telemetry.TrackSSD, "fine.extract", maxDone, done)
+	}
 	return nvme.Completion{
 		Status:     nvme.StatusOK,
 		Done:       done,

@@ -4,6 +4,7 @@ import (
 	"pipette/internal/ftl"
 	"pipette/internal/nvme"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // Controller write buffer: real NVMe drives acknowledge writes once the
@@ -106,6 +107,9 @@ func (c *Controller) execBufferedWrite(now sim.Time, cmd *nvme.Command) nvme.Com
 			return nvme.Completion{Status: statusFor(err), Done: t}
 		}
 	}
+	if c.tr.Enabled() {
+		c.tr.Span(telemetry.TrackSSD, "write.buffer", now, t)
+	}
 	return nvme.Completion{Status: nvme.StatusOK, Done: t, BytesMoved: uint64(len(cmd.Data))}
 }
 
@@ -119,6 +123,9 @@ func (c *Controller) execFlush(now sim.Time) nvme.Completion {
 		if err != nil {
 			return nvme.Completion{Status: statusFor(err), Done: t}
 		}
+	}
+	if c.tr.Enabled() {
+		c.tr.Span(telemetry.TrackSSD, "flush", now, t)
 	}
 	return nvme.Completion{Status: nvme.StatusOK, Done: t}
 }

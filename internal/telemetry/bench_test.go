@@ -1,0 +1,27 @@
+package telemetry
+
+import (
+	"testing"
+
+	"pipette/internal/sim"
+)
+
+// BenchmarkNopSpan measures the cost of an instrumented call site when
+// tracing is off: one interface call into the no-op tracer. This is the
+// per-phase overhead every layer pays; it must stay in the
+// single-nanosecond range so disabled tracing is free relative to the
+// simulator's own work (see the system-level benchmark in the repo root).
+func BenchmarkNopSpan(b *testing.B) {
+	tr := Nop()
+	for i := 0; i < b.N; i++ {
+		tr.Span(TrackSSD, "read.nand", sim.Time(i), sim.Time(i+10))
+	}
+}
+
+// BenchmarkRecorderSpan measures the recording path for comparison.
+func BenchmarkRecorderSpan(b *testing.B) {
+	r := NewRecorder()
+	for i := 0; i < b.N; i++ {
+		r.Span(TrackSSD, "read.nand", sim.Time(i), sim.Time(i+10))
+	}
+}

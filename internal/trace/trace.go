@@ -81,6 +81,12 @@ type Reader struct {
 // ErrBadHeader reports a stream that is not a trace.
 var ErrBadHeader = errors.New("trace: bad header")
 
+// ErrTruncated reports a trace that ends mid-record — a corrupt or
+// incomplete file. It is distinct from io.EOF (clean end after the last
+// record) so ReadAll surfaces corruption instead of silently returning a
+// short result.
+var ErrTruncated = errors.New("trace: truncated record")
+
 // NewReader validates the header and returns a Reader.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
@@ -104,7 +110,7 @@ func (r *Reader) Next() (workload.Request, error) {
 	var buf [recordSize]byte
 	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return workload.Request{}, fmt.Errorf("trace: truncated record: %w", io.EOF)
+			return workload.Request{}, fmt.Errorf("%w (partial trailing record)", ErrTruncated)
 		}
 		return workload.Request{}, err
 	}

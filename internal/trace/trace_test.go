@@ -133,13 +133,34 @@ func TestTruncatedRecord(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	if err := w.Append(workload.Request{Off: 4096, Size: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	raw := buf.Bytes()[:buf.Len()-3]
+
+	// Next on the partial record must report ErrTruncated, not io.EOF:
+	// a reader that stops at EOF would silently accept the corrupt file.
 	r, err := NewReader(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Next(); !errors.Is(err, io.EOF) {
-		t.Fatalf("truncated read err = %v", err)
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first (complete) record err = %v", err)
+	}
+	_, err = r.Next()
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated read err = %v, want ErrTruncated", err)
+	}
+	if errors.Is(err, io.EOF) {
+		t.Fatalf("truncated read err %v wraps io.EOF, masking corruption", err)
+	}
+
+	// ReadAll must surface the corruption rather than return a short trace.
+	if _, err := ReadAll(bytes.NewReader(raw)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ReadAll on truncated trace err = %v, want ErrTruncated", err)
 	}
 }
 

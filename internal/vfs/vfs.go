@@ -21,6 +21,7 @@ import (
 	"pipette/internal/metrics"
 	"pipette/internal/pagecache"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // OpenFlag is a bit set of open(2)-style flags.
@@ -74,6 +75,7 @@ type VFS struct {
 	ra     map[uint64]*pagecache.Readahead
 	router FineRouter
 	cfg    Config
+	tr     telemetry.Tracer
 
 	io        metrics.IO
 	pendingWB []wbEntry
@@ -94,6 +96,7 @@ func New(fs *extfs.FS, blk *blockdev.Layer, cfg Config) (*VFS, error) {
 		blk: blk,
 		ra:  make(map[uint64]*pagecache.Readahead),
 		cfg: cfg,
+		tr:  telemetry.Nop(),
 	}
 	cache, err := pagecache.New(cfg.PageCachePages, fs.PageSize(), v.onEvict)
 	if err != nil {
@@ -113,6 +116,10 @@ func (v *VFS) onEvict(key pagecache.Key, dirty bool, data []byte) {
 // SetRouter installs the fine-grained read framework. Passing nil removes
 // it (plain block I/O).
 func (v *VFS) SetRouter(r FineRouter) { v.router = r }
+
+// SetTracer installs a tracer; each ReadAt/WriteAt becomes a request scope
+// with syscall and copy-out phases.
+func (v *VFS) SetTracer(tr telemetry.Tracer) { v.tr = telemetry.OrNop(tr) }
 
 // FS exposes the filesystem metadata layer.
 func (v *VFS) FS() *extfs.FS { return v.fs }
@@ -174,6 +181,16 @@ func (v *VFS) readahead(ino uint64) *pagecache.Readahead {
 // ReadAt reads up to len(buf) bytes at off, returning bytes read, the
 // virtual completion time, and io.EOF past the end.
 func (f *File) ReadAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error) {
+	if tr := f.v.tr; tr.Enabled() {
+		tr.BeginRequest(fmt.Sprintf("read %dB", len(buf)), now)
+		n, done, err := f.readAt(now, buf, off)
+		tr.EndRequest(done)
+		return n, done, err
+	}
+	return f.readAt(now, buf, off)
+}
+
+func (f *File) readAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error) {
 	v := f.v
 	if off < 0 {
 		return 0, now, fmt.Errorf("vfs: negative offset %d", off)
@@ -191,6 +208,9 @@ func (f *File) ReadAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error
 		return 0, now, eof
 	}
 	buf = buf[:n]
+	if v.tr.Enabled() {
+		v.tr.Span(telemetry.TrackVFS, "syscall", now, now+v.cfg.SyscallOverhead)
+	}
 	now += v.cfg.SyscallOverhead
 	v.io.BytesRequested += uint64(n)
 
@@ -199,14 +219,20 @@ func (f *File) ReadAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error
 	// routes large reads back here).
 	if f.flags&FineGrained != 0 && v.router != nil {
 		if served, done := v.tryServeFromCache(now, f, buf, off); served {
-			return n, done + v.cfg.CopyOverhead, eof
+			if v.tr.Enabled() {
+				v.tr.Instant(telemetry.TrackPageCache, "hit", now)
+			}
+			return n, v.copyOut(done), eof
+		}
+		if v.tr.Enabled() {
+			v.tr.Instant(telemetry.TrackPageCache, "miss", now)
 		}
 		done, handled, err := v.router.TryFineRead(now, f, off, buf)
 		if err != nil {
 			return 0, done, err
 		}
 		if handled {
-			return n, done + v.cfg.CopyOverhead, eof
+			return n, v.copyOut(done), eof
 		}
 	}
 
@@ -214,7 +240,16 @@ func (f *File) ReadAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error
 	if err != nil {
 		return 0, done, err
 	}
-	return n, done + v.cfg.CopyOverhead, eof
+	return n, v.copyOut(done), eof
+}
+
+// copyOut accounts the user-buffer copy that ends every successful request.
+func (v *VFS) copyOut(done sim.Time) sim.Time {
+	end := done + v.cfg.CopyOverhead
+	if v.tr.Enabled() {
+		v.tr.Span(telemetry.TrackVFS, "copyout", done, end)
+	}
+	return end
 }
 
 // tryServeFromCache serves the request if every covering page is resident.
@@ -272,6 +307,9 @@ func (v *VFS) blockRead(now sim.Time, f *File, buf []byte, off int64) (sim.Time,
 			ra.OnHit(p)
 			v.copyFromPage(f, buf, off, p, data, dirty)
 			continue
+		}
+		if v.tr.Enabled() {
+			v.tr.Instant(telemetry.TrackPageCache, "miss", now)
 		}
 		// Miss: read-ahead decides the fetch window.
 		count := ra.OnMiss(p)

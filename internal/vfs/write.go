@@ -6,6 +6,7 @@ import (
 
 	"pipette/internal/pagecache"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // WriteAt writes len(data) bytes at off through the page cache: full-page
@@ -15,6 +16,16 @@ import (
 // overlapping fine-cache items so later fine reads see either the updated
 // page cache or the post-flush flash content.
 func (f *File) WriteAt(now sim.Time, data []byte, off int64) (int, sim.Time, error) {
+	if tr := f.v.tr; tr.Enabled() {
+		tr.BeginRequest(fmt.Sprintf("write %dB", len(data)), now)
+		n, done, err := f.writeAt(now, data, off)
+		tr.EndRequest(done)
+		return n, done, err
+	}
+	return f.writeAt(now, data, off)
+}
+
+func (f *File) writeAt(now sim.Time, data []byte, off int64) (int, sim.Time, error) {
 	v := f.v
 	if f.flags&ReadWrite == 0 {
 		return 0, now, fmt.Errorf("vfs: %q not opened for writing", f.inode.Name)
@@ -28,6 +39,9 @@ func (f *File) WriteAt(now sim.Time, data []byte, off int64) (int, sim.Time, err
 	}
 	if len(data) == 0 {
 		return 0, now, nil
+	}
+	if v.tr.Enabled() {
+		v.tr.Span(telemetry.TrackVFS, "syscall", now, now+v.cfg.SyscallOverhead)
 	}
 	now += v.cfg.SyscallOverhead
 	ps := int64(v.fs.PageSize())
@@ -71,7 +85,7 @@ func (f *File) WriteAt(now sim.Time, data []byte, off int64) (int, sim.Time, err
 	if err != nil {
 		return 0, done, err
 	}
-	return len(data), done + v.cfg.CopyOverhead, nil
+	return len(data), v.copyOut(done), nil
 }
 
 // loadPageForRMW fills page with the current content of file page p:

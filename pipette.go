@@ -32,6 +32,7 @@ import (
 	"pipette/internal/nvme"
 	"pipette/internal/sim"
 	"pipette/internal/ssd"
+	"pipette/internal/telemetry"
 	"pipette/internal/vfs"
 )
 
@@ -68,6 +69,8 @@ type System struct {
 	clock sim.Clock
 
 	ctrl *ssd.Controller
+	drv  *nvme.Driver
+	blk  *blockdev.Layer
 	v    *vfs.VFS
 	core *core.Pipette
 }
@@ -122,7 +125,76 @@ func New(opts Options) (*System, error) {
 	if opts.DisableFineCache {
 		p.DisableCache()
 	}
-	return &System{ctrl: ctrl, v: v, core: p}, nil
+	return &System{ctrl: ctrl, drv: drv, blk: blk, v: v, core: p}, nil
+}
+
+// SetTracer installs a tracer on every layer of the system: VFS, block
+// layer, NVMe driver, SSD controller (cascading to FTL and NAND), and the
+// fine-grained read framework. Pass nil to return to the no-op default.
+func (s *System) SetTracer(tr telemetry.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr = telemetry.OrNop(tr)
+	s.v.SetTracer(tr)
+	s.blk.SetTracer(tr)
+	s.drv.SetTracer(tr)
+	s.ctrl.SetTracer(tr)
+	s.core.SetTracer(tr)
+}
+
+// Probes returns the sampled time series of the system: read amplification,
+// both cache hit ratios, the adaptive threshold, fine-cache memory, HMB
+// info-ring occupancy, and per-channel NAND bus utilization. Feed them to a
+// telemetry.Sampler.
+func (s *System) Probes() []telemetry.Probe {
+	locked := func(get func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return get()
+		}
+	}
+	probes := []telemetry.Probe{
+		telemetry.GaugeProbe("read_amp", locked(func() float64 {
+			io := s.v.IO()
+			fio := s.core.IO()
+			io.BytesTransferred += fio.BytesTransferred
+			return io.ReadAmplification()
+		})),
+		telemetry.GaugeProbe("pc_hit_ratio", locked(func() float64 {
+			hits, accesses, _, _ := s.v.PageCache().Stats()
+			c := metrics.Cache{Hits: hits, Accesses: accesses}
+			return c.HitRatio()
+		})),
+		telemetry.GaugeProbe("fine_hit_ratio", locked(func() float64 {
+			c := s.core.CacheStats()
+			return c.HitRatio()
+		})),
+		telemetry.GaugeProbe("threshold", locked(func() float64 {
+			return float64(s.core.Threshold())
+		})),
+		telemetry.GaugeProbe("fine_mem_bytes", locked(func() float64 {
+			return float64(s.core.MemoryBytes())
+		})),
+		telemetry.GaugeProbe("overflow_bytes", locked(func() float64 {
+			return float64(s.core.OverflowBytes())
+		})),
+		telemetry.GaugeProbe("hmb_info_pending", locked(func() float64 {
+			return float64(s.core.Region().Info().Pending())
+		})),
+	}
+	arr := s.ctrl.Array()
+	for ch := 0; ch < arr.Config().Channels; ch++ {
+		ch := ch
+		probes = append(probes, telemetry.RateProbe(
+			fmt.Sprintf("ch%d_busy", ch),
+			func() sim.Time {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return arr.ChannelBusy(ch)
+			}))
+	}
+	return probes
 }
 
 // CreateFile makes a fixed-size file. preload fills it with deterministic

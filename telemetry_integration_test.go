@@ -1,0 +1,166 @@
+package pipette
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+)
+
+// tracedSystem runs a small mixed read workload with a Recorder and Sampler
+// installed, exactly as cmd/pipette-sim does with -trace-out/-stats-out.
+func tracedSystem(t *testing.T) (*telemetry.Recorder, *telemetry.Sampler) {
+	t.Helper()
+	sys, err := New(Options{
+		CapacityBytes:  64 << 20,
+		PageCacheBytes: 2 << 20,
+		FineCacheBytes: 2 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fileSize = 8 << 20
+	if err := sys.CreateFile("data", fileSize, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := sys.Open("data", ReadWrite|FineGrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewRecorder()
+	sys.SetTracer(rec)
+	sampler, err := telemetry.NewSampler(100*sim.Microsecond, sys.Probes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := sim.NewRNG(7)
+	small := make([]byte, 128)
+	large := make([]byte, 4096)
+	for i := 0; i < 2000; i++ {
+		buf := small
+		if i%2 == 0 {
+			buf = large
+		}
+		off := int64(rng.Uint64n(fileSize/4096)) * 4096
+		if _, err := f.ReadAt(buf, off); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		sampler.Tick(sys.Now())
+	}
+	return rec, sampler
+}
+
+// TestSystemTraceExport validates the full pipeline the CLI flags drive:
+// the exported trace is well-formed Chrome trace-event JSON, the sampled
+// CSV carries the promised series, and the breakdown spans host and device
+// layers.
+func TestSystemTraceExport(t *testing.T) {
+	rec, sampler := tracedSystem(t)
+
+	// --- Chrome trace-event JSON ---
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	tracks := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("event %d: complete event without dur: %v", i, ev)
+			}
+		case "i", "M":
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, ph)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event %d: missing name", i)
+		}
+		if ph == "M" {
+			if ev["name"] == "thread_name" {
+				args := ev["args"].(map[string]any)
+				tracks[args["name"].(string)] = true
+			}
+		}
+	}
+	for _, want := range []string{"vfs", "nvme", "ssd"} {
+		if !tracks[want] {
+			t.Errorf("trace missing track %q (have %v)", want, tracks)
+		}
+	}
+	hasNAND := false
+	for tr := range tracks {
+		if strings.HasPrefix(tr, "nand/") {
+			hasNAND = true
+		}
+	}
+	if !hasNAND {
+		t.Errorf("trace has no per-die/channel NAND tracks (have %v)", tracks)
+	}
+
+	// --- time-series CSV ---
+	var csvBuf bytes.Buffer
+	if err := sampler.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&csvBuf).ReadAll()
+	if err != nil {
+		t.Fatalf("stats output is not valid CSV: %v", err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("stats CSV has %d rows, want header + samples", len(recs))
+	}
+	header := recs[0]
+	if len(header) < 4 { // time_us + >=3 series
+		t.Fatalf("stats CSV has %d columns, want >= 4: %v", len(header), header)
+	}
+	want := map[string]bool{"read_amp": false, "pc_hit_ratio": false, "ch0_busy": false}
+	for _, col := range header {
+		if _, ok := want[col]; ok {
+			want[col] = true
+		}
+	}
+	for col, seen := range want {
+		if !seen {
+			t.Errorf("stats CSV missing series %q (header %v)", col, header)
+		}
+	}
+
+	// --- per-phase breakdown ---
+	tbl := rec.Breakdown()
+	hostPhases, devicePhases := 0, 0
+	for _, row := range tbl.Rows {
+		phase := row[0]
+		switch {
+		case strings.HasPrefix(phase, "vfs/"), strings.HasPrefix(phase, "fine/"),
+			strings.HasPrefix(phase, "block/"), strings.HasPrefix(phase, "pagecache/"):
+			hostPhases++
+		case strings.HasPrefix(phase, "nvme/"), strings.HasPrefix(phase, "ssd/"),
+			strings.HasPrefix(phase, "ftl/"), strings.HasPrefix(phase, "nand/"):
+			devicePhases++
+		}
+	}
+	if hostPhases+devicePhases < 5 {
+		t.Fatalf("breakdown has %d phases, want >= 5:\n%s", hostPhases+devicePhases, tbl.Render())
+	}
+	if hostPhases == 0 || devicePhases == 0 {
+		t.Fatalf("breakdown must span host and device (host=%d device=%d):\n%s",
+			hostPhases, devicePhases, tbl.Render())
+	}
+}
