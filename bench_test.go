@@ -25,7 +25,7 @@ func runExperiment(b *testing.B, name string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if err := exp.Run(io.Discard, benchScale()); err != nil {
+		if err := exp.Run(io.Discard, benchScale(), nil); err != nil {
 			b.Fatal(err)
 		}
 	}

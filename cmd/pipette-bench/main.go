@@ -7,13 +7,18 @@
 //	pipette-bench -exp all -scale quick
 //	pipette-bench -exp fig6               # or table2, fig8, apps, ...
 //	pipette-bench -exp apps -scale full   # paper-scale (slow)
+//	pipette-bench -exp all -j 8           # parallel cells, identical output
+//	pipette-bench -exp all -json BENCH_quick.json
+//	pipette-bench -exp fig6 -cpuprofile cpu.out
 //	pipette-bench -exp phases -trace-out trace.json -stats-out stats.csv
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,11 +26,24 @@ import (
 	"pipette/internal/sim"
 )
 
+// perfSummary is the machine-readable perf record -json emits, so the
+// suite's wall-clock trajectory can be tracked across commits.
+type perfSummary struct {
+	Experiment  string           `json:"experiment"`
+	Scale       string           `json:"scale"`
+	Workers     int              `json:"workers"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Cells       []bench.CellPerf `json:"cells"`
+}
+
 func main() {
 	var (
 		expName   = flag.String("exp", "all", "experiment id or paper artifact (fig6, table2, ... ; 'all')")
 		scaleName = flag.String("scale", "quick", "experiment scale: tiny, quick, or full")
+		workers   = flag.Int("j", 0, "worker goroutines for the experiment cells (0 = GOMAXPROCS)")
 		list      = flag.Bool("list", false, "list experiments and exit")
+		jsonOut   = flag.String("json", "", "write a machine-readable perf summary (suite wall-clock, per-cell sim throughput) to this file; '-' for stdout")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		traceOut  = flag.String("trace-out", "", "phases experiment: write Chrome trace-event JSON (open in Perfetto)")
 		statsOut  = flag.String("stats-out", "", "phases experiment: write sampled time-series CSV")
 		statsInt  = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
@@ -53,16 +71,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	topts := bench.TelemetryOpts{
 		TraceOut:      *traceOut,
 		StatsOut:      *statsOut,
 		StatsInterval: sim.Time((*statsInt).Nanoseconds()),
 	}
+	pool := bench.NewPool(*workers)
 
 	start := time.Now()
 	var err error
 	if *expName == "all" {
-		err = bench.RunAll(os.Stdout, scale)
+		err = bench.RunAll(os.Stdout, scale, pool)
 	} else {
 		var exp bench.Experiment
 		exp, err = bench.Find(*expName)
@@ -70,9 +105,9 @@ func main() {
 			fmt.Printf("### %s\n\n", exp.Title)
 			if exp.ID == "phases" {
 				// The phases experiment honours the export flags.
-				err = bench.WritePhaseBreakdown(os.Stdout, scale, topts)
+				err = bench.WritePhaseBreakdown(os.Stdout, scale, topts, pool)
 			} else {
-				err = exp.Run(os.Stdout, scale)
+				err = exp.Run(os.Stdout, scale, pool)
 			}
 		}
 	}
@@ -80,5 +115,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("(wall time %.1fs, scale %s)\n", time.Since(start).Seconds(), scale.Name)
+	wall := time.Since(start).Seconds()
+	fmt.Printf("(wall time %.1fs, scale %s, -j %d)\n", wall, scale.Name, pool.Workers())
+
+	if *jsonOut != "" {
+		summary := perfSummary{
+			Experiment:  *expName,
+			Scale:       scale.Name,
+			Workers:     pool.Workers(),
+			WallSeconds: wall,
+			Cells:       pool.Perf(),
+		}
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("perf summary written to %s (%d cells)\n", *jsonOut, len(summary.Cells))
+		}
+	}
 }

@@ -1,23 +1,31 @@
-// Command pipette-sim runs a single configurable simulation: it builds one
-// host+SSD system with Pipette installed, replays a chosen workload, and
-// dumps the full statistics report — a scriptable single-run counterpart to
-// pipette-bench's fixed experiment grid.
+// Command pipette-sim runs configurable simulations: it builds one host+SSD
+// system per workload with Pipette installed, replays the workload, and
+// dumps the full statistics report — a scriptable counterpart to
+// pipette-bench's fixed experiment grid. -workload accepts a
+// comma-separated list; the runs are independent simulations, so -j
+// replays them on parallel workers while the reports print in the order
+// given, byte-identical to a serial run.
 //
 // Usage:
 //
 //	pipette-sim -workload mixE -dist zipfian -requests 100000
+//	pipette-sim -workload mixA,mixC,mixE -j 3
 //	pipette-sim -workload recommender -requests 200000 -fine=false
 //	pipette-sim -workload socialgraph -pagecache 64 -finecache 8
 //	pipette-sim -trace-out trace.json -stats-out stats.csv
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"pipette"
+	"pipette/internal/bench"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/workload"
@@ -32,7 +40,7 @@ type telemetryOpts struct {
 
 func main() {
 	var (
-		wl       = flag.String("workload", "mixE", "mixA..mixE, recommender, socialgraph, or searchengine")
+		wl       = flag.String("workload", "mixE", "comma-separated list of mixA..mixE, recommender, socialgraph, or searchengine")
 		dist     = flag.String("dist", "uniform", "synthetic request distribution: uniform or zipfian")
 		requests = flag.Int("requests", 100_000, "requests to replay")
 		fileMB   = flag.Int64("file-mb", 128, "synthetic dataset size (MiB)")
@@ -40,6 +48,7 @@ func main() {
 		fgMB     = flag.Int("finecache", 8, "fine-grained read cache arena (MiB)")
 		fine     = flag.Bool("fine", true, "enable the fine-grained read cache")
 		seed     = flag.Uint64("seed", 42, "workload seed")
+		workers  = flag.Int("j", 0, "worker goroutines when replaying several workloads (0 = GOMAXPROCS)")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto)")
 		statsOut = flag.String("stats-out", "", "write sampled time-series CSV")
 		statsInt = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
@@ -51,13 +60,48 @@ func main() {
 		statsOut:      *statsOut,
 		statsInterval: sim.Time((*statsInt).Nanoseconds()),
 	}
-	if err := run(*wl, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, topts); err != nil {
+	wls := strings.Split(*wl, ",")
+	if len(wls) > 1 && (topts.traceOut != "" || topts.statsOut != "") {
+		fmt.Fprintln(os.Stderr, "pipette-sim: -trace-out/-stats-out need a single -workload")
+		os.Exit(2)
+	}
+
+	if len(wls) == 1 {
+		if err := run(os.Stdout, wls[0], *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, topts); err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Several workloads: each is a fully private simulation, so replay them
+	// as pool cells rendering into per-run buffers, printed in input order.
+	bufs := make([]bytes.Buffer, len(wls))
+	cells := make([]bench.Cell, 0, len(wls))
+	for i, name := range wls {
+		i, name := i, strings.TrimSpace(name)
+		cells = append(cells, bench.Cell{
+			Label: "sim/" + name,
+			Run: func() (*bench.Result, error) {
+				return nil, run(&bufs[i], name, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, telemetryOpts{})
+			},
+		})
+	}
+	pool := bench.NewPool(*workers)
+	err := pool.RunCells(cells)
+	for i := range bufs {
+		if i > 0 {
+			fmt.Println()
+		}
+		os.Stdout.Write(bufs[i].Bytes())
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, topts telemetryOpts) error {
+func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, topts telemetryOpts) error {
 	gen, err := makeGenerator(wl, dist, fileMB<<20, seed)
 	if err != nil {
 		return err
@@ -105,7 +149,7 @@ func run(wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool,
 		defer statsFile.Close()
 	}
 
-	fmt.Printf("workload %s over %.1f MiB, %d requests (fine cache: %v)\n\n",
+	fmt.Fprintf(w, "workload %s over %.1f MiB, %d requests (fine cache: %v)\n\n",
 		gen.Name(), float64(gen.FileSize())/(1<<20), requests, fine)
 
 	buf := make([]byte, 64<<10)
@@ -132,19 +176,19 @@ func run(wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool,
 	}
 
 	rep := sys.Report()
-	fmt.Println(rep)
-	fmt.Printf("\nthroughput        %.0f ops/s (virtual)\n",
+	fmt.Fprintln(w, rep)
+	fmt.Fprintf(w, "\nthroughput        %.0f ops/s (virtual)\n",
 		float64(requests)/rep.Elapsed.Seconds())
 
 	if rec != nil {
-		fmt.Printf("\nper-phase latency breakdown:\n%s", rec.Breakdown().Render())
+		fmt.Fprintf(w, "\nper-phase latency breakdown:\n%s", rec.Breakdown().Render())
 		if err := rec.WriteChromeTrace(traceFile); err != nil {
 			return err
 		}
 		if err := traceFile.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (%d events; open in Perfetto / chrome://tracing)\n",
+		fmt.Fprintf(w, "trace written to %s (%d events; open in Perfetto / chrome://tracing)\n",
 			topts.traceOut, rec.Events())
 	}
 	if sampler != nil {
@@ -154,7 +198,7 @@ func run(wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool,
 		if err := statsFile.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("time series written to %s (%d samples, %d series)\n",
+		fmt.Fprintf(w, "time series written to %s (%d samples, %d series)\n",
 			topts.statsOut, sampler.Rows(), len(sampler.Series()))
 	}
 	return nil

@@ -29,6 +29,9 @@ type TwoBSSD struct {
 	mode TwoBSSDMode
 	cfg  StackConfig
 
+	lbaScratch  []uint64
+	slotScratch []int
+
 	io metrics.IO
 }
 
@@ -59,7 +62,8 @@ func (e *TwoBSSD) ReadAt(now sim.Time, buf []byte, off int64) (sim.Time, error) 
 	}
 	e.io.BytesRequested += uint64(n)
 	ps := e.s.ctrl.PageSize()
-	lbas, err := e.s.file.Inode().ExtractLBAs(off, n, ps)
+	lbas, err := e.s.file.Inode().AppendLBAs(e.lbaScratch[:0], off, n, ps)
+	e.lbaScratch = lbas[:0]
 	if err != nil {
 		return now, err
 	}
@@ -74,7 +78,10 @@ func (e *TwoBSSD) ReadAt(now sim.Time, buf []byte, off int64) (sim.Time, error) 
 	}
 
 	// Load pages to the CMB; issue together, wait for the last.
-	slots := make([]int, len(lbas))
+	if cap(e.slotScratch) < len(lbas) {
+		e.slotScratch = make([]int, len(lbas))
+	}
+	slots := e.slotScratch[:len(lbas)]
 	loadDone := now
 	for i, lba := range lbas {
 		slot, done, err := e.s.ctrl.LoadToCMB(now, lba)

@@ -52,41 +52,62 @@ func AblationVariants() []AblationVariant {
 }
 
 // RunAblation replays the mixed small/large zipfian workload (mix D, the
-// most policy-sensitive one) against each Pipette variant.
-func RunAblation(s Scale) (*metrics.Table, error) {
+// most policy-sensitive one) against each Pipette variant, one pool cell
+// per variant.
+func RunAblation(s Scale, p *Pool) (*metrics.Table, error) {
 	mix := workload.Mixes(s.FileSize(), 4096, workload.Zipfian, 0xab1a)[3] // D
+	variants := AblationVariants()
+	type ablOut struct {
+		res    *Result
+		finalT uint32
+	}
+	outs := make([]ablOut, len(variants))
+	cells := make([]Cell, 0, len(variants))
+	for vi, v := range variants {
+		vi, v := vi, v
+		cells = append(cells, Cell{
+			Label: "ablation/" + v.Name,
+			Run: func() (*Result, error) {
+				cfg := s.stackConfig(s.FileSize())
+				v.Mutate(&cfg)
+				eng, err := baseline.NewPipette(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("bench: ablation %s: %w", v.Name, err)
+				}
+				gen, err := workload.NewSynthetic(mix)
+				if err != nil {
+					return nil, err
+				}
+				res, err := Run(eng, gen, s.Requests, RunOpts{})
+				if err != nil {
+					return nil, fmt.Errorf("bench: ablation %s: %w", v.Name, err)
+				}
+				outs[vi] = ablOut{res: res, finalT: eng.Core().Threshold()}
+				return res, nil
+			},
+		})
+	}
+	if err := p.RunCells(cells); err != nil {
+		return nil, err
+	}
 	t := &metrics.Table{Header: []string{
 		"Variant", "ops/s", "Traffic MB", "FGRC hit %", "Mean lat us", "Final T",
 	}}
-	for _, v := range AblationVariants() {
-		cfg := s.stackConfig(s.FileSize())
-		v.Mutate(&cfg)
-		eng, err := baseline.NewPipette(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("bench: ablation %s: %w", v.Name, err)
-		}
-		gen, err := workload.NewSynthetic(mix)
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(eng, gen, s.Requests, RunOpts{})
-		if err != nil {
-			return nil, fmt.Errorf("bench: ablation %s: %w", v.Name, err)
-		}
-		snap := res.Snapshot
+	for vi, v := range variants {
+		snap := outs[vi].res.Snapshot
 		t.AddRow(v.Name,
 			fmt.Sprintf("%.0f", snap.ThroughputOpsPerSec()),
 			fmt.Sprintf("%.1f", snap.IO.TrafficMB()),
 			fmt.Sprintf("%.1f", snap.FineCache.HitRatio()*100),
 			fmt.Sprintf("%.1f", snap.MeanLat.Micros()),
-			fmt.Sprintf("%d", eng.Core().Threshold()),
+			fmt.Sprintf("%d", outs[vi].finalT),
 		)
 	}
 	return t, nil
 }
 
-func writeAblation(w io.Writer, s Scale) error {
-	t, err := RunAblation(s)
+func writeAblation(w io.Writer, s Scale, p *Pool) error {
+	t, err := RunAblation(s, p)
 	if err != nil {
 		return err
 	}

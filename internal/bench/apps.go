@@ -16,8 +16,9 @@ type AppResults struct {
 }
 
 // RunApps executes the real-application workloads: the recommender-system
-// embedding lookups and the LinkBench-flavoured social graph.
-func RunApps(s Scale) (*AppResults, error) {
+// embedding lookups and the LinkBench-flavoured social graph. Every
+// (app, engine) pair is one pool cell.
+func RunApps(s Scale, p *Pool) (*AppResults, error) {
 	out := &AppResults{
 		Apps:    []string{"Recommender System", "Social Graph"},
 		Results: make(map[string]map[string]*Result),
@@ -40,34 +41,48 @@ func RunApps(s Scale) (*AppResults, error) {
 		}
 	}
 
-	for _, app := range out.Apps {
-		probe, err := makeGen(app)
-		if err != nil {
-			return nil, err
+	grid := make([]*Result, len(out.Apps)*len(EngineNames))
+	cells := make([]Cell, 0, len(grid))
+	for ai, app := range out.Apps {
+		for ei, name := range EngineNames {
+			app, ei := app, ei
+			slot := &grid[ai*len(EngineNames)+ei]
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("apps/%s/%s", app, name),
+				Run: func() (*Result, error) {
+					gen, err := makeGen(app)
+					if err != nil {
+						return nil, err
+					}
+					e, err := newEngine(ei, s.stackConfig(gen.FileSize()))
+					if err != nil {
+						return nil, err
+					}
+					// The social graph writes, so content verification is
+					// off for it (the oracle is flash-authoritative only).
+					verify := s.AppRequests/64 + 1
+					if app == "Social Graph" {
+						verify = 0
+					}
+					res, err := Run(e, gen, s.AppRequests, RunOpts{VerifyEvery: verify})
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s on %s: %w", e.Name(), app, err)
+					}
+					*slot = res
+					return res, nil
+				},
+			})
 		}
-		engines, err := engineSet(s.stackConfig(probe.FileSize()))
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range engines {
-			gen, err := makeGen(app)
-			if err != nil {
-				return nil, err
+	}
+	if err := p.RunCells(cells); err != nil {
+		return nil, err
+	}
+	for ai, app := range out.Apps {
+		for ei, name := range EngineNames {
+			if out.Results[name] == nil {
+				out.Results[name] = make(map[string]*Result)
 			}
-			// The social graph writes, so content verification is off for
-			// it (the oracle is flash-authoritative only).
-			verify := s.AppRequests/64 + 1
-			if app == "Social Graph" {
-				verify = 0
-			}
-			res, err := Run(e, gen, s.AppRequests, RunOpts{VerifyEvery: verify})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s on %s: %w", e.Name(), app, err)
-			}
-			if out.Results[e.Name()] == nil {
-				out.Results[e.Name()] = make(map[string]*Result)
-			}
-			out.Results[e.Name()][app] = res
+			out.Results[name][app] = grid[ai*len(EngineNames)+ei]
 		}
 	}
 	return out, nil
@@ -145,8 +160,8 @@ func (a *AppResults) MotivationTable() *metrics.Table {
 	return t
 }
 
-func writeApps(w io.Writer, s Scale) error {
-	res, err := RunApps(s)
+func writeApps(w io.Writer, s Scale, p *Pool) error {
+	res, err := RunApps(s, p)
 	if err != nil {
 		return err
 	}

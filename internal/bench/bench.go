@@ -118,29 +118,40 @@ func (s Scale) stackConfig(fileSize int64) baseline.StackConfig {
 	return cfg
 }
 
+// newEngine builds the idx'th engine of EngineNames over a private system.
+// Cells construct their engine themselves so expensive setup (NAND preload)
+// parallelizes with everything else.
+func newEngine(idx int, cfg baseline.StackConfig) (baseline.Engine, error) {
+	switch idx {
+	case 0:
+		e, err := baseline.NewBlockIO(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: block i/o: %w", err)
+		}
+		return e, nil
+	case 1:
+		return baseline.NewTwoBSSD(cfg, baseline.MMIO)
+	case 2:
+		return baseline.NewTwoBSSD(cfg, baseline.DMA)
+	case 3:
+		return baseline.NewPipetteNoCache(cfg)
+	case 4:
+		return baseline.NewPipette(cfg)
+	}
+	return nil, fmt.Errorf("bench: no engine %d", idx)
+}
+
 // engineSet builds the paper's five engines over identical private systems.
 func engineSet(cfg baseline.StackConfig) ([]baseline.Engine, error) {
-	blk, err := baseline.NewBlockIO(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("bench: block i/o: %w", err)
+	engines := make([]baseline.Engine, len(EngineNames))
+	for i := range engines {
+		e, err := newEngine(i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
 	}
-	mmio, err := baseline.NewTwoBSSD(cfg, baseline.MMIO)
-	if err != nil {
-		return nil, err
-	}
-	dma, err := baseline.NewTwoBSSD(cfg, baseline.DMA)
-	if err != nil {
-		return nil, err
-	}
-	noc, err := baseline.NewPipetteNoCache(cfg)
-	if err != nil {
-		return nil, err
-	}
-	pip, err := baseline.NewPipette(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return []baseline.Engine{blk, mmio, dma, noc, pip}, nil
+	return engines, nil
 }
 
 // RunOpts tunes one replay.
@@ -163,6 +174,7 @@ type Result struct {
 func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) (*Result, error) {
 	var now sim.Time
 	buf := make([]byte, 4096)
+	want := make([]byte, 4096) // oracle scratch, grown with buf
 	payload := make([]byte, 4096)
 	for i := range payload {
 		payload[i] = byte(i*7 + 13)
@@ -170,6 +182,7 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 	grow := func(n int) {
 		for n > len(buf) {
 			buf = make([]byte, 2*len(buf))
+			want = make([]byte, len(buf))
 		}
 		for n > len(payload) {
 			old := payload
@@ -207,7 +220,7 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 		} else {
 			now, err = e.ReadAt(now, buf[:req.Size], req.Off)
 			if err == nil && opts.VerifyEvery > 0 && i%opts.VerifyEvery == 0 {
-				want := make([]byte, req.Size)
+				want := want[:req.Size]
 				if oerr := e.Oracle(want, req.Off); oerr != nil {
 					return nil, oerr
 				}

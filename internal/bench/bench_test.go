@@ -15,7 +15,8 @@ import (
 func ops(res *Result) float64 { return res.Snapshot.ThroughputOpsPerSec() }
 
 func TestSyntheticUniformShapes(t *testing.T) {
-	m, err := RunSynthetic(TinyScale(), workload.Uniform)
+	t.Parallel()
+	m, err := RunSynthetic(TinyScale(), workload.Uniform, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,8 @@ func TestSyntheticUniformShapes(t *testing.T) {
 }
 
 func TestSyntheticZipfianShapes(t *testing.T) {
-	m, err := RunSynthetic(TinyScale(), workload.Zipfian)
+	t.Parallel()
+	m, err := RunSynthetic(TinyScale(), workload.Zipfian, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestSyntheticZipfianShapes(t *testing.T) {
 	}
 	// Zipfian block traffic is far below uniform's (reuse+read-ahead hits),
 	// mirroring Table 3 vs Table 2.
-	u, err := RunSynthetic(TinyScale(), workload.Uniform)
+	u, err := RunSynthetic(TinyScale(), workload.Uniform, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,8 +100,9 @@ func TestSyntheticZipfianShapes(t *testing.T) {
 }
 
 func TestLatencySweepShapes(t *testing.T) {
+	t.Parallel()
 	s := TinyScale()
-	res, err := LatencySweep(s)
+	res, err := LatencySweep(s, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +136,8 @@ func TestLatencySweepShapes(t *testing.T) {
 }
 
 func TestAppShapes(t *testing.T) {
-	res, err := RunApps(TinyScale())
+	t.Parallel()
+	res, err := RunApps(TinyScale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +177,8 @@ func TestAppShapes(t *testing.T) {
 }
 
 func TestAblationRuns(t *testing.T) {
-	tab, err := RunAblation(TinyScale())
+	t.Parallel()
+	tab, err := RunAblation(TinyScale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,6 +205,7 @@ func TestAblationRuns(t *testing.T) {
 }
 
 func TestFindExperiment(t *testing.T) {
+	t.Parallel()
 	for _, name := range []string{"fig6", "table2", "fig7", "table3", "fig8",
 		"fig9a", "fig9b", "table4", "fig1", "ablation", "apps", "latency"} {
 		if _, err := Find(name); err != nil {
@@ -216,7 +222,7 @@ func TestRunAllTiny(t *testing.T) {
 		t.Skip("full harness pass")
 	}
 	var buf bytes.Buffer
-	if err := RunAll(&buf, TinyScale()); err != nil {
+	if err := RunAll(&buf, TinyScale(), nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -229,6 +235,7 @@ func TestRunAllTiny(t *testing.T) {
 }
 
 func TestRunVerifiesContent(t *testing.T) {
+	t.Parallel()
 	// VerifyEvery exercises the oracle comparison path; a passing run means
 	// every sampled read returned device-true bytes.
 	s := TinyScale()
@@ -249,7 +256,8 @@ func TestRunVerifiesContent(t *testing.T) {
 }
 
 func TestSensitivityShapes(t *testing.T) {
-	tab, err := RunCacheSensitivity(TinyScale())
+	t.Parallel()
+	tab, err := RunCacheSensitivity(TinyScale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +280,8 @@ func TestSensitivityShapes(t *testing.T) {
 }
 
 func TestSearchEngineExperiment(t *testing.T) {
-	tab, err := RunSearchEngine(TinyScale())
+	t.Parallel()
+	tab, err := RunSearchEngine(TinyScale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,19 +1,23 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"pipette/internal/workload"
 )
 
-// Experiment regenerates one or more of the paper's artifacts.
+// Experiment regenerates one or more of the paper's artifacts. Run renders
+// into w, scheduling its simulation cells on p (nil runs serially); the
+// output bytes are identical at any worker count.
 type Experiment struct {
 	ID        string
 	Artifacts []string // paper tables/figures this run produces
 	Title     string
-	Run       func(w io.Writer, s Scale) error
+	Run       func(w io.Writer, s Scale, p *Pool) error
 }
 
 // Experiments returns the full suite.
@@ -23,16 +27,16 @@ func Experiments() []Experiment {
 			ID:        "synthetic-uniform",
 			Artifacts: []string{"fig6", "table2"},
 			Title:     "Synthetic mixes A-E, uniform distribution (Figure 6 + Table 2)",
-			Run: func(w io.Writer, s Scale) error {
-				return writeSynthetic(w, s, workload.Uniform, "Figure 6", "Table 2")
+			Run: func(w io.Writer, s Scale, p *Pool) error {
+				return writeSynthetic(w, s, workload.Uniform, "Figure 6", "Table 2", p)
 			},
 		},
 		{
 			ID:        "synthetic-zipfian",
 			Artifacts: []string{"fig7", "table3"},
 			Title:     "Synthetic mixes A-E, zipfian(0.8) distribution (Figure 7 + Table 3)",
-			Run: func(w io.Writer, s Scale) error {
-				return writeSynthetic(w, s, workload.Zipfian, "Figure 7", "Table 3")
+			Run: func(w io.Writer, s Scale, p *Pool) error {
+				return writeSynthetic(w, s, workload.Zipfian, "Figure 7", "Table 3", p)
 			},
 		},
 		{
@@ -51,8 +55,8 @@ func Experiments() []Experiment {
 			ID:        "phases",
 			Artifacts: []string{"breakdown"},
 			Title:     "Per-phase latency breakdown, VFS to NAND (observability)",
-			Run: func(w io.Writer, s Scale) error {
-				return WritePhaseBreakdown(w, s, TelemetryOpts{})
+			Run: func(w io.Writer, s Scale, p *Pool) error {
+				return WritePhaseBreakdown(w, s, TelemetryOpts{}, p)
 			},
 		},
 		{
@@ -92,12 +96,42 @@ func Find(name string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (known: %v)", name, known)
 }
 
-// RunAll executes every experiment in order.
-func RunAll(w io.Writer, s Scale) error {
-	for _, e := range Experiments() {
-		fmt.Fprintf(w, "### %s\n\n", e.Title)
-		if err := e.Run(w, s); err != nil {
-			return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
+// RunAll executes every experiment. With a nil pool the experiments run
+// serially, streaming straight into w. With a pool they all render
+// concurrently into private buffers — the pool's worker bound still caps
+// the simulation cells actually in flight — and the buffers print in the
+// canonical suite order, so the output is byte-identical to the serial run.
+func RunAll(w io.Writer, s Scale, p *Pool) error {
+	exps := Experiments()
+	if p == nil || p.Workers() <= 1 {
+		for _, e := range exps {
+			fmt.Fprintf(w, "### %s\n\n", e.Title)
+			if err := e.Run(w, s, p); err != nil {
+				return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+
+	bufs := make([]bytes.Buffer, len(exps))
+	errs := make([]error, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		i, e := i, e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fmt.Fprintf(&bufs[i], "### %s\n\n", e.Title)
+			errs[i] = e.Run(&bufs[i], s, p)
+		}()
+	}
+	wg.Wait()
+	for i, e := range exps {
+		if errs[i] != nil {
+			return fmt.Errorf("bench: experiment %s: %w", e.ID, errs[i])
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -5,7 +5,6 @@ import (
 	"io"
 	"os"
 
-	"pipette/internal/baseline"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/workload"
@@ -19,19 +18,10 @@ type TelemetryOpts struct {
 	StatsInterval sim.Time // sampling interval; 0 = 1 ms virtual
 }
 
-// phaseEngines are the two ends of the comparison: the conventional path
-// and the full framework, so the breakdown shows where each spends time.
-func phaseEngines(cfg baseline.StackConfig) ([]baseline.Engine, error) {
-	blk, err := baseline.NewBlockIO(cfg)
-	if err != nil {
-		return nil, err
-	}
-	pip, err := baseline.NewPipette(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return []baseline.Engine{blk, pip}, nil
-}
+// phaseEngineIdxs are the two ends of the comparison: the conventional
+// path and the full framework, so the breakdown shows where each spends
+// time (indexes into EngineNames / newEngine).
+var phaseEngineIdxs = []int{0, 4}
 
 // WritePhaseBreakdown replays workload mix C (50% small / 50% 4 KiB,
 // uniform) against Block I/O and Pipette with every layer instrumented,
@@ -39,39 +29,63 @@ func phaseEngines(cfg baseline.StackConfig) ([]baseline.Engine, error) {
 // span name, from the VFS syscall entry down to the NAND tR and bus
 // transfer. When opts names files, the Pipette run's trace (Chrome
 // trace-event JSON) and sampled time series (CSV) are written there too.
-func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts) error {
+// The two engine replays are pool cells; rendering and file export happen
+// after both complete, in the fixed engine order.
+func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) error {
 	interval := opts.StatsInterval
 	if interval <= 0 {
 		interval = sim.Millisecond
 	}
 	mix := workload.Mixes(s.FileSize(), 4096, workload.Uniform, 0xbead)[2] // C
-	engines, err := phaseEngines(s.stackConfig(s.FileSize()))
-	if err != nil {
+	type phaseOut struct {
+		rec     *telemetry.Recorder
+		sampler *telemetry.Sampler
+	}
+	outs := make([]phaseOut, len(phaseEngineIdxs))
+	cells := make([]Cell, 0, len(phaseEngineIdxs))
+	for i, ei := range phaseEngineIdxs {
+		i, ei := i, ei
+		cells = append(cells, Cell{
+			Label: "phases/" + EngineNames[ei],
+			Run: func() (*Result, error) {
+				e, err := newEngine(ei, s.stackConfig(s.FileSize()))
+				if err != nil {
+					return nil, err
+				}
+				gen, err := workload.NewSynthetic(mix)
+				if err != nil {
+					return nil, err
+				}
+				rec := telemetry.NewRecorder()
+				e.SetTracer(rec)
+				sampler, err := telemetry.NewSampler(interval, e.Probes())
+				if err != nil {
+					return nil, err
+				}
+				res, err := Run(e, gen, s.Requests, RunOpts{Sampler: sampler})
+				if err != nil {
+					return nil, fmt.Errorf("bench: phases %s: %w", e.Name(), err)
+				}
+				outs[i] = phaseOut{rec: rec, sampler: sampler}
+				return res, nil
+			},
+		})
+	}
+	if err := p.RunCells(cells); err != nil {
 		return err
 	}
-	for _, e := range engines {
-		gen, err := workload.NewSynthetic(mix)
-		if err != nil {
-			return err
-		}
-		rec := telemetry.NewRecorder()
-		e.SetTracer(rec)
-		sampler, err := telemetry.NewSampler(interval, e.Probes())
-		if err != nil {
-			return err
-		}
-		if _, err := Run(e, gen, s.Requests, RunOpts{Sampler: sampler}); err != nil {
-			return fmt.Errorf("bench: phases %s: %w", e.Name(), err)
-		}
+	for i, ei := range phaseEngineIdxs {
+		rec, sampler := outs[i].rec, outs[i].sampler
+		name := EngineNames[ei]
 		fmt.Fprintf(w, "=== Per-phase latency breakdown: %s (mix C uniform, scale %s, %d requests) ===\n",
-			e.Name(), s.Name, s.Requests)
+			name, s.Name, s.Requests)
 		fmt.Fprint(w, rec.Breakdown().Render())
 		if dropped := rec.Dropped(); dropped > 0 {
 			fmt.Fprintf(w, "(trace kept %d events, dropped %d past the cap; histograms cover all)\n",
 				rec.Events(), dropped)
 		}
 		fmt.Fprintln(w)
-		if e.Name() == "Pipette" {
+		if name == "Pipette" {
 			if opts.TraceOut != "" {
 				if err := writeFileWith(opts.TraceOut, rec.WriteChromeTrace); err != nil {
 					return err

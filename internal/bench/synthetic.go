@@ -18,32 +18,51 @@ type SyntheticMatrix struct {
 	Results map[string]map[string]*Result // engine -> mix -> result
 }
 
-// RunSynthetic executes the Table 1 grid for one distribution.
-func RunSynthetic(s Scale, dist workload.Dist) (*SyntheticMatrix, error) {
+// RunSynthetic executes the Table 1 grid for one distribution: every
+// (mix, engine) pair is one pool cell over a private system.
+func RunSynthetic(s Scale, dist workload.Dist, p *Pool) (*SyntheticMatrix, error) {
 	m := &SyntheticMatrix{
 		Dist:    dist,
 		Results: make(map[string]map[string]*Result),
 	}
 	mixes := workload.Mixes(s.FileSize(), 4096, dist, 0xbead)
-	for _, mixCfg := range mixes {
+	grid := make([]*Result, len(mixes)*len(EngineNames))
+	cells := make([]Cell, 0, len(grid))
+	for mi, mixCfg := range mixes {
 		m.Mixes = append(m.Mixes, mixCfg.Name)
-		engines, err := engineSet(s.stackConfig(s.FileSize()))
-		if err != nil {
-			return nil, err
+		for ei, name := range EngineNames {
+			mixCfg, ei := mixCfg, ei
+			slot := &grid[mi*len(EngineNames)+ei]
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("synthetic-%s/%s/%s", dist, mixCfg.Name, name),
+				Run: func() (*Result, error) {
+					e, err := newEngine(ei, s.stackConfig(s.FileSize()))
+					if err != nil {
+						return nil, err
+					}
+					gen, err := workload.NewSynthetic(mixCfg)
+					if err != nil {
+						return nil, err
+					}
+					res, err := Run(e, gen, s.Requests, RunOpts{VerifyEvery: s.Requests/64 + 1})
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s mix %s: %w", e.Name(), mixCfg.Name, err)
+					}
+					*slot = res
+					return res, nil
+				},
+			})
 		}
-		for _, e := range engines {
-			gen, err := workload.NewSynthetic(mixCfg)
-			if err != nil {
-				return nil, err
+	}
+	if err := p.RunCells(cells); err != nil {
+		return nil, err
+	}
+	for mi := range mixes {
+		for ei, name := range EngineNames {
+			if m.Results[name] == nil {
+				m.Results[name] = make(map[string]*Result)
 			}
-			res, err := Run(e, gen, s.Requests, RunOpts{VerifyEvery: s.Requests/64 + 1})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s mix %s: %w", e.Name(), mixCfg.Name, err)
-			}
-			if m.Results[e.Name()] == nil {
-				m.Results[e.Name()] = make(map[string]*Result)
-			}
-			m.Results[e.Name()][mixCfg.Name] = res
+			m.Results[name][mixes[mi].Name] = grid[mi*len(EngineNames)+ei]
 		}
 	}
 	return m, nil
@@ -79,8 +98,8 @@ func (m *SyntheticMatrix) TrafficTable() *metrics.Table {
 }
 
 // writeSynthetic runs one distribution and prints both artifacts.
-func writeSynthetic(w io.Writer, s Scale, dist workload.Dist, figName, tableName string) error {
-	m, err := RunSynthetic(s, dist)
+func writeSynthetic(w io.Writer, s Scale, dist workload.Dist, figName, tableName string, p *Pool) error {
+	m, err := RunSynthetic(s, dist, p)
 	if err != nil {
 		return err
 	}
@@ -96,46 +115,65 @@ func writeSynthetic(w io.Writer, s Scale, dist workload.Dist, figName, tableName
 // LatencySweep is Figure 8: average read latency of workload E (uniform)
 // for request sizes 8 B .. 4 KiB, per engine, measured after a warmup phase
 // so caches are warm (the paper reports steady-state averages).
-func LatencySweep(s Scale) (map[string]map[int]*Result, error) {
+func LatencySweep(s Scale, p *Pool) (map[string]map[int]*Result, error) {
 	out := make(map[string]map[int]*Result)
 	hotBytes := int64(s.LatencyFilePages) * 4096
-	for _, size := range s.LatencySizes {
-		cfg := s.stackConfig(hotBytes)
-		// Figure 8 drives every size through each framework's native path:
-		// raise the Dispatcher threshold so 4 KiB still goes byte-granular,
-		// and use the hot-region memory configuration (see Scale).
-		cfg.Core.FineMaxBytes = 4096
-		cfg.Core.HMB.TempSlot = 4096
-		cfg.Core.HMB.DataBytes = int(hotBytes) * 2
-		cfg.Core.OverflowMaxBytes = int(hotBytes) * 2
-		cfg.VFS.PageCachePages = s.LatencyPCPages
-		cfg.Core.PageCacheFloorPages = s.LatencyPCPages / 8
-		engines, err := engineSet(cfg)
-		if err != nil {
-			return nil, err
+	grid := make([]*Result, len(s.LatencySizes)*len(EngineNames))
+	cells := make([]Cell, 0, len(grid))
+	for si, size := range s.LatencySizes {
+		for ei, name := range EngineNames {
+			size, ei := size, ei
+			slot := &grid[si*len(EngineNames)+ei]
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("latency/%dB/%s", size, name),
+				Run: func() (*Result, error) {
+					cfg := s.stackConfig(hotBytes)
+					// Figure 8 drives every size through each framework's
+					// native path: raise the Dispatcher threshold so 4 KiB
+					// still goes byte-granular, and use the hot-region
+					// memory configuration (see Scale).
+					cfg.Core.FineMaxBytes = 4096
+					cfg.Core.HMB.TempSlot = 4096
+					cfg.Core.HMB.DataBytes = int(hotBytes) * 2
+					cfg.Core.OverflowMaxBytes = int(hotBytes) * 2
+					cfg.VFS.PageCachePages = s.LatencyPCPages
+					cfg.Core.PageCacheFloorPages = s.LatencyPCPages / 8
+					e, err := newEngine(ei, cfg)
+					if err != nil {
+						return nil, err
+					}
+					mix := workload.Mixes(hotBytes, 4096, workload.Uniform, 0xf18)[4] // E
+					gen, err := workload.NewSynthetic(mix)
+					if err != nil {
+						return nil, err
+					}
+					fixed := workload.NewFixedSize(gen, size)
+					res, err := Run(e, fixed, s.LatencyRequests, RunOpts{Warmup: s.LatencyWarmup})
+					if err != nil {
+						return nil, fmt.Errorf("bench: fig8 %s %dB: %w", e.Name(), size, err)
+					}
+					*slot = res
+					return res, nil
+				},
+			})
 		}
-		for _, e := range engines {
-			mix := workload.Mixes(hotBytes, 4096, workload.Uniform, 0xf18)[4] // E
-			gen, err := workload.NewSynthetic(mix)
-			if err != nil {
-				return nil, err
+	}
+	if err := p.RunCells(cells); err != nil {
+		return nil, err
+	}
+	for si, size := range s.LatencySizes {
+		for ei, name := range EngineNames {
+			if out[name] == nil {
+				out[name] = make(map[int]*Result)
 			}
-			fixed := workload.NewFixedSize(gen, size)
-			res, err := Run(e, fixed, s.LatencyRequests, RunOpts{Warmup: s.LatencyWarmup})
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig8 %s %dB: %w", e.Name(), size, err)
-			}
-			if out[e.Name()] == nil {
-				out[e.Name()] = make(map[int]*Result)
-			}
-			out[e.Name()][size] = res
+			out[name][size] = grid[si*len(EngineNames)+ei]
 		}
 	}
 	return out, nil
 }
 
-func writeLatencySweep(w io.Writer, s Scale) error {
-	res, err := LatencySweep(s)
+func writeLatencySweep(w io.Writer, s Scale, p *Pool) error {
+	res, err := LatencySweep(s, p)
 	if err != nil {
 		return err
 	}

@@ -53,6 +53,13 @@ type Layer struct {
 	pageSize int
 	stats    Stats
 	tr       telemetry.Tracer
+
+	// Request-scoped scratch (the layer, like the whole stack, is
+	// single-threaded): sort buffer and run list for coalescing, and the
+	// command data buffer reused across merged commands.
+	sortBuf []uint64
+	runs    []run
+	readBuf []byte
 }
 
 // New creates a layer over a driver.
@@ -80,16 +87,17 @@ type run struct {
 }
 
 // coalesce sorts and merges page LBAs into contiguous runs, capped at
-// MaxPagesPerCommand. Duplicate LBAs are collapsed.
+// MaxPagesPerCommand. Duplicate LBAs are collapsed. The returned slice is
+// layer-owned scratch, valid until the next call.
 func (l *Layer) coalesce(lbas []uint64) []run {
 	if len(lbas) == 0 {
 		return nil
 	}
-	sorted := make([]uint64, len(lbas))
-	copy(sorted, lbas)
+	sorted := append(l.sortBuf[:0], lbas...)
+	l.sortBuf = sorted
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
-	var runs []run
+	runs := l.runs[:0]
 	cur := run{start: sorted[0], count: 1}
 	for _, lba := range sorted[1:] {
 		switch {
@@ -102,34 +110,41 @@ func (l *Layer) coalesce(lbas []uint64) []run {
 			cur = run{start: lba, count: 1}
 		}
 	}
-	return append(runs, cur)
+	l.runs = append(runs, cur)
+	return l.runs
 }
 
-// ReadPages reads the given page LBAs. It returns the page contents keyed
-// by LBA and the completion time of the last command. All merged commands
-// issue at now and race on the device.
-func (l *Layer) ReadPages(now sim.Time, lbas []uint64) (map[uint64][]byte, sim.Time, uint64, error) {
+// ReadPagesEach reads the given page LBAs and delivers each page's content
+// through deliver, in ascending LBA order (duplicates delivered once). The
+// data slice is layer-owned scratch, valid only for the duration of the
+// callback — copy what must outlive it. It returns the completion time of
+// the last command and the host bytes moved. All merged commands issue at
+// now and race on the device.
+func (l *Layer) ReadPagesEach(now sim.Time, lbas []uint64, deliver func(lba uint64, data []byte)) (sim.Time, uint64, error) {
 	if len(lbas) == 0 {
-		return nil, now, 0, nil
+		return now, 0, nil
 	}
 	l.stats.ReadRequests += uint64(len(lbas))
-	out := make(map[uint64][]byte, len(lbas))
 	done := now
 	var moved uint64
 	for _, r := range l.coalesce(lbas) {
-		buf := make([]byte, r.count*l.pageSize)
+		need := r.count * l.pageSize
+		if cap(l.readBuf) < need {
+			l.readBuf = make([]byte, need)
+		}
+		buf := l.readBuf[:need]
 		issueAt := now + l.cfg.PerRequestOverhead
 		comp, err := l.drv.Submit(issueAt, nvme.Command{
 			Op: nvme.OpRead, LBA: r.start, Pages: r.count, Data: buf,
 		})
 		if err != nil {
-			return nil, now, moved, fmt.Errorf("blockdev: read submit: %w", err)
+			return now, moved, fmt.Errorf("blockdev: read submit: %w", err)
 		}
 		if !comp.Ok() {
-			return nil, comp.Done, moved, fmt.Errorf("blockdev: read [%d,+%d): %v", r.start, r.count, comp.Status)
+			return comp.Done, moved, fmt.Errorf("blockdev: read [%d,+%d): %v", r.start, r.count, comp.Status)
 		}
 		for i := 0; i < r.count; i++ {
-			out[r.start+uint64(i)] = buf[i*l.pageSize : (i+1)*l.pageSize]
+			deliver(r.start+uint64(i), buf[i*l.pageSize:(i+1)*l.pageSize])
 		}
 		if l.tr.Enabled() {
 			l.tr.Span(telemetry.TrackBlock, "read", now, comp.Done)
@@ -140,6 +155,26 @@ func (l *Layer) ReadPages(now sim.Time, lbas []uint64) (map[uint64][]byte, sim.T
 		moved += comp.BytesMoved
 		l.stats.ReadCommands++
 		l.stats.PagesRead += uint64(r.count)
+	}
+	return done, moved, nil
+}
+
+// ReadPages reads the given page LBAs. It returns the page contents keyed
+// by LBA and the completion time of the last command. All merged commands
+// issue at now and race on the device. Hot paths should prefer
+// ReadPagesEach, which does not allocate the result map.
+func (l *Layer) ReadPages(now sim.Time, lbas []uint64) (map[uint64][]byte, sim.Time, uint64, error) {
+	if len(lbas) == 0 {
+		return nil, now, 0, nil
+	}
+	out := make(map[uint64][]byte, len(lbas))
+	done, moved, err := l.ReadPagesEach(now, lbas, func(lba uint64, data []byte) {
+		page := make([]byte, len(data))
+		copy(page, data)
+		out[lba] = page
+	})
+	if err != nil {
+		return nil, done, moved, err
 	}
 	return out, done, moved, nil
 }

@@ -20,6 +20,17 @@ type rangeKey struct {
 	n   int32
 }
 
+// keyLenBits packs a range's length into the low bits of its uint64 map
+// key. Fine ranges are at most FineMaxBytes <= one page (4 KiB), so 13 bits
+// hold the length and offsets up to 2^51 bytes keep distinct keys.
+const keyLenBits = 13
+
+// packed folds the key into one uint64 so the lookup table hits the
+// runtime's fast integer map path instead of the generic struct hasher.
+func (k rangeKey) packed() uint64 {
+	return uint64(k.off)<<keyLenBits | uint64(k.n)
+}
+
 // entry is one tracked access range.
 type entry struct {
 	key   rangeKey
@@ -39,15 +50,16 @@ type entry struct {
 // interval index used for write invalidation and containment hits.
 type fileTable struct {
 	ino     uint64
-	entries map[rangeKey]*entry
-	byPage  map[uint64]map[rangeKey]*entry
+	entries map[uint64]*entry   // packed rangeKey -> entry
+	byPage  map[uint64][]*entry // page index -> entries touching the page
+	scratch []*entry            // overlapping() result, reused per call
 }
 
 func newFileTable(ino uint64) *fileTable {
 	return &fileTable{
 		ino:     ino,
-		entries: make(map[rangeKey]*entry),
-		byPage:  make(map[uint64]map[rangeKey]*entry),
+		entries: make(map[uint64]*entry),
+		byPage:  make(map[uint64][]*entry),
 	}
 }
 
@@ -68,30 +80,37 @@ func (k rangeKey) overlaps(off int64, n int) bool {
 	return k.off < off+int64(n) && off < k.off+int64(k.n)
 }
 
+// lookup returns the entry with exactly key k, if tracked.
+func (t *fileTable) lookup(k rangeKey) (*entry, bool) {
+	e, ok := t.entries[k.packed()]
+	return e, ok
+}
+
 // index inserts e into the lookup table and the per-page index.
 func (t *fileTable) index(e *entry, pageSize int) {
-	t.entries[e.key] = e
+	t.entries[e.key.packed()] = e
 	first, last := e.key.pages(pageSize)
 	for p := first; p <= last; p++ {
-		set, ok := t.byPage[p]
-		if !ok {
-			set = make(map[rangeKey]*entry)
-			t.byPage[p] = set
-		}
-		set[e.key] = e
+		t.byPage[p] = append(t.byPage[p], e)
 	}
 }
 
 // unindex removes e from both indexes.
 func (t *fileTable) unindex(e *entry, pageSize int) {
-	delete(t.entries, e.key)
+	delete(t.entries, e.key.packed())
 	first, last := e.key.pages(pageSize)
 	for p := first; p <= last; p++ {
-		if set, ok := t.byPage[p]; ok {
-			delete(set, e.key)
-			if len(set) == 0 {
-				delete(t.byPage, p)
+		set := t.byPage[p]
+		for i, cand := range set {
+			if cand == e {
+				set[i] = set[len(set)-1]
+				set[len(set)-1] = nil
+				t.byPage[p] = set[:len(set)-1]
+				break
 			}
+		}
+		if len(t.byPage[p]) == 0 {
+			delete(t.byPage, p)
 		}
 	}
 }
@@ -99,9 +118,10 @@ func (t *fileTable) unindex(e *entry, pageSize int) {
 // findCovering locates a cached (non-ghost) entry whose range fully covers
 // [off, off+n): the exact key if cached, else a containment scan over the
 // entries touching the first page. This lets a small read hit a previously
-// cached larger range.
+// cached larger range. The slice scan visits entries in a deterministic
+// order, so ties resolve identically run to run.
 func (t *fileTable) findCovering(off int64, n int, pageSize int) *entry {
-	if e, ok := t.entries[rangeKey{off: off, n: int32(n)}]; ok && e.state != stateGhost {
+	if e, ok := t.lookup(rangeKey{off: off, n: int32(n)}); ok && e.state != stateGhost {
 		return e
 	}
 	first := uint64(off) / uint64(pageSize)
@@ -114,19 +134,24 @@ func (t *fileTable) findCovering(off int64, n int, pageSize int) *entry {
 }
 
 // overlapping collects entries intersecting [off, off+n) — the write
-// invalidation set.
+// invalidation set. The result is table-owned scratch, valid until the next
+// call. An entry spanning several pages is reported once: at the first page
+// of the scan window that touches it.
 func (t *fileTable) overlapping(off int64, n int, pageSize int) []*entry {
 	first := uint64(off) / uint64(pageSize)
 	last := uint64(off+int64(n)-1) / uint64(pageSize)
-	seen := make(map[rangeKey]bool)
-	var out []*entry
+	out := t.scratch[:0]
 	for p := first; p <= last; p++ {
-		for k, e := range t.byPage[p] {
-			if !seen[k] && k.overlaps(off, n) {
-				seen[k] = true
+		for _, e := range t.byPage[p] {
+			ef, _ := e.key.pages(pageSize)
+			if ef < first {
+				ef = first
+			}
+			if p == ef && e.key.overlaps(off, n) {
 				out = append(out, e)
 			}
 		}
 	}
+	t.scratch = out
 	return out
 }

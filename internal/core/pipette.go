@@ -27,9 +27,12 @@ type Pipette struct {
 	pageSize int
 
 	tables    map[uint64]*fileTable
+	lastTbl   *fileTable // memo: fine reads hammer one file at a time
 	bySlabOff map[int]*entry
 	overflow  *list.List // FIFO of *entry in stateOverflow
 	overBytes int
+
+	lbaScratch []uint64 // Constructor scratch; safe to reuse, Submit is synchronous
 
 	threshold  uint32
 	winAccess  uint64
@@ -135,6 +138,9 @@ func (p *Pipette) Region() *hmb.Region { return p.region }
 func (p *Pipette) Allocator() *slab.Allocator { return p.alloc }
 
 func (p *Pipette) table(ino uint64) *fileTable {
+	if p.lastTbl != nil && p.lastTbl.ino == ino {
+		return p.lastTbl
+	}
 	t, ok := p.tables[ino]
 	if !ok {
 		// The per-file hash lookup table is created on the file's first
@@ -142,6 +148,7 @@ func (p *Pipette) table(ino uint64) *fileTable {
 		t = newFileTable(ino)
 		p.tables[ino] = t
 	}
+	p.lastTbl = t
 	return t
 }
 
@@ -172,7 +179,7 @@ func (p *Pipette) TryFineRead(now sim.Time, f *vfs.File, off int64, buf []byte) 
 	key := rangeKey{off: off, n: int32(n)}
 	p.winAccess++
 	p.sinceMaint++
-	exact, seenExact := tbl.entries[key]
+	exact, seenExact := tbl.lookup(key)
 	covering := tbl.findCovering(off, n, p.pageSize)
 	if seenExact || covering != nil {
 		p.winReuse++
@@ -238,7 +245,8 @@ func (p *Pipette) TryFineRead(now sim.Time, f *vfs.File, off int64, buf []byte) 
 // copied into buf from the DMA destination.
 func (p *Pipette) fetchFine(now sim.Time, f *vfs.File, off int64, buf []byte, dest int) (sim.Time, error) {
 	n := len(buf)
-	lbas, err := f.Inode().ExtractLBAs(off, n, p.pageSize)
+	lbas, err := f.Inode().AppendLBAs(p.lbaScratch[:0], off, n, p.pageSize)
+	p.lbaScratch = lbas[:0]
 	if err != nil {
 		return now, err
 	}

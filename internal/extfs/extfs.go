@@ -48,36 +48,48 @@ func (ino *Inode) PageCount(pageSize int) uint64 {
 	return uint64((ino.Size + int64(pageSize) - 1) / int64(pageSize))
 }
 
-// PageToLBA resolves one file page index to its device LBA.
+// PageToLBA resolves one file page index to its device LBA. The binary
+// search is hand-rolled: this runs per page on every read path and the
+// sort.Search closure costs show up in profiles.
 func (ino *Inode) PageToLBA(page uint64) (uint64, error) {
-	i := sort.Search(len(ino.Extents), func(i int) bool {
-		e := ino.Extents[i]
-		return page < e.FilePage+e.Pages
-	})
-	if i >= len(ino.Extents) || page < ino.Extents[i].FilePage {
+	ext := ino.Extents
+	lo, hi := 0, len(ext)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if page < ext[mid].FilePage+ext[mid].Pages {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= len(ext) || page < ext[lo].FilePage {
 		return 0, fmt.Errorf("%w: page %d of %q", ErrBadRange, page, ino.Name)
 	}
-	e := ino.Extents[i]
-	return e.LBA + (page - e.FilePage), nil
+	return ext[lo].LBA + (page - ext[lo].FilePage), nil
 }
 
 // ExtractLBAs is the LBA Extractor: it returns the device LBAs of the pages
 // covering the byte range [off, off+n), in file order.
 func (ino *Inode) ExtractLBAs(off int64, n int, pageSize int) ([]uint64, error) {
+	return ino.AppendLBAs(nil, off, n, pageSize)
+}
+
+// AppendLBAs is ExtractLBAs appending to a caller-owned slice — the
+// allocation-free form the fine-read hot path uses with a reused scratch.
+func (ino *Inode) AppendLBAs(dst []uint64, off int64, n int, pageSize int) ([]uint64, error) {
 	if off < 0 || n <= 0 || off+int64(n) > ino.Size {
-		return nil, fmt.Errorf("%w: [%d,+%d) of %q (size %d)", ErrBadRange, off, n, ino.Name, ino.Size)
+		return dst, fmt.Errorf("%w: [%d,+%d) of %q (size %d)", ErrBadRange, off, n, ino.Name, ino.Size)
 	}
 	first := uint64(off) / uint64(pageSize)
 	last := uint64(off+int64(n)-1) / uint64(pageSize)
-	lbas := make([]uint64, 0, last-first+1)
 	for p := first; p <= last; p++ {
 		lba, err := ino.PageToLBA(p)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		lbas = append(lbas, lba)
+		dst = append(dst, lba)
 	}
-	return lbas, nil
+	return dst, nil
 }
 
 // CreateOpts tunes file creation.

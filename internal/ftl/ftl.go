@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pipette/internal/bitset"
 	"pipette/internal/nand"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
@@ -90,13 +91,15 @@ type FTL struct {
 	l2p []nand.PPA // logical page -> physical page
 	p2l []LBA      // physical page -> logical page (for GC)
 
-	validCount []int    // per block: live pages
-	eraseCount []uint32 // per block: wear
-	fullBlocks map[nand.BlockID]bool
+	validCount []int      // per block: live pages
+	eraseCount []uint32   // per block: wear
+	fullBlocks bitset.Set // closed (fully programmed) blocks; scans run in block-ID order
 
 	freeBlocks [][]nand.BlockID // per die free pool
 	open       []openBlock      // per die write frontier
 	nextDie    int              // round-robin striping cursor
+
+	relocBuf []byte // page scratch for GC / wear-level relocation reads
 
 	logicalPages uint64
 	stats        Stats
@@ -119,9 +122,10 @@ func New(arr *nand.Array, cfg Config) (*FTL, error) {
 		geo:        geo,
 		validCount: make([]int, geo.TotalBlocks()),
 		eraseCount: make([]uint32, geo.TotalBlocks()),
-		fullBlocks: make(map[nand.BlockID]bool),
+		fullBlocks: bitset.New(geo.TotalBlocks()),
 		freeBlocks: make([][]nand.BlockID, geo.Dies()),
 		open:       make([]openBlock, geo.Dies()),
+		relocBuf:   make([]byte, geo.PageSize),
 		tr:         telemetry.Nop(),
 	}
 	total := geo.TotalPages()
@@ -209,6 +213,16 @@ func (f *FTL) Read(now sim.Time, lba LBA) ([]byte, sim.Time, error) {
 	return f.arr.ReadPage(now, ppa)
 }
 
+// ReadInto reads the page backing lba into a caller-owned page-sized buffer,
+// avoiding the per-read allocation of Read.
+func (f *FTL) ReadInto(now sim.Time, lba LBA, buf []byte) (sim.Time, error) {
+	ppa, err := f.Translate(lba)
+	if err != nil {
+		return now, err
+	}
+	return f.arr.ReadPageInto(now, ppa, buf)
+}
+
 // popFree removes and returns the least-worn free block of a die —
 // wear-aware dynamic allocation, so erase cycles spread across the pool
 // instead of hammering the most recently freed block.
@@ -248,7 +262,7 @@ func (f *FTL) allocate(now sim.Time) (nand.PPA, sim.Time, error) {
 	ob := &f.open[die]
 	if ob.next >= f.geo.PagesPerBlock {
 		// Frontier block is full; retire it and open a new one.
-		f.fullBlocks[ob.id] = true
+		f.fullBlocks.Set(int(ob.id))
 		var err error
 		now, err = f.ensureFree(now, die)
 		if err != nil {
@@ -291,13 +305,15 @@ func (f *FTL) collectDie(now sim.Time, die int) (sim.Time, error) {
 }
 
 func (f *FTL) collectDieAt(now sim.Time, die int) (sim.Time, error) {
+	// Scan the die's closed blocks in ascending block-ID order: greedy on
+	// live-page count, lowest ID breaking ties, so victim selection is
+	// deterministic run to run.
 	victim := nand.BlockID(0)
 	best := -1
-	for id := range f.fullBlocks {
-		if f.dieOfBlock(id) != die {
-			continue
-		}
-		if best == -1 || f.validCount[id] < f.validCount[victim] {
+	lo, hi := die*f.geo.BlocksPerDie(), (die+1)*f.geo.BlocksPerDie()
+	for b := f.fullBlocks.NextSet(lo); b >= 0 && b < hi; b = f.fullBlocks.NextSet(b + 1) {
+		id := nand.BlockID(b)
+		if best == -1 || f.validCount[id] < best {
 			victim, best = id, f.validCount[id]
 		}
 	}
@@ -313,7 +329,7 @@ func (f *FTL) collectDieAt(now sim.Time, die int) (sim.Time, error) {
 		if lba == invalidLBA {
 			continue
 		}
-		data, t, err := f.arr.ReadPage(now, src)
+		t, err := f.arr.ReadPageInto(now, src, f.relocBuf)
 		if err != nil {
 			return now, fmt.Errorf("ftl: gc read: %w", err)
 		}
@@ -324,7 +340,7 @@ func (f *FTL) collectDieAt(now sim.Time, die int) (sim.Time, error) {
 			return now, err
 		}
 		now = t2
-		done, err := f.arr.ProgramPage(now, dst, data)
+		done, err := f.arr.ProgramPage(now, dst, f.relocBuf)
 		if err != nil {
 			return now, fmt.Errorf("ftl: gc program: %w", err)
 		}
@@ -333,7 +349,7 @@ func (f *FTL) collectDieAt(now sim.Time, die int) (sim.Time, error) {
 		f.stats.GCWrites++
 	}
 
-	delete(f.fullBlocks, victim)
+	f.fullBlocks.Clear(int(victim))
 	done, err := f.arr.EraseBlock(now, victim)
 	if err != nil {
 		return now, fmt.Errorf("ftl: gc erase: %w", err)
@@ -350,7 +366,7 @@ func (f *FTL) collectDieAt(now sim.Time, die int) (sim.Time, error) {
 func (f *FTL) allocateOnDie(now sim.Time, die int, exclude nand.BlockID) (nand.PPA, sim.Time, error) {
 	ob := &f.open[die]
 	if ob.next >= f.geo.PagesPerBlock {
-		f.fullBlocks[ob.id] = true
+		f.fullBlocks.Set(int(ob.id))
 		if len(f.freeBlocks[die]) == 0 {
 			return 0, now, fmt.Errorf("%w: die %d exhausted during GC", ErrNoSpace, die)
 		}

@@ -59,11 +59,14 @@ func (f *FTL) wearLevelDie(now sim.Time, die int, delta uint32) (bool, sim.Time,
 	}
 	worn := pool[wornIdx]
 
-	// Least-worn closed block: the cold-data candidate.
+	// Least-worn closed block: the cold-data candidate. Ascending block-ID
+	// scan keeps tie-breaks deterministic.
 	var cold nand.BlockID
 	found := false
-	for b := range f.fullBlocks {
-		if f.dieOfBlock(b) != die || f.validCount[b] == 0 {
+	lo, hi := die*f.geo.BlocksPerDie(), (die+1)*f.geo.BlocksPerDie()
+	for i := f.fullBlocks.NextSet(lo); i >= 0 && i < hi; i = f.fullBlocks.NextSet(i + 1) {
+		b := nand.BlockID(i)
+		if f.validCount[b] == 0 {
 			continue
 		}
 		if !found || f.eraseCount[b] < f.eraseCount[cold] {
@@ -89,13 +92,13 @@ func (f *FTL) wearLevelDie(now sim.Time, die int, delta uint32) (bool, sim.Time,
 		if lba == invalidLBA {
 			continue
 		}
-		data, rt, err := f.arr.ReadPage(t, src)
+		rt, err := f.arr.ReadPageInto(t, src, f.relocBuf)
 		if err != nil {
 			return false, t, fmt.Errorf("ftl: wear-level read: %w", err)
 		}
 		dst := f.geo.FirstPPA(worn) + nand.PPA(dstNext)
 		dstNext++
-		pt, err := f.arr.ProgramPage(rt, dst, data)
+		pt, err := f.arr.ProgramPage(rt, dst, f.relocBuf)
 		if err != nil {
 			return false, rt, fmt.Errorf("ftl: wear-level program: %w", err)
 		}
@@ -105,8 +108,8 @@ func (f *FTL) wearLevelDie(now sim.Time, die int, delta uint32) (bool, sim.Time,
 	}
 	// The destination is now a closed block; the cold block erases into the
 	// free pool, releasing its young erase budget for hot data.
-	f.fullBlocks[worn] = true
-	delete(f.fullBlocks, cold)
+	f.fullBlocks.Set(int(worn))
+	f.fullBlocks.Clear(int(cold))
 	et, err := f.arr.EraseBlock(t, cold)
 	if err != nil {
 		return false, t, fmt.Errorf("ftl: wear-level erase: %w", err)

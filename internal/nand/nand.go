@@ -14,9 +14,11 @@
 package nand
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
+	"pipette/internal/bitset"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 )
@@ -236,7 +238,7 @@ type Array struct {
 	buses *sim.ResourceSet // channel bus occupancy: data transfer
 
 	data    map[PPA][]byte // programmed pages with materialized content
-	loaded  map[PPA]bool   // preloaded pages (deterministic content)
+	loaded  bitset.Set     // preloaded pages (deterministic content)
 	blocks  []blockState
 	rng     *sim.RNG
 	timing  Timing
@@ -258,7 +260,7 @@ func New(cfg Config) (*Array, error) {
 		dies:    sim.NewResourceSet(cfg.Dies()),
 		buses:   sim.NewResourceSet(cfg.Channels),
 		data:    make(map[PPA][]byte),
-		loaded:  make(map[PPA]bool),
+		loaded:  bitset.New(int(cfg.TotalPages())),
 		blocks:  make([]blockState, cfg.TotalBlocks()),
 		rng:     sim.NewRNG(cfg.ContentSeed ^ 0xfeed_beef),
 		timing:  timings[cfg.Cell],
@@ -327,16 +329,30 @@ func (a *Array) IsBad(b BlockID) bool {
 // then the channel bus for the transfer; contention with other in-flight
 // operations delays completion.
 func (a *Array) ReadPage(now sim.Time, p PPA) ([]byte, sim.Time, error) {
+	buf := make([]byte, a.cfg.PageSize)
+	done, err := a.ReadPageInto(now, p, buf)
+	if err != nil {
+		return nil, done, err
+	}
+	return buf, done, nil
+}
+
+// ReadPageInto is ReadPage writing into a caller-owned page-sized buffer,
+// the allocation-free form every hot read path uses.
+func (a *Array) ReadPageInto(now sim.Time, p PPA, buf []byte) (sim.Time, error) {
 	if err := a.checkPPA(p); err != nil {
-		return nil, now, err
+		return now, err
+	}
+	if len(buf) != a.cfg.PageSize {
+		return now, fmt.Errorf("%w: got %d, want %d", ErrBadLength, len(buf), a.cfg.PageSize)
 	}
 	b := a.cfg.BlockOf(p)
 	if a.blocks[b].bad {
-		return nil, now, ErrBadBlock
+		return now, ErrBadBlock
 	}
 	_, _, _, _, page := a.cfg.Decompose(p)
-	if page >= a.blocks[b].nextPage && !a.loaded[p] {
-		return nil, now, fmt.Errorf("%w: ppa %d", ErrNotProgram, p)
+	if page >= a.blocks[b].nextPage && !a.loaded.Get(int(p)) {
+		return now, fmt.Errorf("%w: ppa %d", ErrNotProgram, p)
 	}
 
 	tR := a.timing.ReadPage
@@ -356,17 +372,12 @@ func (a *Array) ReadPage(now sim.Time, p PPA) ([]byte, sim.Time, error) {
 
 	a.stats.Reads++
 	a.stats.BytesOut += uint64(a.cfg.PageSize)
-	return a.contentOf(p), done, nil
-}
-
-// contentOf materializes the bytes of a programmed or preloaded page.
-func (a *Array) contentOf(p PPA) []byte {
 	if d, ok := a.data[p]; ok {
-		out := make([]byte, len(d))
-		copy(out, d)
-		return out
+		copy(buf, d)
+	} else {
+		a.pattern.fill(p, 0, buf)
 	}
-	return a.pattern.page(p)
+	return done, nil
 }
 
 // PeekRange returns len(buf) bytes of a page's content starting at off,
@@ -423,7 +434,7 @@ func (a *Array) ProgramPage(now sim.Time, p PPA, data []byte) (sim.Time, error) 
 	stored := make([]byte, len(data))
 	copy(stored, data)
 	a.data[p] = stored
-	delete(a.loaded, p)
+	a.loaded.Clear(int(p))
 	bs.nextPage = page + 1
 	a.stats.Programs++
 	a.stats.BytesIn += uint64(len(data))
@@ -443,7 +454,7 @@ func (a *Array) EraseBlock(now sim.Time, b BlockID) (sim.Time, error) {
 	first := a.cfg.FirstPPA(b)
 	for i := 0; i < a.cfg.PagesPerBlock; i++ {
 		delete(a.data, first+PPA(i))
-		delete(a.loaded, first+PPA(i))
+		a.loaded.Clear(int(first) + i)
 	}
 	bs.nextPage = 0
 	die := a.cfg.DieOf(first)
@@ -476,14 +487,14 @@ func (a *Array) Preload(p PPA) error {
 	case page > bs.nextPage:
 		return fmt.Errorf("%w: page %d, expected %d", ErrOutOfOrder, page, bs.nextPage)
 	}
-	a.loaded[p] = true
+	a.loaded.Set(int(p))
 	bs.nextPage = page + 1
 	return nil
 }
 
 // ProgrammedPages reports how many pages currently hold data (programmed or
 // preloaded).
-func (a *Array) ProgrammedPages() int { return len(a.data) + len(a.loaded) }
+func (a *Array) ProgrammedPages() int { return len(a.data) + a.loaded.Count() }
 
 // patternSource generates deterministic page content from (seed, ppa).
 type patternSource struct {
@@ -501,12 +512,24 @@ func (ps patternSource) page(p PPA) []byte {
 	return out
 }
 
-// fill writes the pattern bytes of page p starting at byte offset off.
+// fill writes the pattern bytes of page p starting at byte offset off. The
+// pattern is little-endian words of ps.word, so aligned spans are written
+// eight bytes at a time; byte-at-a-time only at ragged edges.
 func (ps patternSource) fill(p PPA, off int, buf []byte) {
-	for i := 0; i < len(buf); {
-		pos := off + i
-		w := ps.word(p, pos/8)
-		for b := pos % 8; b < 8 && i < len(buf); b++ {
+	i := 0
+	if r := off & 7; r != 0 {
+		w := ps.word(p, off>>3)
+		for b := r; b < 8 && i < len(buf); b++ {
+			buf[i] = byte(w >> (8 * uint(b)))
+			i++
+		}
+	}
+	for ; i+8 <= len(buf); i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], ps.word(p, (off+i)>>3))
+	}
+	if i < len(buf) {
+		w := ps.word(p, (off+i)>>3)
+		for b := 0; i < len(buf); b++ {
 			buf[i] = byte(w >> (8 * uint(b)))
 			i++
 		}

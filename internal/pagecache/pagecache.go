@@ -36,11 +36,19 @@ type entry struct {
 type EvictFunc func(key Key, dirty bool, data []byte)
 
 // Cache is the page cache. Not safe for concurrent use.
+//
+// The index is two-level — inode, then page index — so lookups take the
+// runtime's fast uint64 map path instead of hashing a struct key, and the
+// common one-file-per-engine case resolves through a memoized inner map.
 type Cache struct {
 	capacity int // pages; 0 means empty cache (everything misses)
-	pages    map[Key]*entry
+	pages    map[uint64]map[uint64]*entry
+	count    int
+	lastIno  uint64
+	lastFile map[uint64]*entry
 	head     *entry // sentinel: most recent after head
 	tail     *entry // sentinel: least recent before tail
+	free     *entry // recycled entries, chained on next
 	onEvict  EvictFunc
 
 	pageSize int
@@ -49,6 +57,7 @@ type Cache struct {
 	accesses uint64
 	inserts  uint64
 	evicts   uint64
+	dirtyN   int
 }
 
 // New creates a cache with a capacity budget in pages.
@@ -61,7 +70,7 @@ func New(capacityPages, pageSize int, onEvict EvictFunc) (*Cache, error) {
 	}
 	c := &Cache{
 		capacity: capacityPages,
-		pages:    make(map[Key]*entry),
+		pages:    make(map[uint64]map[uint64]*entry),
 		head:     &entry{},
 		tail:     &entry{},
 		onEvict:  onEvict,
@@ -73,7 +82,7 @@ func New(capacityPages, pageSize int, onEvict EvictFunc) (*Cache, error) {
 }
 
 // Len reports resident pages.
-func (c *Cache) Len() int { return len(c.pages) }
+func (c *Cache) Len() int { return c.count }
 
 // Capacity reports the page budget.
 func (c *Cache) Capacity() int { return c.capacity }
@@ -82,7 +91,7 @@ func (c *Cache) Capacity() int { return c.capacity }
 // page counts at page granularity — the paper's Table 4 "memory usage"
 // metric — even though clean pages are not materialized here).
 func (c *Cache) MemoryBytes() uint64 {
-	return uint64(len(c.pages)) * uint64(c.pageSize)
+	return uint64(c.count) * uint64(c.pageSize)
 }
 
 // Stats reports hits, accesses, insertions, evictions.
@@ -97,6 +106,69 @@ func (c *Cache) HitRatio() float64 {
 		return 0
 	}
 	return float64(c.hits) / float64(c.accesses)
+}
+
+// fileMap resolves the inner map of one inode, memoizing the last file
+// touched (requests run page loops over a single file).
+func (c *Cache) fileMap(ino uint64) map[uint64]*entry {
+	if c.lastFile != nil && c.lastIno == ino {
+		return c.lastFile
+	}
+	m, ok := c.pages[ino]
+	if !ok {
+		return nil
+	}
+	c.lastIno, c.lastFile = ino, m
+	return m
+}
+
+func (c *Cache) get(key Key) (*entry, bool) {
+	m := c.fileMap(key.File)
+	if m == nil {
+		return nil, false
+	}
+	e, ok := m[key.Index]
+	return e, ok
+}
+
+func (c *Cache) put(e *entry) {
+	m := c.fileMap(e.key.File)
+	if m == nil {
+		m = make(map[uint64]*entry)
+		c.pages[e.key.File] = m
+		c.lastIno, c.lastFile = e.key.File, m
+	}
+	m[e.key.Index] = e
+	c.count++
+}
+
+func (c *Cache) del(e *entry) {
+	m := c.fileMap(e.key.File)
+	delete(m, e.key.Index)
+	c.count--
+	if len(m) == 0 {
+		delete(c.pages, e.key.File)
+		if c.lastIno == e.key.File {
+			c.lastFile = nil
+		}
+	}
+}
+
+func (c *Cache) newEntry() *entry {
+	if e := c.free; e != nil {
+		c.free = e.next
+		*e = entry{}
+		return e
+	}
+	return &entry{}
+}
+
+func (c *Cache) recycle(e *entry) {
+	e.key = Key{}
+	e.data = nil
+	e.prev = nil
+	e.next = c.free
+	c.free = e
 }
 
 func (c *Cache) pushFront(e *entry) {
@@ -117,7 +189,7 @@ func (c *Cache) unlink(e *entry) {
 // caller regenerates clean bytes from the device oracle).
 func (c *Cache) Lookup(key Key) (data []byte, dirty, ok bool) {
 	c.accesses++
-	e, found := c.pages[key]
+	e, found := c.get(key)
 	if !found {
 		return nil, false, false
 	}
@@ -129,13 +201,14 @@ func (c *Cache) Lookup(key Key) (data []byte, dirty, ok bool) {
 
 // Contains checks residency without counting an access or touching LRU.
 func (c *Cache) Contains(key Key) bool {
-	_, ok := c.pages[key]
+	_, ok := c.get(key)
 	return ok
 }
 
 // Insert makes a page resident. data must be nil for clean pages and the
-// page's bytes for dirty ones. Inserting over an existing entry replaces
-// its state. Eviction keeps residency within capacity.
+// page's bytes for dirty ones (the cache takes ownership of the slice).
+// Inserting over an existing entry replaces its state. Eviction keeps
+// residency within capacity.
 func (c *Cache) Insert(key Key, dirty bool, data []byte) error {
 	if dirty && len(data) != c.pageSize {
 		return fmt.Errorf("pagecache: dirty insert with %d bytes, want %d", len(data), c.pageSize)
@@ -151,30 +224,44 @@ func (c *Cache) Insert(key Key, dirty bool, data []byte) error {
 		}
 		return nil
 	}
-	if e, ok := c.pages[key]; ok {
+	if e, ok := c.get(key); ok {
+		if e.dirty != dirty {
+			if dirty {
+				c.dirtyN++
+			} else {
+				c.dirtyN--
+			}
+		}
 		e.dirty = dirty
 		e.data = data
 		c.unlink(e)
 		c.pushFront(e)
 		return nil
 	}
-	e := &entry{key: key, dirty: dirty, data: data}
-	c.pages[key] = e
+	e := c.newEntry()
+	e.key, e.dirty, e.data = key, dirty, data
+	if dirty {
+		c.dirtyN++
+	}
+	c.put(e)
 	c.pushFront(e)
 	c.inserts++
 	c.evictOverflow()
 	return nil
 }
 
-// MarkDirty transitions a resident page to dirty with its bytes. Returns
-// false if the page is not resident.
+// MarkDirty transitions a resident page to dirty with its bytes (the cache
+// takes ownership of the slice). Returns false if the page is not resident.
 func (c *Cache) MarkDirty(key Key, data []byte) (bool, error) {
 	if len(data) != c.pageSize {
 		return false, fmt.Errorf("pagecache: dirty data %d bytes, want %d", len(data), c.pageSize)
 	}
-	e, ok := c.pages[key]
+	e, ok := c.get(key)
 	if !ok {
 		return false, nil
+	}
+	if !e.dirty {
+		c.dirtyN++
 	}
 	e.dirty = true
 	e.data = data
@@ -186,7 +273,7 @@ func (c *Cache) MarkDirty(key Key, data []byte) (bool, error) {
 // Remove drops a page (invalidation). Dirty data is passed to the evict
 // hook for writeback.
 func (c *Cache) Remove(key Key) bool {
-	e, ok := c.pages[key]
+	e, ok := c.get(key)
 	if !ok {
 		return false
 	}
@@ -196,16 +283,21 @@ func (c *Cache) Remove(key Key) bool {
 
 func (c *Cache) dropEntry(e *entry) {
 	c.unlink(e)
-	delete(c.pages, e.key)
+	c.del(e)
 	c.evicts++
+	if e.dirty {
+		c.dirtyN--
+	}
+	key, dirty, data := e.key, e.dirty, e.data
+	c.recycle(e)
 	if c.onEvict != nil {
-		c.onEvict(e.key, e.dirty, e.data)
+		c.onEvict(key, dirty, data)
 	}
 }
 
 // evictOverflow trims LRU pages until within capacity.
 func (c *Cache) evictOverflow() {
-	for len(c.pages) > c.capacity {
+	for c.count > c.capacity {
 		lru := c.tail.prev
 		if lru == c.head {
 			return
@@ -244,17 +336,10 @@ func (c *Cache) FlushDirtySelect(match func(Key) bool, fn func(key Key, data []b
 		}
 		e.dirty = false
 		e.data = nil
+		c.dirtyN--
 	}
 	return nil
 }
 
 // DirtyCount reports resident dirty pages.
-func (c *Cache) DirtyCount() int {
-	n := 0
-	for _, e := range c.pages {
-		if e.dirty {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) DirtyCount() int { return c.dirtyN }

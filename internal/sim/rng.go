@@ -4,6 +4,12 @@ package sim
 // It is not safe for concurrent use; give each generator its own RNG.
 type RNG struct {
 	state uint64
+
+	// Uint64n threshold memo: workload generators draw from the same range
+	// millions of times, and the unbiased-tail computation is a 64-bit
+	// division. Caching it preserves the exact output stream.
+	lastN   uint64
+	lastMax uint64
 }
 
 // NewRNG returns an RNG seeded with seed. Distinct seeds give independent
@@ -26,10 +32,15 @@ func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("sim: Uint64n with n == 0")
 	}
-	// Lemire's nearly-divisionless method would be faster; a plain modulo
-	// is fine here because n is tiny relative to 2^64 in all our uses.
-	// Reject the biased tail to keep the distribution exact.
-	max := (^uint64(0)) - (^uint64(0))%n
+	// Lemire's nearly-divisionless method would be faster but changes the
+	// value stream; a plain modulo is fine here because n is tiny relative
+	// to 2^64 in all our uses. Reject the biased tail to keep the
+	// distribution exact.
+	if n != r.lastN {
+		r.lastN = n
+		r.lastMax = (^uint64(0)) - (^uint64(0))%n
+	}
+	max := r.lastMax
 	for {
 		v := r.Uint64()
 		if v < max {

@@ -128,6 +128,8 @@ type Controller struct {
 	wbuf    []wbEntry
 	wbufIdx map[uint64]int
 
+	readBuf []byte // controller-DRAM staging for fine reads (ReadBufferPages pages)
+
 	stats Stats
 	tr    telemetry.Tracer
 }
@@ -167,6 +169,7 @@ func NewWithArray(cfg Config, arr *nand.Array) (*Controller, error) {
 		cmb:      make([]byte, cfg.CMBBytes),
 		cmbSlots: cfg.CMBBytes / cfg.NAND.PageSize,
 		wbufIdx:  make(map[uint64]int),
+		readBuf:  make([]byte, cfg.ReadBufferPages*cfg.NAND.PageSize),
 		tr:       telemetry.Nop(),
 	}
 	c.cmbPages = make([]uint64, c.cmbSlots)
@@ -271,11 +274,10 @@ func (c *Controller) execBlockRead(now sim.Time, cmd *nvme.Command) nvme.Complet
 				copy(cmd.Data[i*ps:], buffered)
 				continue
 			}
-			data, done, err := c.fl.Read(issueAt, ftl.LBA(lba))
+			done, err := c.fl.ReadInto(issueAt, ftl.LBA(lba), cmd.Data[i*ps:(i+1)*ps])
 			if err != nil {
 				return nvme.Completion{Status: statusFor(err), Done: done}
 			}
-			copy(cmd.Data[i*ps:], data)
 			if done > maxDone {
 				maxDone = done
 			}
@@ -360,35 +362,29 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 	c.stats.FineReadCmds++
 	start := now + c.cfg.FirmwareFineOverhead
 
-	// Phase 1: load pages; they issue together and race across channels.
-	pages := make([][]byte, len(cmd.FineLBAs))
+	// Phase 1: load pages into the controller read buffer; they issue
+	// together and race across channels. Pages land contiguously, so the
+	// extract phase is one range copy.
 	maxDone := start
 	for i, lba := range cmd.FineLBAs {
+		dst := c.readBuf[i*ps : (i+1)*ps]
 		if buffered, ok := c.bufLookup(lba); ok {
-			pages[i] = buffered
+			copy(dst, buffered)
 			continue
 		}
-		data, done, err := c.fl.Read(start, ftl.LBA(lba))
+		done, err := c.fl.ReadInto(start, ftl.LBA(lba), dst)
 		if err != nil {
 			return nvme.Completion{Status: statusFor(err), Done: done}
 		}
-		pages[i] = data
 		if done > maxDone {
 			maxDone = done
 		}
 		c.stats.PagesLoaded++
 	}
 
-	// Phase 3: extract the demanded range and scatter it to the HMB
-	// destination. The range may cross page boundaries.
-	out := make([]byte, rec.ByteLen)
-	for n := 0; n < rec.ByteLen; {
-		abs := rec.ByteOff + n
-		page, off := abs/ps, abs%ps
-		chunk := copy(out[n:], pages[page][off:])
-		n += chunk
-	}
-	if err := c.hmbRegion.WriteAt(rec.Dest, out); err != nil {
+	// Phase 3: extract the demanded range (may cross page boundaries) and
+	// scatter it to the HMB destination.
+	if err := c.hmbRegion.WriteAt(rec.Dest, c.readBuf[rec.ByteOff:rec.ByteOff+rec.ByteLen]); err != nil {
 		return nvme.Completion{Status: nvme.StatusInternal, Done: maxDone}
 	}
 	done := maxDone + c.cfg.ExtractOverhead + c.cfg.PCIe.dmaTime(rec.ByteLen)
@@ -412,17 +408,16 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 // step: "SSD controller reads pages from flash chips to the CMB"). Slot
 // reuse rotates; there is no caching, faithfully to the baseline.
 func (c *Controller) LoadToCMB(now sim.Time, lba uint64) (slot int, done sim.Time, err error) {
-	data, ok := c.bufLookup(lba)
-	done = now
-	if !ok {
-		data, done, err = c.fl.Read(now, ftl.LBA(lba))
-		if err != nil {
-			return 0, done, err
-		}
-	}
+	ps := c.cfg.NAND.PageSize
 	slot = c.cmbNext
+	dst := c.cmb[slot*ps : (slot+1)*ps]
+	done = now
+	if data, ok := c.bufLookup(lba); ok {
+		copy(dst, data)
+	} else if done, err = c.fl.ReadInto(now, ftl.LBA(lba), dst); err != nil {
+		return 0, done, err
+	}
 	c.cmbNext = (c.cmbNext + 1) % c.cmbSlots
-	copy(c.cmb[slot*c.cfg.NAND.PageSize:], data)
 	c.cmbPages[slot] = lba
 	c.stats.CMBPageLoads++
 	return slot, done, nil

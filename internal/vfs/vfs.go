@@ -79,6 +79,21 @@ type VFS struct {
 
 	io        metrics.IO
 	pendingWB []wbEntry
+
+	// Request-scoped fetch scratch (the VFS is single-threaded).
+	fetchLBAs  []uint64
+	fetchPairs []fetchPair
+	// pageFree recycles dirty-page buffers: writeAt hands buffers to the
+	// cache (which owns them until writeback), and the writeback paths
+	// return them here instead of leaving them to the garbage collector.
+	pageFree [][]byte
+}
+
+// fetchPair maps a device LBA back to the file page it backs during one
+// fetch.
+type fetchPair struct {
+	lba  uint64
+	page uint64
 }
 
 type wbEntry struct {
@@ -316,19 +331,24 @@ func (v *VFS) blockRead(now sim.Time, f *File, buf []byte, off int64) (sim.Time,
 		if p+uint64(count) > filePages {
 			count = int(filePages - p)
 		}
-		fetched, fetchDone, err := v.fetchPages(now, f, p, count)
+		lo, hi, bufLo, pageLo := overlap(off, len(buf), p, v.fs.PageSize())
+		var want []byte
+		if hi > lo {
+			want = buf[bufLo : bufLo+int(hi-lo)]
+		}
+		gotWant, fetchDone, err := v.fetchPages(now, f, p, count, want, pageLo)
 		if err != nil {
 			return fetchDone, err
 		}
 		if fetchDone > done {
 			done = fetchDone
 		}
-		if pageData, ok := fetched[p]; ok {
-			v.copyBytes(buf, off, p, pageData)
-		} else if err := v.fs.Peek(f.inode, int64(p)*ps, make([]byte, 0)); err == nil {
-			// Hole page: zeros (buf regions default to stale caller bytes,
-			// so clear explicitly).
-			v.zeroFill(buf, off, p)
+		if !gotWant {
+			if err := v.fs.Peek(f.inode, int64(p)*ps, nil); err == nil {
+				// Hole page: zeros (buf regions default to stale caller
+				// bytes, so clear explicitly).
+				v.zeroFill(buf, off, p)
+			}
 		}
 	}
 	return v.drainWriteback(done)
@@ -336,11 +356,14 @@ func (v *VFS) blockRead(now sim.Time, f *File, buf []byte, off int64) (sim.Time,
 
 // fetchPages reads up to count pages starting at page p through the block
 // layer, skipping already-resident pages and unmapped holes, and promotes
-// every fetched page into the cache (clean).
-func (v *VFS) fetchPages(now sim.Time, f *File, p uint64, count int) (map[uint64][]byte, sim.Time, error) {
+// every fetched page into the cache (clean), in ascending-LBA order so the
+// cache's recency list evolves identically run to run. If want is non-nil
+// and page p is fetched, its content starting at page offset wantOff is
+// copied into want and gotWant is true.
+func (v *VFS) fetchPages(now sim.Time, f *File, p uint64, count int, want []byte, wantOff int) (bool, sim.Time, error) {
 	ftlLayer := v.fs.Controller().FTL()
-	var lbas []uint64
-	pageOfLBA := make(map[uint64]uint64, count)
+	lbas := v.fetchLBAs[:0]
+	pairs := v.fetchPairs[:0]
 	for i := 0; i < count; i++ {
 		page := p + uint64(i)
 		key := pagecache.Key{File: f.inode.Ino, Index: page}
@@ -349,33 +372,55 @@ func (v *VFS) fetchPages(now sim.Time, f *File, p uint64, count int) (map[uint64
 		}
 		lba, err := f.inode.PageToLBA(page)
 		if err != nil {
-			return nil, now, err
+			v.fetchLBAs, v.fetchPairs = lbas, pairs
+			return false, now, err
 		}
 		if !ftlLayer.IsMapped(ftl.LBA(lba)) {
 			continue // hole: reads as zeros, nothing to fetch
 		}
 		lbas = append(lbas, lba)
-		pageOfLBA[lba] = page
+		// Insertion sort by LBA: the delivery walk below needs ascending
+		// order, and windows are small (read-ahead capped).
+		j := len(pairs)
+		pairs = append(pairs, fetchPair{})
+		for j > 0 && pairs[j-1].lba > lba {
+			pairs[j] = pairs[j-1]
+			j--
+		}
+		pairs[j] = fetchPair{lba: lba, page: page}
 	}
+	v.fetchLBAs, v.fetchPairs = lbas, pairs
 	if len(lbas) == 0 {
-		return nil, now, nil
+		return false, now, nil
 	}
-	byLBA, done, moved, err := v.blk.ReadPages(now, lbas)
+	gotWant := false
+	idx := 0
+	var insertErr error
+	done, moved, err := v.blk.ReadPagesEach(now, lbas, func(lba uint64, data []byte) {
+		for idx < len(pairs) && pairs[idx].lba < lba {
+			idx++
+		}
+		if idx >= len(pairs) || pairs[idx].lba != lba {
+			return
+		}
+		page := pairs[idx].page
+		if page == p && want != nil {
+			copy(want, data[wantOff:])
+			gotWant = true
+		}
+		if e := v.cache.Insert(pagecache.Key{File: f.inode.Ino, Index: page}, false, nil); e != nil && insertErr == nil {
+			insertErr = e
+		}
+	})
+	if err == nil {
+		err = insertErr
+	}
 	if err != nil {
-		return nil, done, err
+		return gotWant, done, err
 	}
 	v.io.BytesTransferred += moved
 	v.io.BlockReads += uint64(len(lbas))
-
-	byPage := make(map[uint64][]byte, len(byLBA))
-	for lba, data := range byLBA {
-		page := pageOfLBA[lba]
-		byPage[page] = data
-		if err := v.cache.Insert(pagecache.Key{File: f.inode.Ino, Index: page}, false, nil); err != nil {
-			return nil, done, err
-		}
-	}
-	return byPage, done, nil
+	return gotWant, done, nil
 }
 
 // copyFromPage serves the overlap of page p with the request from a
@@ -393,18 +438,29 @@ func (v *VFS) copyFromPage(f *File, buf []byte, off int64, p uint64, dirtyData [
 	_ = v.fs.Peek(f.inode, lo, buf[bufLo:bufLo+int(hi-lo)])
 }
 
-// copyBytes serves the overlap of page p from freshly fetched page data.
-func (v *VFS) copyBytes(buf []byte, off int64, p uint64, pageData []byte) {
-	lo, hi, bufLo, pageLo := overlap(off, len(buf), p, len(pageData))
-	if hi > lo {
-		copy(buf[bufLo:bufLo+int(hi-lo)], pageData[pageLo:])
-	}
-}
-
 func (v *VFS) zeroFill(buf []byte, off int64, p uint64) {
 	lo, hi, bufLo, _ := overlap(off, len(buf), p, v.fs.PageSize())
 	for i := lo; i < hi; i++ {
 		buf[bufLo+int(i-lo)] = 0
+	}
+}
+
+// getPageBuf returns a page-sized buffer, recycling writeback returns when
+// possible. Recycled buffers keep their stale content — callers overwrite
+// the whole page or zero it explicitly (see loadPageForRMW's hole path).
+func (v *VFS) getPageBuf() []byte {
+	if n := len(v.pageFree); n > 0 {
+		b := v.pageFree[n-1]
+		v.pageFree = v.pageFree[:n-1]
+		return b
+	}
+	return make([]byte, v.fs.PageSize())
+}
+
+// putPageBuf returns a buffer no longer referenced by the cache.
+func (v *VFS) putPageBuf(b []byte) {
+	if len(b) == v.fs.PageSize() && len(v.pageFree) < 256 {
+		v.pageFree = append(v.pageFree, b)
 	}
 }
 

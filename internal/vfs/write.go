@@ -54,7 +54,7 @@ func (f *File) writeAt(now sim.Time, data []byte, off int64) (int, sim.Time, err
 		if hi <= lo {
 			continue
 		}
-		page := make([]byte, v.fs.PageSize())
+		page := v.getPageBuf()
 		fullPage := pageLo == 0 && hi-lo == ps
 		if !fullPage {
 			// Read-modify-write: obtain the current page content.
@@ -100,15 +100,14 @@ func (v *VFS) loadPageForRMW(now sim.Time, f *File, p uint64, page []byte) (sim.
 		}
 		return now, v.fs.Peek(f.inode, int64(p)*int64(v.fs.PageSize()), pageTrim(page, f, p, v.fs.PageSize()))
 	}
-	fetched, done, err := v.fetchPages(now, f, p, 1)
-	if err != nil {
-		return done, err
+	got, done, err := v.fetchPages(now, f, p, 1, page, 0)
+	if err == nil && !got {
+		// Hole page: reads as zeros, and the buffer may be recycled.
+		for i := range page {
+			page[i] = 0
+		}
 	}
-	if data, ok := fetched[p]; ok {
-		copy(page, data)
-	}
-	// Hole pages stay zero.
-	return done, nil
+	return done, err
 }
 
 // pageTrim bounds the oracle read to the file tail (the last page of a
@@ -133,6 +132,7 @@ func (f *File) Sync(now sim.Time) (sim.Time, error) {
 			if err != nil {
 				return err
 			}
+			v.putPageBuf(data)
 			done = t
 			return nil
 		})
@@ -147,6 +147,7 @@ func (v *VFS) SyncAll(now sim.Time) (sim.Time, error) {
 		if err != nil {
 			return err
 		}
+		v.putPageBuf(data)
 		done = t
 		return nil
 	})
@@ -184,6 +185,7 @@ func (v *VFS) drainWriteback(now sim.Time) (sim.Time, error) {
 			if _, err := v.writebackPage(now, wb.key, wb.data); err != nil {
 				return now, err
 			}
+			v.putPageBuf(wb.data)
 		}
 	}
 	return now, nil
