@@ -1,0 +1,81 @@
+// Kvstore: a log-structured key-value store on the simulated Pipette stack.
+// Every Get issues an exact-length read — a few hundred bytes, not a 4 KiB
+// page — which is precisely the access pattern the fine-grained read path
+// serves without amplification. The demo writes a small user table, reads it
+// back, survives a simulated restart, and prints what moved over the wire.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipette"
+)
+
+func main() {
+	// The page cache is kept tiny (16 pages) so most Gets actually reach
+	// the device — and take the byte-granular path instead of pulling in
+	// whole pages.
+	sys, err := pipette.New(pipette.Options{
+		CapacityBytes:  512 << 20,
+		PageCacheBytes: 64 << 10,
+		FineCacheBytes: 4 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kv, err := sys.OpenKV(pipette.KVOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small user table: values are a few hundred bytes, far below the
+	// 4 KiB page.
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("user%04d", i)
+		profile := fmt.Sprintf("{\"id\":%d,\"name\":\"user %d\",\"bio\":%q}",
+			i, i, "storage enthusiast with a fondness for small reads")
+		if err := kv.Put(key, []byte(profile)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	before := sys.Now()
+	val, err := kv.Get("user0042")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get user0042 -> %d bytes in %v simulated: %s\n\n", len(val), sys.Now()-before, val)
+
+	// Range scan: keys are served in lexicographic order.
+	fmt.Println("first 3 users at or after user0100:")
+	if err := kv.Scan("user0100", 3, func(key string, value []byte) bool {
+		fmt.Printf("  %s (%d bytes)\n", key, len(value))
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := kv.Delete("user0042"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated restart: close the store, reopen, and recover the index by
+	// scanning the value-log segments. The delete survives.
+	if err := kv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	kv, err = sys.OpenKV(pipette.KVOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := kv.Get("user0042"); err != pipette.ErrNotFound {
+		log.Fatalf("deleted key after restart: %v", err)
+	}
+	fmt.Printf("\nafter restart: %d users recovered, user0042 stays deleted\n", kv.Len())
+
+	st := kv.Stats()
+	fmt.Printf("recovery replayed %d records\n\n", st.Recovered)
+	fmt.Println(sys.Report())
+}

@@ -46,6 +46,11 @@ type Scale struct {
 	LatencyPCPages   int
 	LatencyRequests  int
 	LatencyWarmup    int
+
+	// KV experiment: records preloaded into the log-structured store and
+	// operations replayed per YCSB workload.
+	KVRecords  uint64
+	KVRequests int
 }
 
 // FullScale mirrors the paper.
@@ -64,6 +69,8 @@ func FullScale() Scale {
 		LatencyPCPages:   1 << 10,
 		LatencyRequests:  100_000,
 		LatencyWarmup:    200_000,
+		KVRecords:        1_000_000,
+		KVRequests:       1_000_000,
 	}
 }
 
@@ -83,6 +90,8 @@ func QuickScale() Scale {
 		LatencyPCPages:   96,
 		LatencyRequests:  5_000,
 		LatencyWarmup:    10_000,
+		KVRecords:        60_000,
+		KVRequests:       60_000,
 	}
 }
 
@@ -102,6 +111,8 @@ func TinyScale() Scale {
 		LatencyPCPages:   8,
 		LatencyRequests:  400,
 		LatencyWarmup:    1_200,
+		KVRecords:        4_000,
+		KVRequests:       3_000,
 	}
 }
 

@@ -207,7 +207,8 @@ func TestAblationRuns(t *testing.T) {
 func TestFindExperiment(t *testing.T) {
 	t.Parallel()
 	for _, name := range []string{"fig6", "table2", "fig7", "table3", "fig8",
-		"fig9a", "fig9b", "table4", "fig1", "ablation", "apps", "latency"} {
+		"fig9a", "fig9b", "table4", "fig1", "ablation", "apps", "latency",
+		"kv", "ycsb"} {
 		if _, err := Find(name); err != nil {
 			t.Errorf("Find(%q): %v", name, err)
 		}
@@ -227,7 +228,8 @@ func TestRunAllTiny(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"Figure 6", "Table 2", "Figure 7", "Table 3",
-		"Figure 8", "Figure 9(a)", "Figure 9(b)", "Table 4", "Figure 1", "Ablation"} {
+		"Figure 8", "Figure 9(a)", "Figure 9(b)", "Table 4", "Figure 1", "Ablation",
+		"YCSB"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

@@ -71,6 +71,12 @@ func Experiments() []Experiment {
 			Title:     "Cache-size sensitivity + search-engine workload (beyond the paper)",
 			Run:       writeSensitivity,
 		},
+		{
+			ID:        "kv",
+			Artifacts: []string{"ycsb"},
+			Title:     "Log-structured KV store: YCSB A-F, block I/O vs Pipette (beyond the paper)",
+			Run:       writeKV,
+		},
 	}
 }
 

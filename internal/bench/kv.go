@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"pipette/internal/baseline"
+	"pipette/internal/blockdev"
+	"pipette/internal/core"
+	"pipette/internal/extfs"
+	"pipette/internal/kv"
+	"pipette/internal/metrics"
+	"pipette/internal/nvme"
+	"pipette/internal/sim"
+	"pipette/internal/ssd"
+	"pipette/internal/vfs"
+	"pipette/internal/workload"
+)
+
+// The kv experiment runs a real application — the log-structured KV store —
+// end-to-end over two read engines: plain block I/O and Pipette. Every Get
+// asks for exactly the value's bytes, so the gap between the engines is the
+// paper's core claim measured through a full storage application rather than
+// a synthetic request stream.
+
+// kvEngines are the two ends of the comparison (the intermediate engines
+// need raw device access the store does not model).
+var kvEngines = []string{"Block I/O", "Pipette"}
+
+// kvWorkloads are the YCSB core workloads the experiment replays.
+var kvWorkloads = []string{"A", "B", "C", "D", "E", "F"}
+
+const (
+	kvAvgRecordBytes = 320 // header + "user%010d" key + 64..512 B value
+	kvValueSpan      = 449 // value sizes 64 .. 512 inclusive
+	kvMinValueBytes  = 64
+	kvTickEvery      = 256 // ops between maintenance (compaction) ticks
+	kvSeed           = 0x5eed1e
+)
+
+// kvValueSize derives a deterministic 64..512 B value size from the key —
+// the paper's small-value regime, far below the 4 KiB page.
+func kvValueSize(key uint64) int {
+	return kvMinValueBytes + int(sim.Mix64(key^kvSeed)%kvValueSpan)
+}
+
+// kvValue renders the value for (key, version) into dst: a pattern both
+// engines must reproduce byte-for-byte, so the harness can verify reads
+// against it without a second store.
+func kvValue(dst []byte, key uint64, ver uint32) []byte {
+	n := kvValueSize(key)
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	seed := sim.Mix64(key*0x9e3779b97f4a7c15 ^ uint64(ver)<<32)
+	for i := range dst {
+		if i&7 == 0 && i > 0 {
+			seed = sim.Mix64(seed)
+		}
+		dst[i] = byte(seed >> (8 * (i & 7)))
+	}
+	return dst
+}
+
+func kvKey(k uint64) string { return fmt.Sprintf("user%010d", k) }
+
+// kvStack is the raw private system one cell runs over; unlike the baseline
+// engines there is no preloaded workload file — the store creates its own
+// segment files.
+type kvStack struct {
+	ctrl *ssd.Controller
+	v    *vfs.VFS
+	pip  *core.Pipette // nil for the block engine
+}
+
+// newKVStack assembles a stack sized for datasetBytes of live records, with
+// caches budgeted at an eighth of the dataset so both engines miss — the
+// regime where the read path's granularity shows.
+func newKVStack(s Scale, fine bool) (*kvStack, error) {
+	datasetBytes := int64(s.KVRecords) * kvAvgRecordBytes
+	cfg := baseline.DefaultStackConfig(datasetBytes * 3) // segments churn: live + dead + headroom
+	cachePages := int(datasetBytes / 4096 / 8)
+	if cachePages < 64 {
+		cachePages = 64
+	}
+	cfg.VFS.PageCachePages = cachePages
+	cfg.Core.HMB.DataBytes = int(datasetBytes / 8)
+	cfg.Core.OverflowMaxBytes = int(datasetBytes / 8)
+	cfg.Core.PageCacheFloorPages = cachePages / 8
+
+	ctrl, err := ssd.New(cfg.SSD)
+	if err != nil {
+		return nil, err
+	}
+	drv := nvme.NewDriver(ctrl, cfg.Depth, cfg.NVMe)
+	blk, err := blockdev.New(drv, ctrl.PageSize(), cfg.Block)
+	if err != nil {
+		return nil, err
+	}
+	fs := extfs.New(ctrl)
+	v, err := vfs.New(fs, blk, cfg.VFS)
+	if err != nil {
+		return nil, err
+	}
+	st := &kvStack{ctrl: ctrl, v: v}
+	if fine {
+		p, err := core.New(v, drv, cfg.Core)
+		if err != nil {
+			return nil, err
+		}
+		st.pip = p
+	}
+	return st, nil
+}
+
+// snapshot merges the stack's VFS and fine-path statistics, mirroring the
+// baseline engines' accounting so read amplification is comparable.
+func (st *kvStack) snapshot(name string) metrics.Snapshot {
+	snap := metrics.Snapshot{Name: name}
+	snap.IO = st.v.IO()
+	hits, accesses, ins, evs := st.v.PageCache().Stats()
+	snap.PageCache = metrics.Cache{Hits: hits, Accesses: accesses, Insertions: ins, Evictions: evs}
+	if st.pip != nil {
+		fio := st.pip.IO()
+		snap.IO.BytesTransferred += fio.BytesTransferred
+		snap.IO.FineReads = fio.FineReads
+		snap.FineCache = st.pip.CacheStats()
+	}
+	return snap
+}
+
+// kvSegmentBytes picks the store's segment size for the scale: enough
+// segments for rotation and compaction to matter, capped so full scale does
+// not rewrite huge files per compaction.
+func kvSegmentBytes(s Scale) int64 {
+	seg := int64(s.KVRecords) * kvAvgRecordBytes / 12
+	seg -= seg % 4096
+	if seg < 64<<10 {
+		seg = 64 << 10
+	}
+	if seg > 4<<20 {
+		seg = 4 << 20
+	}
+	return seg
+}
+
+// kvCellResult is one (workload, engine) measurement.
+type kvCellResult struct {
+	snap  metrics.Snapshot
+	hist  metrics.Histogram
+	store kv.Stats
+	segs  int
+	keys  int
+}
+
+// runKVCell loads the store and replays one YCSB workload over one engine.
+func runKVCell(s Scale, wl string, fine bool) (*kvCellResult, error) {
+	st, err := newKVStack(s, fine)
+	if err != nil {
+		return nil, err
+	}
+	store, now, err := kv.Open(0, kv.VFSBackend{V: st.v}, kv.Config{
+		SegmentBytes: kvSegmentBytes(s),
+		FineReads:    fine,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Load phase: version 0 of every record, then sync — setup cost is
+	// excluded from the measured snapshot below.
+	ver := make(map[uint64]uint32, s.KVRecords)
+	var val []byte
+	for k := uint64(0); k < s.KVRecords; k++ {
+		val = kvValue(val, k, 0)
+		if now, err = store.Put(now, kvKey(k), val); err != nil {
+			return nil, fmt.Errorf("bench: kv load %d: %w", k, err)
+		}
+	}
+	if now, err = store.Sync(now); err != nil {
+		return nil, err
+	}
+
+	cfg, err := workload.StandardYCSB(wl, s.KVRecords, kvSeed)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewYCSB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ops := s.KVRequests
+	if wl == "E" {
+		ops /= 10 // scans touch ~50 keys each; keep cell cost comparable
+	}
+	verifyEvery := ops/64 + 1
+
+	base := st.snapshot("")
+	baseKV := store.Stats()
+	start := now
+	res := &kvCellResult{}
+	var got []byte
+	for i := 0; i < ops; i++ {
+		req := gen.Next()
+		before := now
+		switch req.Op {
+		case workload.OpRead:
+			got, now, err = store.Get(now, kvKey(req.Key), got[:0])
+			if err != nil {
+				return nil, fmt.Errorf("bench: kv %s get %d: %w", wl, req.Key, err)
+			}
+			if i%verifyEvery == 0 {
+				val = kvValue(val, req.Key, ver[req.Key])
+				if !bytes.Equal(got, val) {
+					return nil, fmt.Errorf("bench: kv %s: wrong bytes for key %d v%d", wl, req.Key, ver[req.Key])
+				}
+			}
+		case workload.OpUpdate:
+			ver[req.Key]++
+			val = kvValue(val, req.Key, ver[req.Key])
+			if now, err = store.Put(now, kvKey(req.Key), val); err != nil {
+				return nil, fmt.Errorf("bench: kv %s update %d: %w", wl, req.Key, err)
+			}
+		case workload.OpInsert:
+			val = kvValue(val, req.Key, 0)
+			if now, err = store.Put(now, kvKey(req.Key), val); err != nil {
+				return nil, fmt.Errorf("bench: kv %s insert %d: %w", wl, req.Key, err)
+			}
+		case workload.OpScan:
+			seen := 0
+			now, err = store.Scan(now, kvKey(req.Key), req.ScanLen, func(string, []byte) bool {
+				seen++
+				return true
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: kv %s scan %d: %w", wl, req.Key, err)
+			}
+		case workload.OpRMW:
+			if got, now, err = store.Get(now, kvKey(req.Key), got[:0]); err != nil {
+				return nil, fmt.Errorf("bench: kv %s rmw get %d: %w", wl, req.Key, err)
+			}
+			ver[req.Key]++
+			val = kvValue(val, req.Key, ver[req.Key])
+			if now, err = store.Put(now, kvKey(req.Key), val); err != nil {
+				return nil, fmt.Errorf("bench: kv %s rmw put %d: %w", wl, req.Key, err)
+			}
+		}
+		res.hist.Observe(now - before)
+		if i%kvTickEvery == kvTickEvery-1 {
+			if _, now, err = store.MaintenanceTick(now); err != nil {
+				return nil, fmt.Errorf("bench: kv %s compaction: %w", wl, err)
+			}
+		}
+	}
+
+	snap := st.snapshot("")
+	subIO(&snap.IO, base.IO)
+	subCache(&snap.PageCache, base.PageCache)
+	subCache(&snap.FineCache, base.FineCache)
+	snap.Ops = uint64(ops)
+	snap.Elapsed = now - start
+	snap.MeanLat = res.hist.Mean()
+	snap.P99Lat = res.hist.Quantile(0.99)
+	res.snap = snap
+	res.store = store.Stats()
+	res.store.Puts -= baseKV.Puts
+	res.store.Gets -= baseKV.Gets
+	res.store.BytesWritten -= baseKV.BytesWritten
+	res.store.BytesRead -= baseKV.BytesRead
+	res.segs = store.Segments()
+	res.keys = store.Len()
+	return res, nil
+}
+
+// RunKV executes the workload × engine grid.
+func RunKV(s Scale, p *Pool) ([][]*kvCellResult, error) {
+	grid := make([][]*kvCellResult, len(kvWorkloads))
+	for i := range grid {
+		grid[i] = make([]*kvCellResult, len(kvEngines))
+	}
+	var cells []Cell
+	for wi, wl := range kvWorkloads {
+		for ei, name := range kvEngines {
+			wi, ei, wl := wi, ei, wl
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("kv/ycsb-%s/%s", wl, name),
+				Run: func() (*Result, error) {
+					r, err := runKVCell(s, wl, ei == 1)
+					if err != nil {
+						return nil, err
+					}
+					grid[wi][ei] = r
+					return nil, nil
+				},
+			})
+		}
+	}
+	if err := p.RunCells(cells); err != nil {
+		return nil, err
+	}
+	return grid, nil
+}
+
+// writeKV renders the kv experiment: per-workload throughput, latency, and
+// the read-amplification comparison that is the experiment's point.
+func writeKV(w io.Writer, s Scale, p *Pool) error {
+	grid, err := RunKV(s, p)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "=== kv store: YCSB A-F end-to-end, exact-length Gets (scale %s, %d records, %d ops) ===\n",
+		s.Name, s.KVRecords, s.KVRequests)
+	t := &metrics.Table{Header: []string{
+		"Workload", "Engine", "Kops/s", "Mean us", "p99 us", "ReadAmp", "PC hit%", "Read MB", "Write MB"}}
+	for wi, wl := range kvWorkloads {
+		for ei, name := range kvEngines {
+			r := grid[wi][ei]
+			t.AddRow(
+				"YCSB-"+wl, name,
+				fmt.Sprintf("%.1f", r.snap.ThroughputOpsPerSec()/1e3),
+				fmt.Sprintf("%.1f", r.snap.MeanLat.Micros()),
+				fmt.Sprintf("%.1f", r.snap.P99Lat.Micros()),
+				fmt.Sprintf("%.2f", r.snap.IO.ReadAmplification()),
+				fmt.Sprintf("%.1f", r.snap.PageCache.HitRatio()*100),
+				fmt.Sprintf("%.1f", r.snap.IO.TrafficMB()),
+				fmt.Sprintf("%.1f", float64(r.snap.IO.BytesWritten)/(1<<20)),
+			)
+		}
+	}
+	fmt.Fprint(w, t.Render())
+
+	fmt.Fprintf(w, "\n=== kv store: log maintenance per workload (Pipette engine) ===\n")
+	mt := &metrics.Table{Header: []string{
+		"Workload", "Keys", "Segments", "Rotations", "Compactions", "Reclaimed MB", "Moved MB"}}
+	for wi, wl := range kvWorkloads {
+		r := grid[wi][1]
+		mt.AddRow(
+			"YCSB-"+wl,
+			fmt.Sprintf("%d", r.keys),
+			fmt.Sprintf("%d", r.segs),
+			fmt.Sprintf("%d", r.store.Rotations),
+			fmt.Sprintf("%d", r.store.Compactions),
+			fmt.Sprintf("%.1f", float64(r.store.ReclaimedBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(r.store.MovedBytes)/(1<<20)),
+		)
+	}
+	fmt.Fprint(w, mt.Render())
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestKVExperimentShapes runs the kv experiment at tiny scale and checks the
+// paper's claim end-to-end: the same store over the fine-read path moves
+// fewer device bytes per requested byte than over block I/O on the
+// read-heavy small-value workloads.
+func TestKVExperimentShapes(t *testing.T) {
+	t.Parallel()
+	grid, err := RunKV(TinyScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi, wl := range kvWorkloads {
+		blk, pip := grid[wi][0], grid[wi][1]
+		if blk.keys != pip.keys {
+			t.Errorf("YCSB-%s: engines diverge on final key count: %d vs %d", wl, blk.keys, pip.keys)
+		}
+		if blk.snap.Ops == 0 || pip.snap.Ops == 0 {
+			t.Fatalf("YCSB-%s: no measured ops", wl)
+		}
+		if wl == "A" || wl == "B" || wl == "C" {
+			if pip.snap.IO.FineReads == 0 {
+				t.Errorf("YCSB-%s: Pipette engine served no fine reads", wl)
+			}
+			if pa, ba := pip.snap.IO.ReadAmplification(), blk.snap.IO.ReadAmplification(); pa >= ba {
+				t.Errorf("YCSB-%s: Pipette read amp %.2f not below block I/O %.2f", wl, pa, ba)
+			}
+		}
+		if blk.snap.IO.FineReads != 0 {
+			t.Errorf("YCSB-%s: block engine reports fine reads", wl)
+		}
+	}
+}
+
+// TestKVExperimentDeterminism checks the kv experiment renders byte-identical
+// output at any worker count, like the rest of the suite.
+func TestKVExperimentDeterminism(t *testing.T) {
+	t.Parallel()
+	exp, err := Find("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TinyScale()
+	var a, b bytes.Buffer
+	if err := exp.Run(&a, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Run(&b, s, NewPool(8)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("kv output differs between serial and -j 8:\n--- serial\n%s\n--- parallel\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "YCSB-A") || !strings.Contains(a.String(), "Compactions") {
+		t.Fatalf("kv output missing expected sections:\n%s", a.String())
+	}
+}

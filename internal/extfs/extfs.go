@@ -104,15 +104,26 @@ type CreateOpts struct {
 	ExtentPages uint64
 }
 
+// freeRun is one run of reusable LBAs released by Remove. The free list is
+// kept sorted by LBA and coalesced, so steady-state create/remove churn
+// (value-log segment rotation) reuses space instead of exhausting the bump
+// frontier.
+type freeRun struct {
+	lba   uint64
+	pages uint64
+}
+
 // FS is the filesystem metadata. Not safe for concurrent use.
 type FS struct {
 	ctrl     *ssd.Controller
 	pageSize int
 
-	nextLBA uint64
-	nextIno uint64
-	byName  map[string]*Inode
-	byIno   map[uint64]*Inode
+	nextLBA   uint64
+	nextIno   uint64
+	byName    map[string]*Inode
+	byIno     map[uint64]*Inode
+	free      []freeRun // sorted by lba, coalesced
+	freePages uint64
 }
 
 // New formats a filesystem over a device.
@@ -133,6 +144,88 @@ func (fs *FS) PageSize() int { return fs.pageSize }
 // pipette core needs HMB wiring).
 func (fs *FS) Controller() *ssd.Controller { return fs.ctrl }
 
+// FreeCapacityPages reports allocatable pages: the untouched bump frontier
+// plus everything on the free list.
+func (fs *FS) FreeCapacityPages() uint64 {
+	return fs.ctrl.LogicalPages() - fs.nextLBA + fs.freePages
+}
+
+// takeFree carves pages LBAs out of free-list run i.
+func (fs *FS) takeFree(i int, pages uint64) uint64 {
+	lba := fs.free[i].lba
+	fs.free[i].lba += pages
+	fs.free[i].pages -= pages
+	if fs.free[i].pages == 0 {
+		fs.free = append(fs.free[:i], fs.free[i+1:]...)
+	}
+	fs.freePages -= pages
+	return lba
+}
+
+// allocRun allocates up to want contiguous pages: first-fit from the free
+// list, then the bump frontier, then a partial cut of the largest free run.
+// got == 0 means the volume is out of space.
+func (fs *FS) allocRun(want uint64) (lba, got uint64, bumped bool) {
+	for i := range fs.free {
+		if fs.free[i].pages >= want {
+			return fs.takeFree(i, want), want, false
+		}
+	}
+	if rem := fs.ctrl.LogicalPages() - fs.nextLBA; rem >= want {
+		lba = fs.nextLBA
+		fs.nextLBA += want
+		return lba, want, true
+	}
+	best := -1
+	for i := range fs.free {
+		if best < 0 || fs.free[i].pages > fs.free[best].pages {
+			best = i
+		}
+	}
+	if best >= 0 {
+		got = fs.free[best].pages
+		return fs.takeFree(best, got), got, false
+	}
+	if rem := fs.ctrl.LogicalPages() - fs.nextLBA; rem > 0 {
+		got = rem
+		if got > want {
+			got = want
+		}
+		lba = fs.nextLBA
+		fs.nextLBA += got
+		return lba, got, true
+	}
+	return 0, 0, false
+}
+
+// releaseRun returns a run of LBAs to the free list, inserting in sorted
+// position and coalescing with its neighbours.
+func (fs *FS) releaseRun(lba, pages uint64) {
+	if pages == 0 {
+		return
+	}
+	i := sort.Search(len(fs.free), func(i int) bool { return fs.free[i].lba >= lba })
+	fs.free = append(fs.free, freeRun{})
+	copy(fs.free[i+1:], fs.free[i:])
+	fs.free[i] = freeRun{lba: lba, pages: pages}
+	fs.freePages += pages
+	if i+1 < len(fs.free) && fs.free[i].lba+fs.free[i].pages == fs.free[i+1].lba {
+		fs.free[i].pages += fs.free[i+1].pages
+		fs.free = append(fs.free[:i+1], fs.free[i+2:]...)
+	}
+	if i > 0 && fs.free[i-1].lba+fs.free[i-1].pages == fs.free[i].lba {
+		fs.free[i-1].pages += fs.free[i].pages
+		fs.free = append(fs.free[:i], fs.free[i+1:]...)
+	}
+}
+
+// releaseExtents rolls an inode's allocation back onto the free list.
+func (fs *FS) releaseExtents(extents []Extent) {
+	for _, e := range extents {
+		fs.releaseRun(e.LBA, e.Pages)
+	}
+}
+
 // Create makes a fixed-size file.
 func (fs *FS) Create(name string, size int64, opts CreateOpts) (*Inode, error) {
 	if name == "" || size < 0 {
@@ -142,9 +235,9 @@ func (fs *FS) Create(name string, size int64, opts CreateOpts) (*Inode, error) {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	pages := uint64((size + int64(fs.pageSize) - 1) / int64(fs.pageSize))
-	if fs.nextLBA+pages > fs.ctrl.LogicalPages() {
+	if pages > fs.FreeCapacityPages() {
 		return nil, fmt.Errorf("%w: need %d pages, %d free", ErrNoSpace,
-			pages, fs.ctrl.LogicalPages()-fs.nextLBA)
+			pages, fs.FreeCapacityPages())
 	}
 
 	ino := &Inode{Ino: fs.nextIno, Name: name, Size: size}
@@ -155,15 +248,22 @@ func (fs *FS) Create(name string, size int64, opts CreateOpts) (*Inode, error) {
 		chunk = pages
 	}
 	for covered := uint64(0); covered < pages; {
-		run := chunk
-		if covered+run > pages {
-			run = pages - covered
+		want := chunk
+		if covered+want > pages {
+			want = pages - covered
 		}
-		ino.Extents = append(ino.Extents, Extent{FilePage: covered, LBA: fs.nextLBA, Pages: run})
-		fs.nextLBA += run
-		covered += run
-		if covered < pages && opts.ExtentPages != 0 {
-			// Skip one LBA to force fragmentation.
+		lba, got, bumped := fs.allocRun(want)
+		if got == 0 {
+			// Fragmentation skips can eat past the capacity pre-check.
+			fs.releaseExtents(ino.Extents)
+			return nil, fmt.Errorf("%w: need %d pages, %d free", ErrNoSpace,
+				pages-covered, fs.FreeCapacityPages())
+		}
+		ino.Extents = append(ino.Extents, Extent{FilePage: covered, LBA: lba, Pages: got})
+		covered += got
+		if covered < pages && opts.ExtentPages != 0 && bumped {
+			// Skip one LBA to force fragmentation (bump allocations only:
+			// free-list reuse is naturally discontiguous).
 			fs.nextLBA++
 		}
 	}
@@ -175,6 +275,8 @@ func (fs *FS) Create(name string, size int64, opts CreateOpts) (*Inode, error) {
 		for _, e := range ino.Extents {
 			for i := uint64(0); i < e.Pages; i++ {
 				if err := fs.ctrl.FTL().Preload(ftl.LBA(e.LBA + i)); err != nil {
+					fs.trimExtents(ino.Extents)
+					fs.releaseExtents(ino.Extents)
 					return nil, fmt.Errorf("extfs: preload %q: %w", name, err)
 				}
 			}
@@ -184,6 +286,15 @@ func (fs *FS) Create(name string, size int64, opts CreateOpts) (*Inode, error) {
 	fs.byName[name] = ino
 	fs.byIno[ino.Ino] = ino
 	return ino, nil
+}
+
+// trimExtents trims every LBA of the extent list, tolerating unmapped pages.
+func (fs *FS) trimExtents(extents []Extent) {
+	for _, e := range extents {
+		for i := uint64(0); i < e.Pages; i++ {
+			_ = fs.ctrl.FTL().Trim(ftl.LBA(e.LBA + i))
+		}
+	}
 }
 
 // Lookup finds a file by name.
@@ -204,7 +315,8 @@ func (fs *FS) InodeByID(ino uint64) (*Inode, error) {
 	return n, nil
 }
 
-// Remove deletes a file and trims its LBAs on the device.
+// Remove deletes a file, trims its LBAs on the device, and returns them to
+// the free list for reuse.
 func (fs *FS) Remove(name string) error {
 	ino, ok := fs.byName[name]
 	if !ok {
@@ -218,6 +330,7 @@ func (fs *FS) Remove(name string) error {
 			}
 		}
 	}
+	fs.releaseExtents(ino.Extents)
 	delete(fs.byName, name)
 	delete(fs.byIno, ino.Ino)
 	return nil

@@ -1,0 +1,70 @@
+package kv
+
+import (
+	"pipette/internal/extfs"
+	"pipette/internal/sim"
+	"pipette/internal/vfs"
+)
+
+// BackendFile is one open segment handle. All I/O threads virtual time,
+// exactly like the vfs layer underneath.
+type BackendFile interface {
+	ReadAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error)
+	WriteAt(now sim.Time, data []byte, off int64) (int, sim.Time, error)
+	Sync(now sim.Time) (sim.Time, error)
+	Close() error
+	Size() int64
+}
+
+// Backend is the filesystem the store keeps its value-log segments on. The
+// production implementation is VFSBackend; tests may substitute fakes.
+type Backend interface {
+	// Create makes a fixed-size segment file and returns its write handle.
+	Create(name string, size int64) (BackendFile, error)
+	// OpenReader opens a read handle; fine requests O_FINE_GRAINED so Gets
+	// take the byte-granular read path.
+	OpenReader(name string, fine bool) (BackendFile, error)
+	// OpenWriter opens a write handle on an existing segment (recovery
+	// resumes appending into the last one).
+	OpenWriter(name string) (BackendFile, error)
+	Remove(name string) error
+	Files() []string
+	PageSize() int
+}
+
+// VFSBackend runs the store over a simulated filesystem. Segments are
+// preloaded so every page is device-mapped from creation: fine-grained
+// reads never touch an unmapped LBA, and the recovery scan reads
+// deterministic pattern bytes (not holes) past the log tail — which the
+// record checksums reject, as on real hardware.
+type VFSBackend struct {
+	V *vfs.VFS
+}
+
+// Create implements Backend.
+func (b VFSBackend) Create(name string, size int64) (BackendFile, error) {
+	return b.V.Create(name, size, extfs.CreateOpts{Preload: true}, vfs.ReadWrite)
+}
+
+// OpenReader implements Backend.
+func (b VFSBackend) OpenReader(name string, fine bool) (BackendFile, error) {
+	flags := vfs.ReadOnly
+	if fine {
+		flags |= vfs.FineGrained
+	}
+	return b.V.Open(name, flags)
+}
+
+// OpenWriter implements Backend.
+func (b VFSBackend) OpenWriter(name string) (BackendFile, error) {
+	return b.V.Open(name, vfs.ReadWrite)
+}
+
+// Remove implements Backend.
+func (b VFSBackend) Remove(name string) error { return b.V.Remove(name) }
+
+// Files implements Backend.
+func (b VFSBackend) Files() []string { return b.V.FS().Files() }
+
+// PageSize implements Backend.
+func (b VFSBackend) PageSize() int { return b.V.FS().PageSize() }

@@ -1,0 +1,155 @@
+package kv
+
+import (
+	"fmt"
+
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+)
+
+// MaintenanceTick runs one round of background work: if any sealed segment's
+// dead fraction has reached CompactMinDeadFrac, the worst one is compacted —
+// its live records re-appended to the active log, its file removed. Returns
+// whether a compaction ran and the simulated completion time. The owning
+// system calls this from its periodic maintenance tick, so reclamation rides
+// the same cadence as writeback and FGRC eviction.
+func (s *Store) MaintenanceTick(now sim.Time) (bool, sim.Time, error) {
+	victim := s.pickVictim()
+	if victim == nil {
+		return false, now, nil
+	}
+	start := now
+	now, err := s.compact(now, victim)
+	if err != nil {
+		return false, now, err
+	}
+	if s.tr.Enabled() {
+		s.tr.Span(telemetry.TrackKV, "kv.compact", start, now)
+	}
+	return true, now, nil
+}
+
+// pickVictim returns the sealed segment with the highest dead fraction at or
+// above the threshold, scanning in creation order for determinism.
+func (s *Store) pickVictim() *segment {
+	var best *segment
+	for _, id := range s.order {
+		sg := s.segs[id]
+		if sg.w != nil { // active segment still takes appends
+			continue
+		}
+		if sg.deadFrac() < s.cfg.CompactMinDeadFrac {
+			continue
+		}
+		if best == nil || sg.deadFrac() > best.deadFrac() {
+			best = sg
+		}
+	}
+	return best
+}
+
+// compact rewrites sg: live records move to the active segment, tombstones
+// still shadowing older segments are preserved, everything else is dropped.
+// Then the segment file is removed and its space returns to the filesystem.
+func (s *Store) compact(now sim.Time, sg *segment) (sim.Time, error) {
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	reclaimed := uint64(sg.tail)
+	for off := int64(0); off < sg.tail; {
+		if _, done, err := sg.r.ReadAt(now, hdr, off); err != nil {
+			return done, err
+		} else {
+			now = done
+		}
+		h, ok := parseHeader(hdr, s.cfg.MaxKeyLen, s.cfg.SegmentBytes, off)
+		if !ok {
+			return now, fmt.Errorf("kv: segment %s corrupt at offset %d", sg.name, off)
+		}
+		sz := recordSize(h.keyLen, h.valLen)
+		need := h.keyLen + h.valLen
+		if cap(payload) < need {
+			payload = make([]byte, need)
+		}
+		payload = payload[:need]
+		if _, done, err := sg.r.ReadAt(now, payload, off+headerSize); err != nil {
+			return done, err
+		} else {
+			now = done
+		}
+		key := string(payload[:h.keyLen])
+		switch {
+		case h.tombstone:
+			// A tombstone may still be shadowing a record in an older
+			// segment. Once the key is live again (or the tombstone's
+			// segment is the oldest holder), it can be dropped; re-append
+			// it otherwise, to keep deletes durable across recovery.
+			if s.tombstoneObsolete(key, sg.id) {
+				break
+			}
+			s.scratch = encodeRecord(s.scratch, key, nil, true)
+			id, _, done, err := s.appendRecord(now, s.scratch)
+			if err != nil {
+				return done, err
+			}
+			now = done
+			s.segs[id].dead += int64(len(s.scratch))
+			reclaimed -= uint64(len(s.scratch))
+		case s.isCurrent(key, sg.id, off):
+			// Live record: move the value to the active log.
+			s.scratch = encodeRecord(s.scratch, key, payload[h.keyLen:], false)
+			id, recOff, done, err := s.appendRecord(now, s.scratch)
+			if err != nil {
+				return done, err
+			}
+			now = done
+			s.index[key] = loc{seg: id, recOff: recOff, valLen: uint32(h.valLen)}
+			s.segs[id].live += int64(len(s.scratch))
+			s.stats.MovedBytes += uint64(len(s.scratch))
+			reclaimed -= uint64(len(s.scratch))
+		}
+		off += sz
+	}
+	if err := s.dropSegment(sg); err != nil {
+		return now, err
+	}
+	s.stats.Compactions++
+	s.stats.ReclaimedBytes += reclaimed
+	return now, nil
+}
+
+// tombstoneObsolete reports whether a tombstone in segment id no longer
+// shadows anything: the key has a live record again, or no older segment
+// could still hold a stale version of it.
+func (s *Store) tombstoneObsolete(key string, id uint32) bool {
+	if _, ok := s.index[key]; ok {
+		return true
+	}
+	// If this is the oldest remaining segment, nothing older can resurrect
+	// the key after recovery.
+	return len(s.order) > 0 && s.order[0] == id
+}
+
+// isCurrent reports whether the record at (id, off) is the one the index
+// points at for key.
+func (s *Store) isCurrent(key string, id uint32, off int64) bool {
+	l, ok := s.index[key]
+	return ok && l.seg == id && l.recOff == off
+}
+
+// dropSegment closes and deletes sg's file and forgets it.
+func (s *Store) dropSegment(sg *segment) error {
+	if err := sg.r.Close(); err != nil {
+		return err
+	}
+	if err := s.be.Remove(sg.name); err != nil {
+		return err
+	}
+	delete(s.segs, sg.id)
+	for i, id := range s.order {
+		if id == sg.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}

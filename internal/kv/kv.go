@@ -1,0 +1,334 @@
+// Package kv is a log-structured key-value store built on the simulated
+// storage stack: an append-only value log split into fixed-size segment
+// files, an in-memory hash index mapping each key to its latest record, and
+// background merge compaction that reclaims superseded space.
+//
+// The design is the paper's motivating workload. Values are far smaller than
+// a filesystem page, so every Get wants exactly len(value) bytes at a known
+// offset — the access pattern the fine-grained read path (O_FINE_GRAINED)
+// serves without transferring the surrounding page. Running the same store
+// over a block-I/O backend and a Pipette backend turns the read-amplification
+// argument of the paper into an end-to-end measurement.
+package kv
+
+import (
+	"errors"
+	"fmt"
+
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+)
+
+// ErrNotFound reports a Get or Delete of an absent key.
+var ErrNotFound = errors.New("kv: key not found")
+
+// Config parameterizes a Store.
+type Config struct {
+	// NamePrefix prefixes segment file names. Default "kv/seg-".
+	NamePrefix string
+	// SegmentBytes is the fixed segment file size; the log rotates when an
+	// append would overflow it. Default 4 MiB.
+	SegmentBytes int64
+	// FineReads opens segment read handles O_FINE_GRAINED, so Gets issue
+	// exact-length reads down the Pipette path. Off, Gets go through the
+	// ordinary block-granular path — same store, different read engine.
+	FineReads bool
+	// CompactMinDeadFrac is the dead-byte fraction a sealed segment must
+	// reach before MaintenanceTick rewrites it. Default 0.4.
+	CompactMinDeadFrac float64
+	// MaxKeyLen bounds key size (also the recovery scan's sanity bound).
+	// Default 1024.
+	MaxKeyLen int
+	// Tracer receives kv.get / kv.put / kv.compact spans; nil for none.
+	Tracer telemetry.Tracer
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "kv/seg-"
+	}
+	if cfg.SegmentBytes == 0 {
+		cfg.SegmentBytes = 4 << 20
+	}
+	if cfg.CompactMinDeadFrac == 0 {
+		cfg.CompactMinDeadFrac = 0.4
+	}
+	if cfg.MaxKeyLen == 0 {
+		cfg.MaxKeyLen = 1 << 10
+	}
+	cfg.Tracer = telemetry.OrNop(cfg.Tracer)
+}
+
+// loc locates a key's latest record.
+type loc struct {
+	seg    uint32
+	recOff int64
+	valLen uint32
+}
+
+// Stats counts store activity since Open.
+type Stats struct {
+	Puts    uint64
+	Gets    uint64
+	Deletes uint64
+	Scans   uint64
+
+	Hits   uint64 // Gets that found the key
+	Misses uint64 // Gets (and Deletes) of absent keys
+
+	BytesWritten uint64 // log appends, including rewrites by compaction
+	BytesRead    uint64 // value bytes returned to callers
+
+	Rotations      uint64 // segments sealed because the next append overflowed
+	Compactions    uint64 // segments rewritten and removed
+	ReclaimedBytes uint64 // dead bytes freed by compaction
+	MovedBytes     uint64 // live bytes compaction re-appended
+	Recovered      uint64 // records replayed by Open
+}
+
+// Store is a log-structured KV store over a Backend. Not safe for concurrent
+// use — like the rest of the simulation, callers serialize on the owning
+// system's lock.
+type Store struct {
+	cfg   Config
+	be    Backend
+	segs  map[uint32]*segment
+	order []uint32 // segment ids, creation order (deterministic iteration)
+	active *segment
+	nextID uint32
+
+	index map[string]loc
+	keys  *skipList
+
+	stats   Stats
+	tr      telemetry.Tracer
+	scratch []byte
+}
+
+// Open starts a store over be, replaying any existing segments under
+// cfg.NamePrefix: the index is rebuilt by scanning each segment's records in
+// file order, stopping at the first torn record (bad magic, insane length,
+// or checksum mismatch). Appends resume into the last segment. Returns the
+// simulated completion time of the recovery reads.
+func Open(now sim.Time, be Backend, cfg Config) (*Store, sim.Time, error) {
+	cfg.setDefaults()
+	if cfg.SegmentBytes < int64(headerSize+cfg.MaxKeyLen+1) {
+		return nil, now, fmt.Errorf("kv: SegmentBytes %d cannot hold one record", cfg.SegmentBytes)
+	}
+	s := &Store{
+		cfg:    cfg,
+		be:     be,
+		segs:   make(map[uint32]*segment),
+		index:  make(map[string]loc),
+		keys:   newSkipList(0x5eed),
+		tr:     cfg.Tracer,
+		nextID: 1,
+	}
+	ids := listSegments(be, cfg.NamePrefix)
+	for _, id := range ids {
+		name := segName(cfg.NamePrefix, id)
+		r, err := be.OpenReader(name, cfg.FineReads)
+		if err != nil {
+			return nil, now, fmt.Errorf("kv: open segment %s: %w", name, err)
+		}
+		sg := &segment{id: id, name: name, r: r}
+		s.segs[id] = sg
+		s.order = append(s.order, id)
+		if now, err = s.recoverSegment(now, sg); err != nil {
+			return nil, now, err
+		}
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	if len(ids) > 0 {
+		// Resume appending into the newest segment.
+		last := s.segs[ids[len(ids)-1]]
+		w, err := be.OpenWriter(last.name)
+		if err != nil {
+			return nil, now, fmt.Errorf("kv: reopen segment %s: %w", last.name, err)
+		}
+		last.w = w
+		s.active = last
+	} else {
+		sg, err := s.newSegment()
+		if err != nil {
+			return nil, now, err
+		}
+		s.active = sg
+	}
+	return s, now, nil
+}
+
+// Len reports the number of live keys.
+func (s *Store) Len() int { return s.keys.len() }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Segments reports how many segment files currently exist.
+func (s *Store) Segments() int { return len(s.segs) }
+
+// Put writes key = val, superseding any earlier record.
+func (s *Store) Put(now sim.Time, key string, val []byte) (sim.Time, error) {
+	if err := s.checkKey(key); err != nil {
+		return now, err
+	}
+	if int64(recordSize(len(key), len(val))) > s.cfg.SegmentBytes {
+		return now, fmt.Errorf("kv: value of %d bytes exceeds segment size", len(val))
+	}
+	start := now
+	s.scratch = encodeRecord(s.scratch, key, val, false)
+	id, off, done, err := s.appendRecord(now, s.scratch)
+	if err != nil {
+		return done, err
+	}
+	s.dropIndexed(key)
+	s.index[key] = loc{seg: id, recOff: off, valLen: uint32(len(val))}
+	s.keys.insert(key)
+	s.segs[id].live += int64(len(s.scratch))
+	s.stats.Puts++
+	if s.tr.Enabled() {
+		s.tr.Span(telemetry.TrackKV, "kv.put", start, done)
+	}
+	return done, nil
+}
+
+// Get reads key's value, appending it to dst (pass nil to allocate). The
+// read asks the backend for exactly the value's bytes — under a fine-grained
+// handle that is the whole device transfer.
+func (s *Store) Get(now sim.Time, key string, dst []byte) ([]byte, sim.Time, error) {
+	s.stats.Gets++
+	l, ok := s.index[key]
+	if !ok {
+		s.stats.Misses++
+		return dst, now, ErrNotFound
+	}
+	start := now
+	n := len(dst)
+	need := n + int(l.valLen)
+	if cap(dst) < need {
+		grown := make([]byte, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	sg := s.segs[l.seg]
+	got, done, err := sg.r.ReadAt(now, dst[n:], l.recOff+valueOffset(key))
+	if err != nil {
+		return dst[:n], done, err
+	}
+	if got != int(l.valLen) {
+		return dst[:n], done, fmt.Errorf("kv: short read %d of %d", got, l.valLen)
+	}
+	s.stats.Hits++
+	s.stats.BytesRead += uint64(l.valLen)
+	if s.tr.Enabled() {
+		s.tr.Span(telemetry.TrackKV, "kv.get", start, done)
+	}
+	return dst, done, nil
+}
+
+// valueOffset is the value's offset within a record holding key.
+func valueOffset(key string) int64 { return int64(headerSize + len(key)) }
+
+// Delete removes key by appending a tombstone. ErrNotFound if absent (the
+// tombstone is still not written — nothing to shadow).
+func (s *Store) Delete(now sim.Time, key string) (sim.Time, error) {
+	if err := s.checkKey(key); err != nil {
+		return now, err
+	}
+	if _, ok := s.index[key]; !ok {
+		s.stats.Misses++
+		return now, ErrNotFound
+	}
+	s.scratch = encodeRecord(s.scratch, key, nil, true)
+	id, _, done, err := s.appendRecord(now, s.scratch)
+	if err != nil {
+		return done, err
+	}
+	s.dropIndexed(key)
+	// The tombstone itself is dead weight from birth; it exists only to
+	// shadow older records of key until they are compacted away.
+	s.segs[id].dead += int64(len(s.scratch))
+	s.stats.Deletes++
+	return done, nil
+}
+
+// Scan visits up to n keys >= start in order, reading each value and calling
+// fn. fn returning false stops the scan early.
+func (s *Store) Scan(now sim.Time, start string, n int, fn func(key string, val []byte) bool) (sim.Time, error) {
+	s.stats.Scans++
+	var buf []byte
+	for node := s.keys.seek(start); node != nil && n > 0; node = node.next[0] {
+		var err error
+		buf, now, err = s.get(now, node.key, buf[:0])
+		if err != nil {
+			return now, err
+		}
+		if !fn(node.key, buf) {
+			break
+		}
+		n--
+	}
+	return now, nil
+}
+
+// get is Get without the Gets/Hits accounting — Scan's per-key read.
+func (s *Store) get(now sim.Time, key string, dst []byte) ([]byte, sim.Time, error) {
+	l, ok := s.index[key]
+	if !ok {
+		return dst, now, ErrNotFound
+	}
+	n := len(dst)
+	need := n + int(l.valLen)
+	if cap(dst) < need {
+		grown := make([]byte, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	got, done, err := s.segs[l.seg].r.ReadAt(now, dst[n:], l.recOff+valueOffset(key))
+	if err != nil {
+		return dst[:n], done, err
+	}
+	if got != int(l.valLen) {
+		return dst[:n], done, fmt.Errorf("kv: short read %d of %d", got, l.valLen)
+	}
+	s.stats.BytesRead += uint64(l.valLen)
+	return dst, done, nil
+}
+
+// Sync flushes the active segment.
+func (s *Store) Sync(now sim.Time) (sim.Time, error) {
+	return s.active.w.Sync(now)
+}
+
+// Close syncs the active segment and releases every file handle. The store
+// must not be used afterwards; Open recovers the same state.
+func (s *Store) Close(now sim.Time) (sim.Time, error) {
+	done, err := s.active.w.Sync(now)
+	if err != nil {
+		return done, err
+	}
+	for _, id := range s.order {
+		sg := s.segs[id]
+		if sg.w != nil {
+			if cerr := sg.w.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			sg.w = nil
+		}
+		if cerr := sg.r.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return done, err
+}
+
+func (s *Store) checkKey(key string) error {
+	if len(key) == 0 || len(key) > s.cfg.MaxKeyLen {
+		return fmt.Errorf("kv: key length %d outside [1,%d]", len(key), s.cfg.MaxKeyLen)
+	}
+	return nil
+}

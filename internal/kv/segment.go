@@ -1,0 +1,271 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pipette/internal/sim"
+)
+
+// Value-log record layout (bitcask-style):
+//
+//	[0]     magic (recordMagic)
+//	[1]     flags (bit 0: tombstone)
+//	[2:4]   key length, uint16 LE
+//	[4:8]   value length, uint32 LE
+//	[8:12]  FNV-32a checksum over bytes [1:8] ++ key ++ value
+//	[12:]   key, then value
+//
+// The checksum makes torn tails self-delimiting: the recovery scan stops at
+// the first record that fails the magic, a length sanity bound, or the
+// checksum — everything before it is intact by construction (appends are
+// sequential).
+const (
+	recordMagic = 0xC5
+	headerSize  = 12
+
+	flagTombstone = 1 << 0
+)
+
+// recordSize is the on-log footprint of a record.
+func recordSize(keyLen, valLen int) int64 {
+	return int64(headerSize + keyLen + valLen)
+}
+
+// fnv32a hashes the given byte sections (FNV-1a, 32-bit).
+func fnv32a(sections ...[]byte) uint32 {
+	h := uint32(2166136261)
+	for _, s := range sections {
+		for _, b := range s {
+			h ^= uint32(b)
+			h *= 16777619
+		}
+	}
+	return h
+}
+
+// encodeRecord renders one record into dst (reused across appends).
+func encodeRecord(dst []byte, key string, val []byte, tombstone bool) []byte {
+	sz := int(recordSize(len(key), len(val)))
+	if cap(dst) < sz {
+		dst = make([]byte, sz)
+	}
+	dst = dst[:sz]
+	dst[0] = recordMagic
+	dst[1] = 0
+	if tombstone {
+		dst[1] = flagTombstone
+	}
+	binary.LittleEndian.PutUint16(dst[2:4], uint16(len(key)))
+	binary.LittleEndian.PutUint32(dst[4:8], uint32(len(val)))
+	copy(dst[headerSize:], key)
+	copy(dst[headerSize+len(key):], val)
+	binary.LittleEndian.PutUint32(dst[8:12], fnv32a(dst[1:8], dst[headerSize:]))
+	return dst
+}
+
+// recordHeader is a parsed header (not yet checksum-verified — that needs
+// the payload).
+type recordHeader struct {
+	tombstone bool
+	keyLen    int
+	valLen    int
+	checksum  uint32
+}
+
+// parseHeader validates the fixed fields; ok=false means "treat as end of
+// log" (torn tail or pristine preload bytes).
+func parseHeader(hdr []byte, maxKey int, segBytes, off int64) (recordHeader, bool) {
+	if hdr[0] != recordMagic {
+		return recordHeader{}, false
+	}
+	h := recordHeader{
+		tombstone: hdr[1]&flagTombstone != 0,
+		keyLen:    int(binary.LittleEndian.Uint16(hdr[2:4])),
+		valLen:    int(binary.LittleEndian.Uint32(hdr[4:8])),
+		checksum:  binary.LittleEndian.Uint32(hdr[8:12]),
+	}
+	if hdr[1]&^byte(flagTombstone) != 0 {
+		return recordHeader{}, false
+	}
+	if h.keyLen == 0 || h.keyLen > maxKey {
+		return recordHeader{}, false
+	}
+	if off+recordSize(h.keyLen, h.valLen) > segBytes {
+		return recordHeader{}, false
+	}
+	return h, true
+}
+
+// segment is one value-log file.
+type segment struct {
+	id   uint32
+	name string
+	w    BackendFile // write handle; nil once sealed
+	r    BackendFile // read handle (fine-grained when configured)
+	tail int64       // append offset
+	live int64       // bytes of records the index points at
+	dead int64       // superseded records and tombstones
+}
+
+func (sg *segment) deadFrac() float64 {
+	if sg.tail == 0 {
+		return 0
+	}
+	return float64(sg.dead) / float64(sg.tail)
+}
+
+// segName renders a segment's file name; segID parses it back.
+func segName(prefix string, id uint32) string {
+	return fmt.Sprintf("%s%08d", prefix, id)
+}
+
+func segID(prefix, name string) (uint32, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	var id uint32
+	if _, err := fmt.Sscanf(name[len(prefix):], "%d", &id); err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// listSegments returns the backend's segment ids under prefix, ascending.
+func listSegments(be Backend, prefix string) []uint32 {
+	var ids []uint32
+	for _, name := range be.Files() {
+		if id, ok := segID(prefix, name); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// newSegment creates and registers the next segment file.
+func (s *Store) newSegment() (*segment, error) {
+	id := s.nextID
+	name := segName(s.cfg.NamePrefix, id)
+	w, err := s.be.Create(name, s.cfg.SegmentBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kv: create segment %s: %w", name, err)
+	}
+	r, err := s.be.OpenReader(name, s.cfg.FineReads)
+	if err != nil {
+		return nil, fmt.Errorf("kv: open segment %s: %w", name, err)
+	}
+	s.nextID++
+	sg := &segment{id: id, name: name, w: w, r: r}
+	s.segs[id] = sg
+	s.order = append(s.order, id)
+	return sg, nil
+}
+
+// rotate seals the active segment (sync + close of the write handle — the
+// close semantics segment churn depends on) and opens a fresh one.
+func (s *Store) rotate(now sim.Time) (sim.Time, error) {
+	done, err := s.active.w.Sync(now)
+	if err != nil {
+		return done, err
+	}
+	if err := s.active.w.Close(); err != nil {
+		return done, err
+	}
+	s.active.w = nil
+	s.stats.Rotations++
+	sg, err := s.newSegment()
+	if err != nil {
+		return done, err
+	}
+	s.active = sg
+	return done, nil
+}
+
+// appendRecord appends one encoded record to the value log, rotating first
+// if it does not fit, and returns where it landed.
+func (s *Store) appendRecord(now sim.Time, rec []byte) (segID uint32, off int64, done sim.Time, err error) {
+	if s.active.tail+int64(len(rec)) > s.cfg.SegmentBytes {
+		now, err = s.rotate(now)
+		if err != nil {
+			return 0, 0, now, err
+		}
+	}
+	n, done, err := s.active.w.WriteAt(now, rec, s.active.tail)
+	if err != nil {
+		return 0, 0, done, err
+	}
+	if n != len(rec) {
+		return 0, 0, done, fmt.Errorf("kv: short append %d of %d", n, len(rec))
+	}
+	off = s.active.tail
+	s.active.tail += int64(len(rec))
+	s.stats.BytesWritten += uint64(len(rec))
+	return s.active.id, off, done, nil
+}
+
+// recoverSegment replays one segment's records into the index, stopping at
+// the first torn or pristine byte run. Reads are timed — recovery cost is
+// part of the simulation.
+func (s *Store) recoverSegment(now sim.Time, sg *segment) (sim.Time, error) {
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	off := int64(0)
+	for off+headerSize <= s.cfg.SegmentBytes {
+		n, done, err := sg.r.ReadAt(now, hdr, off)
+		if err != nil || n != headerSize {
+			break
+		}
+		now = done
+		h, ok := parseHeader(hdr, s.cfg.MaxKeyLen, s.cfg.SegmentBytes, off)
+		if !ok {
+			break
+		}
+		need := h.keyLen + h.valLen
+		if cap(payload) < need {
+			payload = make([]byte, need)
+		}
+		payload = payload[:need]
+		n, done, err = sg.r.ReadAt(now, payload, off+headerSize)
+		if err != nil || n != need {
+			break
+		}
+		now = done
+		if fnv32a(hdr[1:8], payload) != h.checksum {
+			break
+		}
+		key := string(payload[:h.keyLen])
+		sz := recordSize(h.keyLen, h.valLen)
+		if h.tombstone {
+			s.dropIndexed(key)
+			sg.dead += sz
+		} else {
+			s.dropIndexed(key)
+			s.index[key] = loc{seg: sg.id, recOff: off, valLen: uint32(h.valLen)}
+			s.keys.insert(key)
+			sg.live += sz
+		}
+		s.stats.Recovered++
+		off += sz
+	}
+	sg.tail = off
+	return now, nil
+}
+
+// dropIndexed retires the current record of key, if any: its bytes become
+// dead in whatever segment holds them and the key leaves the ordered set.
+func (s *Store) dropIndexed(key string) {
+	l, ok := s.index[key]
+	if !ok {
+		return
+	}
+	sz := recordSize(len(key), int(l.valLen))
+	if sg, ok := s.segs[l.seg]; ok {
+		sg.live -= sz
+		sg.dead += sz
+	}
+	delete(s.index, key)
+	s.keys.delete(key)
+}

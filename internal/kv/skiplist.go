@@ -1,0 +1,104 @@
+package kv
+
+import "pipette/internal/sim"
+
+// skipList is the ordered key set behind Scan: O(log n) insert, delete, and
+// seek over the live keys, so range scans (YCSB workload E) stay cheap at
+// millions of records. Level draws come from a seeded RNG, keeping the
+// structure — and therefore every simulated run — deterministic.
+const skipMaxLevel = 20 // comfortable for ~10^9 keys at p = 1/4
+
+type skipNode struct {
+	key  string
+	next []*skipNode
+}
+
+type skipList struct {
+	head   *skipNode
+	rng    *sim.RNG
+	level  int // highest level currently in use
+	length int
+}
+
+func newSkipList(seed uint64) *skipList {
+	return &skipList{
+		head:  &skipNode{next: make([]*skipNode, skipMaxLevel)},
+		rng:   sim.NewRNG(seed),
+		level: 1,
+	}
+}
+
+func (l *skipList) randLevel() int {
+	lvl := 1
+	for lvl < skipMaxLevel && l.rng.Uint64()&3 == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPath fills update with the rightmost node before key on every level.
+func (l *skipList) findPath(key string, update *[skipMaxLevel]*skipNode) *skipNode {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	return x.next[0]
+}
+
+// insert adds key; reports false if it was already present.
+func (l *skipList) insert(key string) bool {
+	var update [skipMaxLevel]*skipNode
+	if n := l.findPath(key, &update); n != nil && n.key == key {
+		return false
+	}
+	lvl := l.randLevel()
+	if lvl > l.level {
+		for i := l.level; i < lvl; i++ {
+			update[i] = l.head
+		}
+		l.level = lvl
+	}
+	n := &skipNode{key: key, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	l.length++
+	return true
+}
+
+// delete removes key; reports false if it was absent.
+func (l *skipList) delete(key string) bool {
+	var update [skipMaxLevel]*skipNode
+	n := l.findPath(key, &update)
+	if n == nil || n.key != key {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if update[i].next[i] == n {
+			update[i].next[i] = n.next[i]
+		}
+	}
+	for l.level > 1 && l.head.next[l.level-1] == nil {
+		l.level--
+	}
+	l.length--
+	return true
+}
+
+// seek returns the first node with key >= key (nil past the end); walk
+// node.next[0] for in-order iteration.
+func (l *skipList) seek(key string) *skipNode {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}
+
+func (l *skipList) len() int { return l.length }

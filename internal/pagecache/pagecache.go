@@ -295,6 +295,36 @@ func (c *Cache) dropEntry(e *entry) {
 	}
 }
 
+// DiscardFile drops every resident page of one file without invoking the
+// evict hook — unlink semantics: dirty pages are abandoned, not written
+// back. release, when non-nil, receives each dirty page's buffer so the
+// caller can recycle it. Returns the number of pages dropped.
+func (c *Cache) DiscardFile(ino uint64, release func(data []byte)) int {
+	m := c.pages[ino]
+	if m == nil {
+		return 0
+	}
+	dropped := 0
+	for _, e := range m {
+		c.unlink(e)
+		c.evicts++
+		if e.dirty {
+			c.dirtyN--
+			if release != nil && e.data != nil {
+				release(e.data)
+			}
+		}
+		c.recycle(e)
+		dropped++
+	}
+	c.count -= dropped
+	delete(c.pages, ino)
+	if c.lastIno == ino {
+		c.lastFile = nil
+	}
+	return dropped
+}
+
 // evictOverflow trims LRU pages until within capacity.
 func (c *Cache) evictOverflow() {
 	for c.count > c.capacity {

@@ -27,6 +27,7 @@ const (
 	TrackNVMe      = "nvme"
 	TrackSSD       = "ssd"
 	TrackFTL       = "ftl"
+	TrackKV        = "kv"
 )
 
 // Tracer receives simulation events. Implementations: Nop (default,

@@ -73,6 +73,7 @@ type VFS struct {
 	blk    *blockdev.Layer
 	cache  *pagecache.Cache
 	ra     map[uint64]*pagecache.Readahead
+	open   map[uint64]int // inode -> open descriptor count
 	router FineRouter
 	cfg    Config
 	tr     telemetry.Tracer
@@ -107,11 +108,12 @@ func New(fs *extfs.FS, blk *blockdev.Layer, cfg Config) (*VFS, error) {
 		return nil, errors.New("vfs: negative page cache budget")
 	}
 	v := &VFS{
-		fs:  fs,
-		blk: blk,
-		ra:  make(map[uint64]*pagecache.Readahead),
-		cfg: cfg,
-		tr:  telemetry.Nop(),
+		fs:   fs,
+		blk:  blk,
+		ra:   make(map[uint64]*pagecache.Readahead),
+		open: make(map[uint64]int),
+		cfg:  cfg,
+		tr:   telemetry.Nop(),
 	}
 	cache, err := pagecache.New(cfg.PageCachePages, fs.PageSize(), v.onEvict)
 	if err != nil {
@@ -149,11 +151,15 @@ func (v *VFS) IO() metrics.IO { return v.io }
 // ResetIO zeroes the accounting (between benchmark phases).
 func (v *VFS) ResetIO() { v.io = metrics.IO{} }
 
+// ErrClosed is returned by operations on a closed descriptor.
+var ErrClosed = errors.New("vfs: file closed")
+
 // File is an open file descriptor.
 type File struct {
-	v     *VFS
-	inode *extfs.Inode
-	flags OpenFlag
+	v      *VFS
+	inode  *extfs.Inode
+	flags  OpenFlag
+	closed bool
 }
 
 // Open opens an existing file.
@@ -162,6 +168,7 @@ func (v *VFS) Open(name string, flags OpenFlag) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	v.open[ino.Ino]++
 	return &File{v: v, inode: ino, flags: flags}, nil
 }
 
@@ -171,7 +178,62 @@ func (v *VFS) Create(name string, size int64, opts extfs.CreateOpts, flags OpenF
 	if err != nil {
 		return nil, err
 	}
+	v.open[ino.Ino]++
 	return &File{v: v, inode: ino, flags: flags}, nil
+}
+
+// Close releases the descriptor — close(2). The last close of an inode drops
+// its read-ahead state from the open table. Dirty pages are not flushed;
+// call Sync first for durability, exactly as with a real file descriptor.
+func (f *File) Close() error {
+	if f.closed {
+		return ErrClosed
+	}
+	f.closed = true
+	v := f.v
+	if n := v.open[f.inode.Ino]; n > 1 {
+		v.open[f.inode.Ino] = n - 1
+		return nil
+	}
+	delete(v.open, f.inode.Ino)
+	delete(v.ra, f.inode.Ino)
+	return nil
+}
+
+// OpenCount reports the live descriptors for a file (0 when closed or
+// unknown) — the open-table leak regression test hooks in here.
+func (v *VFS) OpenCount(name string) int {
+	ino, err := v.fs.Lookup(name)
+	if err != nil {
+		return 0
+	}
+	return v.open[ino.Ino]
+}
+
+// Remove unlinks a file: resident pages are discarded (dirty pages dropped
+// without writeback — unlink semantics), queued writebacks for the inode are
+// cancelled, read-ahead and open-table state is dropped, and the file's
+// blocks are trimmed on the device so the allocator can reuse them.
+func (v *VFS) Remove(name string) error {
+	ino, err := v.fs.Lookup(name)
+	if err != nil {
+		return err
+	}
+	v.cache.DiscardFile(ino.Ino, v.putPageBuf)
+	if len(v.pendingWB) > 0 {
+		kept := v.pendingWB[:0]
+		for _, wb := range v.pendingWB {
+			if wb.key.File == ino.Ino {
+				v.putPageBuf(wb.data)
+				continue
+			}
+			kept = append(kept, wb)
+		}
+		v.pendingWB = kept
+	}
+	delete(v.ra, ino.Ino)
+	delete(v.open, ino.Ino)
+	return v.fs.Remove(name)
 }
 
 // Inode exposes the file's metadata (the fine router's LBA extraction
@@ -207,6 +269,9 @@ func (f *File) ReadAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error
 
 func (f *File) readAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error) {
 	v := f.v
+	if f.closed {
+		return 0, now, ErrClosed
+	}
 	if off < 0 {
 		return 0, now, fmt.Errorf("vfs: negative offset %d", off)
 	}

@@ -27,6 +27,9 @@ func (f *File) WriteAt(now sim.Time, data []byte, off int64) (int, sim.Time, err
 
 func (f *File) writeAt(now sim.Time, data []byte, off int64) (int, sim.Time, error) {
 	v := f.v
+	if f.closed {
+		return 0, now, ErrClosed
+	}
 	if f.flags&ReadWrite == 0 {
 		return 0, now, fmt.Errorf("vfs: %q not opened for writing", f.inode.Name)
 	}
@@ -124,6 +127,9 @@ func pageTrim(page []byte, f *File, p uint64, pageSize int) []byte {
 // completions in virtual time — fsync(2).
 func (f *File) Sync(now sim.Time) (sim.Time, error) {
 	v := f.v
+	if f.closed {
+		return now, ErrClosed
+	}
 	done := now
 	err := v.cache.FlushDirtySelect(
 		func(k pagecache.Key) bool { return k.File == f.inode.Ino },

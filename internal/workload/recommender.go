@@ -51,11 +51,11 @@ func DefaultRecommenderConfig() RecommenderConfig {
 // sparse-feature tables the way one inference batch gathers its features.
 type Recommender struct {
 	cfg   RecommenderConfig
-	vecs  []uint64 // per-table vector counts
-	base  []int64  // per-table byte offsets within the file
-	size  int64
-	next  int
-	zipfs []*sim.ScrambledZipf
+	vecs    []uint64 // per-table vector counts
+	base    []int64  // per-table byte offsets within the file
+	size    int64
+	next    int
+	choosers []*KeyChooser
 
 	rng    *sim.RNG
 	recent []int64 // ring of recently looked-up distinct offsets (hot set)
@@ -104,11 +104,11 @@ func NewRecommender(cfg RecommenderConfig) (*Recommender, error) {
 		r.vecs = append(r.vecs, vecs)
 		r.base = append(r.base, off)
 		off += int64(vecs) * int64(cfg.VectorSize)
-		z, err := sim.NewScrambledZipf(rng.Split(), vecs, cfg.Theta)
+		choose, err := NewKeyChooser(rng.Split(), Zipfian, vecs, cfg.Theta)
 		if err != nil {
 			return nil, err
 		}
-		r.zipfs = append(r.zipfs, z)
+		r.choosers = append(r.choosers, choose)
 	}
 	r.size = off
 	// Pre-populate the hot set so temporal locality spans the full window
@@ -119,7 +119,7 @@ func NewRecommender(cfg RecommenderConfig) (*Recommender, error) {
 		attempts < 8*r.cfg.HotWindow; attempts++ {
 		t := r.next
 		r.next = (r.next + 1) % r.cfg.Tables
-		vec := r.zipfs[t].Next()
+		vec := r.choosers[t].Next()
 		r.admitHot(r.base[t] + int64(vec)*int64(r.cfg.VectorSize))
 	}
 	return r, nil
@@ -163,7 +163,7 @@ func (r *Recommender) Next() Request {
 	}
 	t := r.next
 	r.next = (r.next + 1) % r.cfg.Tables
-	vec := r.zipfs[t].Next()
+	vec := r.choosers[t].Next()
 	off := r.base[t] + int64(vec)*int64(r.cfg.VectorSize)
 	r.admitHot(off)
 	return Request{Off: off, Size: r.cfg.VectorSize}

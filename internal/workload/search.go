@@ -45,7 +45,7 @@ type SearchEngine struct {
 	postBase  int64
 	size      int64
 
-	zipf    *sim.ScrambledZipf
+	choose  *KeyChooser
 	pending []Request // queued requests of the in-flight query
 }
 
@@ -56,11 +56,11 @@ func NewSearchEngine(cfg SearchEngineConfig) (*SearchEngine, error) {
 		return nil, errors.New("workload: bad search engine config")
 	}
 	s := &SearchEngine{cfg: cfg}
-	z, err := sim.NewScrambledZipf(sim.NewRNG(cfg.Seed), cfg.Terms, cfg.Theta)
+	choose, err := NewKeyChooser(sim.NewRNG(cfg.Seed), Zipfian, cfg.Terms, cfg.Theta)
 	if err != nil {
 		return nil, err
 	}
-	s.zipf = z
+	s.choose = choose
 
 	s.postBytes = make([]uint32, cfg.Terms)
 	s.postOff = make([]uint64, cfg.Terms+1)
@@ -77,7 +77,7 @@ func NewSearchEngine(cfg SearchEngineConfig) (*SearchEngine, error) {
 // fraction of the mean and the cap, so most lists are short and a few are
 // huge — the document-frequency distribution of real corpora.
 func postingSize(seed, term uint64, mean, max int) uint32 {
-	u := float64(sim.Mix64(seed^0xdead^(term+1))>>11) / (1 << 53)
+	u := hashUnit01(seed ^ 0xdead ^ (term + 1))
 	lo := math.Log(float64(mean) / 8)
 	hi := math.Log(float64(max))
 	v := math.Exp(lo + u*u*(hi-lo)) // u^2 biases toward short lists
@@ -104,7 +104,7 @@ func (s *SearchEngine) PostingBytes(term uint64) int { return int(s.postBytes[te
 func (s *SearchEngine) Next() Request {
 	if len(s.pending) == 0 {
 		for t := 0; t < s.cfg.TermsPerQuery; t++ {
-			term := s.zipf.Next()
+			term := s.choose.Next()
 			s.pending = append(s.pending,
 				Request{Off: int64(term) * int64(s.cfg.EntryBytes), Size: s.cfg.EntryBytes},
 				Request{

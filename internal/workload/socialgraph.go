@@ -79,7 +79,7 @@ var linkbenchMix = []struct {
 type SocialGraph struct {
 	cfg      SocialGraphConfig
 	rng      *sim.RNG
-	zipf     *sim.ScrambledZipf
+	choose   *KeyChooser
 	degrees  []uint32
 	edgeOff  []uint64 // prefix sums: node i's edges start at edgeOff[i]
 	edgeBase int64
@@ -93,11 +93,11 @@ func NewSocialGraph(cfg SocialGraphConfig) (*SocialGraph, error) {
 		return nil, errors.New("workload: bad social graph config")
 	}
 	g := &SocialGraph{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
-	z, err := sim.NewScrambledZipf(sim.NewRNG(cfg.Seed^0x77), cfg.Nodes, cfg.Theta)
+	choose, err := NewKeyChooser(sim.NewRNG(cfg.Seed^0x77), Zipfian, cfg.Nodes, cfg.Theta)
 	if err != nil {
 		return nil, err
 	}
-	g.zipf = z
+	g.choose = choose
 
 	// Deterministic Pareto out-degrees and their prefix sums.
 	g.degrees = make([]uint32, cfg.Nodes)
@@ -120,7 +120,7 @@ func NewSocialGraph(cfg SocialGraphConfig) (*SocialGraph, error) {
 // paretoDegree derives node i's out-degree from a hashed Pareto draw
 // (x_m = 1, shape alpha: X = u^(-1/alpha)), capped at maxDeg.
 func paretoDegree(seed, i uint64, alpha float64, maxDeg int) uint32 {
-	u := float64(sim.Mix64(seed^(i+1))>>11) / (1 << 53)
+	u := hashUnit01(seed ^ (i + 1))
 	if u < 1e-12 {
 		u = 1e-12
 	}
@@ -162,7 +162,7 @@ func (g *SocialGraph) Next() Request {
 			break
 		}
 	}
-	node := g.zipf.Next()
+	node := g.choose.Next()
 	switch op {
 	case opGetNode:
 		return Request{Off: g.nodeOffset(node), Size: g.cfg.NodeBytes}

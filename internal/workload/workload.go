@@ -93,10 +93,10 @@ func Mixes(fileSize int64, pageSize int, dist Dist, seed uint64) []SyntheticConf
 // Synthetic draws page-aligned offsets from the configured distribution and
 // sizes from the large/small mix.
 type Synthetic struct {
-	cfg   SyntheticConfig
-	pages uint64
-	rng   *sim.RNG
-	zipf  *sim.ScrambledZipf
+	cfg    SyntheticConfig
+	pages  uint64
+	rng    *sim.RNG
+	choose *KeyChooser
 }
 
 // NewSynthetic builds a Table 1 generator.
@@ -115,13 +115,17 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 		pages: uint64(cfg.FileSize) / uint64(cfg.PageSize),
 		rng:   sim.NewRNG(cfg.Seed),
 	}
+	// Uniform draws share the size-draw stream; zipfian state is seeded
+	// separately — both choices preserved from the original construction.
+	rng := s.rng
 	if cfg.Dist == Zipfian {
-		z, err := sim.NewScrambledZipf(sim.NewRNG(cfg.Seed^0x5a5a), s.pages, cfg.Theta)
-		if err != nil {
-			return nil, err
-		}
-		s.zipf = z
+		rng = sim.NewRNG(cfg.Seed ^ 0x5a5a)
 	}
+	choose, err := NewKeyChooser(rng, cfg.Dist, s.pages, cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	s.choose = choose
 	return s, nil
 }
 
@@ -135,12 +139,7 @@ func (s *Synthetic) FileSize() int64 { return s.cfg.FileSize }
 
 // Next draws one read.
 func (s *Synthetic) Next() Request {
-	var page uint64
-	if s.zipf != nil {
-		page = s.zipf.Next()
-	} else {
-		page = s.rng.Uint64n(s.pages)
-	}
+	page := s.choose.Next()
 	size := s.cfg.LargeSize
 	if s.rng.Float64() < s.cfg.SmallRatio {
 		size = s.cfg.SmallSize

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"pipette/internal/sim"
+)
+
+func TestStandardYCSBMixes(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"A", "B", "C", "D", "E", "F"} {
+		cfg, err := StandardYCSB(name, 10_000, 1)
+		if err != nil {
+			t.Fatalf("StandardYCSB(%s): %v", name, err)
+		}
+		y, err := NewYCSB(cfg)
+		if err != nil {
+			t.Fatalf("NewYCSB(%s): %v", name, err)
+		}
+		counts := map[KVOp]int{}
+		const n = 40_000
+		for i := 0; i < n; i++ {
+			req := y.Next()
+			counts[req.Op]++
+			if req.Op == OpScan {
+				if req.ScanLen < 1 || req.ScanLen > cfg.MaxScanLen {
+					t.Fatalf("%s: scan length %d outside [1,%d]", name, req.ScanLen, cfg.MaxScanLen)
+				}
+			}
+			if req.Op != OpInsert && req.Key >= y.Records() {
+				t.Fatalf("%s: key %d outside keyspace %d", name, req.Key, y.Records())
+			}
+		}
+		check := func(op KVOp, pct float64) {
+			got := 100 * float64(counts[op]) / n
+			if got < pct-2 || got > pct+2 {
+				t.Errorf("%s: %v fraction %.1f%%, want ~%.0f%%", name, op, got, pct)
+			}
+		}
+		check(OpRead, cfg.ReadPct)
+		check(OpUpdate, cfg.UpdatePct)
+		check(OpInsert, cfg.InsertPct)
+		check(OpScan, cfg.ScanPct)
+		check(OpRMW, cfg.RMWPct)
+	}
+}
+
+func TestYCSBDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg, _ := StandardYCSB("A", 5_000, 0xfeed)
+	a, _ := NewYCSB(cfg)
+	b, _ := NewYCSB(cfg)
+	for i := 0; i < 10_000; i++ {
+		if ra, rb := a.Next(), b.Next(); ra != rb {
+			t.Fatalf("request %d diverges: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestYCSBInsertsGrowKeyspace(t *testing.T) {
+	t.Parallel()
+	cfg, _ := StandardYCSB("D", 1_000, 7)
+	y, _ := NewYCSB(cfg)
+	inserted := uint64(0)
+	for i := 0; i < 20_000; i++ {
+		req := y.Next()
+		if req.Op == OpInsert {
+			if req.Key != cfg.Records+inserted {
+				t.Fatalf("insert %d got key %d, want dense %d", inserted, req.Key, cfg.Records+inserted)
+			}
+			inserted++
+		}
+	}
+	if inserted == 0 {
+		t.Fatal("workload D produced no inserts")
+	}
+	if y.Records() != cfg.Records+inserted {
+		t.Fatalf("Records() = %d, want %d", y.Records(), cfg.Records+inserted)
+	}
+}
+
+// TestYCSBLatestSkew checks workload D reads concentrate near the newest
+// keys — the "latest" distribution.
+func TestYCSBLatestSkew(t *testing.T) {
+	t.Parallel()
+	cfg, _ := StandardYCSB("D", 100_000, 3)
+	y, _ := NewYCSB(cfg)
+	recent := 0
+	reads := 0
+	for i := 0; i < 50_000; i++ {
+		req := y.Next()
+		if req.Op != OpRead {
+			continue
+		}
+		reads++
+		if req.Key+cfg.Records/10 >= y.Records() {
+			recent++ // within the newest 10% of the keyspace
+		}
+	}
+	if frac := float64(recent) / float64(reads); frac < 0.5 {
+		t.Fatalf("only %.0f%% of reads hit the newest 10%% of keys, want majority", frac*100)
+	}
+}
+
+func TestYCSBRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	if _, err := StandardYCSB("Z", 10, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := NewYCSB(YCSBConfig{Records: 10, ReadPct: 50}); err == nil {
+		t.Fatal("mix not summing to 100 accepted")
+	}
+	if _, err := NewYCSB(YCSBConfig{ReadPct: 100}); err == nil {
+		t.Fatal("zero records accepted")
+	}
+}
+
+// TestKeyChooserMatchesHistoricalStreams pins the refactor: the shared
+// KeyChooser must reproduce the exact draw sequences the generators
+// produced when they hand-rolled uniform and scrambled-zipf selection.
+func TestKeyChooserMatchesHistoricalStreams(t *testing.T) {
+	t.Parallel()
+	const n, theta, seed = 1 << 16, 0.8, uint64(0xbead)
+
+	z, err := sim.NewScrambledZipf(sim.NewRNG(seed), n, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, err := NewKeyChooser(sim.NewRNG(seed), Zipfian, n, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if want, got := z.Next(), kc.Next(); want != got {
+			t.Fatalf("zipfian draw %d: %d != %d", i, got, want)
+		}
+	}
+
+	rng := sim.NewRNG(seed)
+	ku, err := NewKeyChooser(sim.NewRNG(seed), Uniform, n, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if want, got := rng.Uint64n(n), ku.Next(); want != got {
+			t.Fatalf("uniform draw %d: %d != %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package pipette
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestKVPublicAPI(t *testing.T) {
+	sys := newSystem(t, Options{CapacityBytes: 256 << 20, PageCacheBytes: 4 << 20})
+	kv, err := sys.OpenKV(KVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := kv.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := kv.Get("k042")
+	if err != nil || !bytes.Equal(got, []byte("value-42")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if sys.Now() == 0 {
+		t.Fatal("KV operations advanced no virtual time")
+	}
+	if err := kv.Delete("k042"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Get("k042"); err != ErrNotFound {
+		t.Fatalf("Get(deleted) = %v, want ErrNotFound", err)
+	}
+	var keys []string
+	if err := kv.Scan("k040", 3, func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(keys) != fmt.Sprint([]string{"k040", "k041", "k043"}) {
+		t.Fatalf("Scan = %v", keys)
+	}
+
+	// Restart: close, reopen, state recovered from the segment files.
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kv2, err := sys.OpenKV(KVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv2.Len() != 199 {
+		t.Fatalf("Len after restart = %d, want 199", kv2.Len())
+	}
+	if _, err := kv2.Get("k042"); err != ErrNotFound {
+		t.Fatalf("deleted key resurrected by restart: %v", err)
+	}
+	if st := kv2.Stats(); st.Recovered == 0 {
+		t.Fatal("restart replayed no records")
+	}
+
+	// MaintenanceTick compacts registered stores without error.
+	for i := 0; i < 200; i++ {
+		if err := kv2.Put(fmt.Sprintf("k%03d", i%50), bytes.Repeat([]byte("x"), 400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.MaintenanceTick()
+}
+
+func TestTwoStoresCoexist(t *testing.T) {
+	sys := newSystem(t, Options{CapacityBytes: 256 << 20})
+	a, err := sys.OpenKV(KVOptions{NamePrefix: "a/seg-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.OpenKV(KVOptions{NamePrefix: "b/seg-", BlockReads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("k", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("k", []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := a.Get("k"); !bytes.Equal(got, []byte("from-a")) {
+		t.Fatalf("store a sees %q", got)
+	}
+	if got, _ := b.Get("k"); !bytes.Equal(got, []byte("from-b")) {
+		t.Fatalf("store b sees %q", got)
+	}
+}
+
+func TestFileClose(t *testing.T) {
+	sys := newSystem(t, Options{CapacityBytes: 128 << 20})
+	if err := sys.CreateFile("x", 1<<20, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := sys.Open("x", ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 0); err == nil {
+		t.Fatal("read through closed handle succeeded")
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("double close not reported")
+	}
+	// The file itself is untouched: a fresh handle works.
+	f2, err := sys.Open("x", ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"pipette/internal/blockdev"
 	"pipette/internal/core"
 	"pipette/internal/extfs"
+	"pipette/internal/kv"
 	"pipette/internal/metrics"
 	"pipette/internal/nvme"
 	"pipette/internal/sim"
@@ -73,6 +74,7 @@ type System struct {
 	blk  *blockdev.Layer
 	v    *vfs.VFS
 	core *core.Pipette
+	kvs  []*kv.Store // stores compacted by MaintenanceTick
 }
 
 // New assembles a system.
@@ -206,11 +208,12 @@ func (s *System) CreateFile(name string, size int64, preload bool) error {
 	return err
 }
 
-// RemoveFile deletes a file and trims its blocks.
+// RemoveFile deletes a file: cached pages are discarded, pending writeback
+// cancelled, and its blocks trimmed and returned to the allocator.
 func (s *System) RemoveFile(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.v.FS().Remove(name)
+	return s.v.Remove(name)
 }
 
 // Files lists file names.
@@ -276,6 +279,16 @@ func (f *File) Sync() error {
 	return err
 }
 
+// Close releases the handle: further I/O through it fails, and the last
+// close of a file drops its per-file readahead state. Dirty pages stay in
+// the page cache (close does not imply fsync — call Sync first for that).
+func (f *File) Close() error {
+	s := f.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f.f.Close()
+}
+
 // Now reports elapsed virtual time.
 func (s *System) Now() sim.Time {
 	s.mu.Lock()
@@ -284,11 +297,13 @@ func (s *System) Now() sim.Time {
 }
 
 // MaintenanceTick runs one stage of the fine cache's maintenance thread
-// (§3.2.3). StartMaintenance runs it periodically in wall-clock time.
+// (§3.2.3) and one compaction round of every open KV store. StartMaintenance
+// runs it periodically in wall-clock time.
 func (s *System) MaintenanceTick() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.core.MaintenanceTick()
+	s.tickKVs()
 }
 
 // StartMaintenance launches the maintenance goroutine; the returned stop
