@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"pipette/internal/bench"
+	"pipette/internal/fault"
 	"pipette/internal/sim"
 )
 
@@ -47,6 +48,8 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "phases experiment: write Chrome trace-event JSON (open in Perfetto)")
 		statsOut  = flag.String("stats-out", "", "phases experiment: write sampled time-series CSV")
 		statsInt  = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
+		faultProf = flag.String("fault-profile", "", "arm fault injection on every engine: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
+		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
 	)
 	flag.Parse()
 
@@ -69,6 +72,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pipette-bench: unknown scale %q (tiny|quick|full)\n", *scaleName)
 		os.Exit(2)
+	}
+	if prof, err := fault.ParseProfile(*faultProf); err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+		os.Exit(2)
+	} else {
+		scale.Fault = prof
+		scale.FaultSeed = *faultSeed
 	}
 
 	if *cpuProf != "" {

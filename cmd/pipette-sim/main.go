@@ -17,6 +17,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 
 	"pipette"
 	"pipette/internal/bench"
+	"pipette/internal/fault"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/workload"
@@ -51,9 +53,15 @@ func main() {
 		workers  = flag.Int("j", 0, "worker goroutines when replaying several workloads (0 = GOMAXPROCS)")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto)")
 		statsOut = flag.String("stats-out", "", "write sampled time-series CSV")
-		statsInt = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
+		statsInt  = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
+		faultProf = flag.String("fault-profile", "", "arm fault injection: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
+		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
 	)
 	flag.Parse()
+	if _, err := fault.ParseProfile(*faultProf); err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
+		os.Exit(2)
+	}
 
 	topts := telemetryOpts{
 		traceOut:      *traceOut,
@@ -67,7 +75,7 @@ func main() {
 	}
 
 	if len(wls) == 1 {
-		if err := run(os.Stdout, wls[0], *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, topts); err != nil {
+		if err := run(os.Stdout, wls[0], *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, topts); err != nil {
 			fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -83,7 +91,7 @@ func main() {
 		cells = append(cells, bench.Cell{
 			Label: "sim/" + name,
 			Run: func() (*bench.Result, error) {
-				return nil, run(&bufs[i], name, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, telemetryOpts{})
+				return nil, run(&bufs[i], name, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, telemetryOpts{})
 			},
 		})
 	}
@@ -101,7 +109,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, topts telemetryOpts) error {
+func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, faultProf string, faultSeed uint64, topts telemetryOpts) error {
 	gen, err := makeGenerator(wl, dist, fileMB<<20, seed)
 	if err != nil {
 		return err
@@ -112,6 +120,8 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 		PageCacheBytes:   pcMB << 20,
 		FineCacheBytes:   fgMB << 20,
 		DisableFineCache: !fine,
+		FaultProfile:     faultProf,
+		FaultSeed:        faultSeed,
 	})
 	if err != nil {
 		return err
@@ -157,6 +167,7 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 	for i := range payload {
 		payload[i] = byte(i)
 	}
+	var lost int
 	for i := 0; i < requests; i++ {
 		req := gen.Next()
 		if req.Size > len(buf) {
@@ -164,11 +175,17 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 			payload = make([]byte, req.Size)
 		}
 		if req.Write {
-			if _, err := f.WriteAt(payload[:req.Size], req.Off); err != nil {
+			_, err = f.WriteAt(payload[:req.Size], req.Off)
+		} else {
+			_, err = f.ReadAt(buf[:req.Size], req.Off)
+		}
+		if err != nil {
+			// Under an armed fault profile uncorrectable media errors are
+			// expected outcomes, not harness failures: count and go on.
+			if !errors.Is(err, pipette.ErrUncorrectable) {
 				return fmt.Errorf("request %d: %w", i, err)
 			}
-		} else if _, err := f.ReadAt(buf[:req.Size], req.Off); err != nil {
-			return fmt.Errorf("request %d: %w", i, err)
+			lost++
 		}
 		if sampler != nil {
 			sampler.Tick(sys.Now())
@@ -177,6 +194,9 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 
 	rep := sys.Report()
 	fmt.Fprintln(w, rep)
+	if lost > 0 {
+		fmt.Fprintf(w, "\nuncorrectable     %d of %d requests lost to media errors\n", lost, requests)
+	}
 	fmt.Fprintf(w, "\nthroughput        %.0f ops/s (virtual)\n",
 		float64(requests)/rep.Elapsed.Seconds())
 

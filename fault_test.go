@@ -1,0 +1,98 @@
+package pipette
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestFaultRingFallbackReturnsCorrectBytes arms ring corruption on every
+// fine read (budget 4): the device rejects the corrupted Info-Area records
+// and the framework re-serves each request via block I/O — same bytes as a
+// fault-free twin system, with the fallbacks on the ledger.
+func TestFaultRingFallbackReturnsCorrectBytes(t *testing.T) {
+	mk := func(profile string) (*System, *File) {
+		sys, err := New(Options{CapacityBytes: 64 << 20, FaultProfile: profile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.CreateFile("data", 8<<20, true); err != nil {
+			t.Fatal(err)
+		}
+		f, err := sys.Open("data", FineGrained)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, f
+	}
+	faulty, ff := mk("hmb.ring:1#4")
+	clean, cf := mk("")
+
+	got := make([]byte, 128)
+	want := make([]byte, 128)
+	for i := 0; i < 8; i++ {
+		off := int64(i) * 40960
+		if _, err := ff.ReadAt(got, off); err != nil {
+			t.Fatalf("faulty read %d: %v", i, err)
+		}
+		if _, err := cf.ReadAt(want, off); err != nil {
+			t.Fatalf("clean read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %d: corrupted ring entry changed returned bytes", i)
+		}
+	}
+
+	r := faulty.Report()
+	if r.Faults == nil {
+		t.Fatal("armed profile produced a nil fault report")
+	}
+	if r.Faults.RingFallbacks != 4 {
+		t.Fatalf("RingFallbacks = %d, want 4 (budget)", r.Faults.RingFallbacks)
+	}
+	if !strings.Contains(r.String(), "faults") {
+		t.Fatalf("report misses faults line:\n%s", r)
+	}
+	if cr := clean.Report(); cr.Faults != nil {
+		t.Fatal("empty profile produced a fault report")
+	}
+}
+
+// TestFaultUncorrectableSurfaces arms bit errors on every NAND page read:
+// the ~2% of severity draws below the ECC ladder's floor must surface as
+// ErrUncorrectable at the public API, never as wrong bytes.
+func TestFaultUncorrectableSurfaces(t *testing.T) {
+	sys, err := New(Options{CapacityBytes: 64 << 20, FaultProfile: "nand.read:1", FaultSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CreateFile("data", 4<<20, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := sys.Open("data", ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	var failed int
+	for page := int64(0); page < 1024; page++ {
+		_, err := f.ReadAt(buf, page*4096)
+		if err != nil {
+			if !errors.Is(err, ErrUncorrectable) {
+				t.Fatalf("page %d: %v (not classifiable as ErrUncorrectable)", page, err)
+			}
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no uncorrectable error in 1024 always-faulted page reads")
+	}
+	r := sys.Report()
+	if r.Faults == nil || r.Faults.Uncorrectable != uint64(failed) {
+		t.Fatalf("report uncorrectable mismatch: got %+v, observed %d", r.Faults, failed)
+	}
+	if r.Faults.ECCRetries == 0 {
+		t.Fatal("ECC ladder charged no retries")
+	}
+}

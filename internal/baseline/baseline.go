@@ -13,6 +13,7 @@ import (
 	"pipette/internal/blockdev"
 	"pipette/internal/core"
 	"pipette/internal/extfs"
+	"pipette/internal/fault"
 	"pipette/internal/ftl"
 	"pipette/internal/metrics"
 	"pipette/internal/nvme"
@@ -41,6 +42,9 @@ type Engine interface {
 	// Probes returns the engine's sampled time series (hit ratios, read
 	// amplification, per-channel utilization, ...).
 	Probes() []telemetry.Probe
+	// Faults aggregates the stack's fault-injection and recovery counters
+	// (all zeros when the fault profile is empty).
+	Faults() fault.Report
 }
 
 // StackConfig assembles one engine's private system.
@@ -59,6 +63,12 @@ type StackConfig struct {
 	// mapping before a DMA transfer.
 	PageFault sim.Time
 	DMAMap    sim.Time
+
+	// FaultProfile configures deterministic fault injection across the
+	// stack; the empty profile is the zero-cost default. FaultSeed drives
+	// the per-site decision streams.
+	FaultProfile fault.Profile
+	FaultSeed    uint64
 }
 
 // DefaultStackConfig sizes a stack for a dataset of fileSize bytes: the
@@ -100,6 +110,7 @@ type stack struct {
 	blk  *blockdev.Layer
 	v    *vfs.VFS
 	file *vfs.File
+	inj  *fault.Injector // nil with an empty profile
 }
 
 func newStack(cfg StackConfig, flags vfs.OpenFlag) (*stack, error) {
@@ -128,7 +139,28 @@ func newStack(cfg StackConfig, flags vfs.OpenFlag) (*stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &stack{ctrl: ctrl, drv: drv, blk: blk, v: v, file: file}, nil
+	s := &stack{ctrl: ctrl, drv: drv, blk: blk, v: v, file: file}
+	if inj := cfg.FaultProfile.NewInjector(cfg.FaultSeed); inj != nil {
+		s.inj = inj
+		ctrl.SetInjector(inj)
+		v.SetInjector(inj)
+	}
+	return s, nil
+}
+
+// faults aggregates the stack-level recovery counters; engines with a fine
+// path add their fallback counts on top.
+func (s *stack) faults() fault.Report {
+	f := s.ctrl.Faults()
+	return fault.Report{
+		Injected:         s.inj.TotalInjected(),
+		ECCRetries:       f.ECCRetries,
+		Uncorrectable:    f.Uncorrectable,
+		RingCorruptions:  f.RingCorruptions,
+		DMACorruptions:   f.DMACorruptions,
+		ProgramRetries:   f.ProgramRetries,
+		WritebackRetries: s.v.WritebackRetries(),
+	}
 }
 
 // setTracer instruments every layer of the stack.
@@ -180,6 +212,29 @@ func stackProbes(s *stack, p *core.Pipette) []telemetry.Probe {
 				return float64(p.Region().Info().Pending())
 			}),
 		)
+	}
+	if s.inj != nil {
+		probes = append(probes,
+			telemetry.GaugeProbe("fault.injected", func() float64 {
+				return float64(s.inj.TotalInjected())
+			}),
+			telemetry.GaugeProbe("fault.ecc_retries", func() float64 {
+				return float64(s.ctrl.Faults().ECCRetries)
+			}),
+			telemetry.GaugeProbe("fault.uncorrectable", func() float64 {
+				return float64(s.ctrl.Faults().Uncorrectable)
+			}),
+			telemetry.GaugeProbe("fault.wb_retries", func() float64 {
+				return float64(s.v.WritebackRetries())
+			}),
+		)
+		if p != nil {
+			probes = append(probes,
+				telemetry.GaugeProbe("fault.fallbacks", func() float64 {
+					return float64(p.RingFallbacks() + p.DMAFallbacks())
+				}),
+			)
+		}
 	}
 	arr := s.ctrl.Array()
 	for ch := 0; ch < arr.Config().Channels; ch++ {
@@ -244,6 +299,9 @@ func (e *BlockIO) SetTracer(tr telemetry.Tracer) { e.s.setTracer(tr) }
 
 // Probes implements Engine.
 func (e *BlockIO) Probes() []telemetry.Probe { return stackProbes(e.s, nil) }
+
+// Faults implements Engine.
+func (e *BlockIO) Faults() fault.Report { return e.s.faults() }
 
 // Sync exposes fsync for harness phases.
 func (e *BlockIO) Sync(now sim.Time) (sim.Time, error) { return e.s.file.Sync(now) }

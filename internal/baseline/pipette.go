@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"pipette/internal/core"
+	"pipette/internal/fault"
 	"pipette/internal/metrics"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
@@ -41,6 +42,9 @@ func newPipetteEngine(cfg StackConfig, noCache bool) (*PipetteEngine, error) {
 		p.DisableCache()
 		name = "Pipette w/o cache"
 	}
+	if s.inj != nil {
+		p.SetInjector(s.inj)
+	}
 	return &PipetteEngine{s: s, p: p, name: name}, nil
 }
 
@@ -76,6 +80,15 @@ func (e *PipetteEngine) SetTracer(tr telemetry.Tracer) {
 // Probes implements Engine: the shared stack series plus the fine-path
 // series.
 func (e *PipetteEngine) Probes() []telemetry.Probe { return stackProbes(e.s, e.p) }
+
+// Faults implements Engine: the stack counters plus the host-side fine
+// fallbacks.
+func (e *PipetteEngine) Faults() fault.Report {
+	f := e.s.faults()
+	f.RingFallbacks = e.p.RingFallbacks()
+	f.DMAFallbacks = e.p.DMAFallbacks()
+	return f
+}
 
 // Sync exposes fsync for harness phases.
 func (e *PipetteEngine) Sync(now sim.Time) (sim.Time, error) { return e.s.file.Sync(now) }

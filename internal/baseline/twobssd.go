@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 
+	"pipette/internal/fault"
 	"pipette/internal/metrics"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
@@ -158,6 +159,9 @@ func (e *TwoBSSD) SetTracer(tr telemetry.Tracer) { e.s.setTracer(tr) }
 
 // Probes implements Engine.
 func (e *TwoBSSD) Probes() []telemetry.Probe { return stackProbes(e.s, nil) }
+
+// Faults implements Engine.
+func (e *TwoBSSD) Faults() fault.Report { return e.s.faults() }
 
 // Sync flushes buffered writes to flash — after which the byte interface
 // observes them.

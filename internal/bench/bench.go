@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"pipette/internal/baseline"
+	"pipette/internal/fault"
 	"pipette/internal/metrics"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
@@ -51,6 +52,12 @@ type Scale struct {
 	// operations replayed per YCSB workload.
 	KVRecords  uint64
 	KVRequests int
+
+	// Fault injection: Fault is empty by default (the Nop injector, zero
+	// overhead, byte-identical output); the faults experiment overrides it
+	// per sweep level. FaultSeed drives the deterministic decision streams.
+	Fault     fault.Profile
+	FaultSeed uint64
 }
 
 // FullScale mirrors the paper.
@@ -71,6 +78,7 @@ func FullScale() Scale {
 		LatencyWarmup:    200_000,
 		KVRecords:        1_000_000,
 		KVRequests:       1_000_000,
+		FaultSeed:        0x5eed,
 	}
 }
 
@@ -92,6 +100,7 @@ func QuickScale() Scale {
 		LatencyWarmup:    10_000,
 		KVRecords:        60_000,
 		KVRequests:       60_000,
+		FaultSeed:        0x5eed,
 	}
 }
 
@@ -113,6 +122,7 @@ func TinyScale() Scale {
 		LatencyWarmup:    1_200,
 		KVRecords:        4_000,
 		KVRequests:       3_000,
+		FaultSeed:        0x5eed,
 	}
 }
 
@@ -126,6 +136,8 @@ func (s Scale) stackConfig(fileSize int64) baseline.StackConfig {
 	cfg.Core.HMB.DataBytes = s.FGRCDataBytes
 	cfg.Core.OverflowMaxBytes = s.FGRCDataBytes
 	cfg.Core.PageCacheFloorPages = s.PageCachePages / 8
+	cfg.FaultProfile = s.Fault
+	cfg.FaultSeed = s.FaultSeed
 	return cfg
 }
 

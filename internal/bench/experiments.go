@@ -77,6 +77,12 @@ func Experiments() []Experiment {
 			Title:     "Log-structured KV store: YCSB A-F, block I/O vs Pipette (beyond the paper)",
 			Run:       writeKV,
 		},
+		{
+			ID:        "faults",
+			Artifacts: []string{"reliability"},
+			Title:     "Fault injection: RBER x workload sweep, goodput and recovery (beyond the paper)",
+			Run:       writeFaults,
+		},
 	}
 }
 

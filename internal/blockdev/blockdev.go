@@ -141,7 +141,7 @@ func (l *Layer) ReadPagesEach(now sim.Time, lbas []uint64, deliver func(lba uint
 			return now, moved, fmt.Errorf("blockdev: read submit: %w", err)
 		}
 		if !comp.Ok() {
-			return comp.Done, moved, fmt.Errorf("blockdev: read [%d,+%d): %v", r.start, r.count, comp.Status)
+			return comp.Done, moved, fmt.Errorf("blockdev: read [%d,+%d): %w", r.start, r.count, comp.Status.Err())
 		}
 		for i := 0; i < r.count; i++ {
 			deliver(r.start+uint64(i), buf[i*l.pageSize:(i+1)*l.pageSize])
@@ -205,7 +205,7 @@ func (l *Layer) WritePages(now sim.Time, lba uint64, data []byte) (sim.Time, uin
 			return t, moved, fmt.Errorf("blockdev: write submit: %w", err)
 		}
 		if !comp.Ok() {
-			return comp.Done, moved, fmt.Errorf("blockdev: write [%d,+%d): %v", lba+uint64(off), n, comp.Status)
+			return comp.Done, moved, fmt.Errorf("blockdev: write [%d,+%d): %w", lba+uint64(off), n, comp.Status.Err())
 		}
 		if l.tr.Enabled() {
 			l.tr.Span(telemetry.TrackBlock, "write", t, comp.Done)
@@ -227,7 +227,7 @@ func (l *Layer) Trim(now sim.Time, lba uint64, pages int) (sim.Time, error) {
 		return now, err
 	}
 	if !comp.Ok() {
-		return comp.Done, fmt.Errorf("blockdev: trim: %v", comp.Status)
+		return comp.Done, fmt.Errorf("blockdev: trim: %w", comp.Status.Err())
 	}
 	return comp.Done, nil
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 
+	"pipette/internal/fault"
 	"pipette/internal/hmb"
 	"pipette/internal/metrics"
 	"pipette/internal/nvme"
@@ -49,8 +51,21 @@ type Pipette struct {
 	stats       Stats
 	tr          telemetry.Tracer
 
+	// Fault handling: with an injector armed the host validates fine-read
+	// payloads and re-serves corrupted requests through the block path.
+	inj       *fault.Injector
+	fltRingFB telemetry.Counter
+	fltDMAFB  telemetry.Counter
+
 	cacheDisabled bool
 }
+
+// errFineFallback signals that the fine path detected corruption (a
+// rejected Info-Area record or a DMA payload checksum mismatch) and the
+// read must be re-served through the block path. TryFineRead translates it
+// into "not handled", so the VFS's ordinary block fallback serves the
+// request — slower, never wrong.
+var errFineFallback = errors.New("core: fine path fell back")
 
 var _ vfs.FineRouter = (*Pipette)(nil)
 
@@ -115,6 +130,24 @@ func (p *Pipette) OverflowBytes() int { return p.overBytes }
 // SetTracer installs a tracer on the fine-grained read path.
 func (p *Pipette) SetTracer(tr telemetry.Tracer) { p.tr = telemetry.OrNop(tr) }
 
+// SetInjector arms the host side of fault handling: Info-Area records may
+// corrupt in shared memory (the ring seals and verifies them), and fine-read
+// DMA payloads are validated against the device's checksum. Wire the same
+// injector into the controller (ssd.Controller.SetInjector) so both ends
+// agree on when validation runs.
+func (p *Pipette) SetInjector(inj *fault.Injector) {
+	p.inj = inj
+	p.region.Info().SetInjector(inj)
+}
+
+// RingFallbacks reports fine reads re-served via block I/O after the device
+// rejected a corrupted Info-Area record.
+func (p *Pipette) RingFallbacks() uint64 { return p.fltRingFB.Load() }
+
+// DMAFallbacks reports fine reads re-served via block I/O after host-side
+// payload validation caught in-flight DMA corruption.
+func (p *Pipette) DMAFallbacks() uint64 { return p.fltDMAFB.Load() }
+
 // Stats returns a copy of the framework counters.
 func (p *Pipette) Stats() Stats { return p.stats }
 
@@ -167,7 +200,10 @@ func (p *Pipette) TryFineRead(now sim.Time, f *vfs.File, off int64, buf []byte) 
 	if p.cacheDisabled {
 		done, err := p.fetchFine(now, f, off, buf, -1)
 		if err != nil {
-			return now, false, err
+			if errors.Is(err, errFineFallback) {
+				return p.fallBack(now, done), false, nil
+			}
+			return done, false, err
 		}
 		p.stats.TempBypasses++
 		return done, true, nil
@@ -220,7 +256,10 @@ func (p *Pipette) TryFineRead(now sim.Time, f *vfs.File, off int64, buf []byte) 
 		if admitted {
 			_ = p.alloc.Release(ref)
 		}
-		return now, false, err
+		if errors.Is(err, errFineFallback) {
+			return p.fallBack(now, done), false, nil
+		}
+		return done, false, err
 	}
 
 	if admitted {
@@ -274,18 +313,37 @@ func (p *Pipette) fetchFine(now sim.Time, f *vfs.File, off int64, buf []byte, de
 		return now, fmt.Errorf("core: fine read submit: %w", err)
 	}
 	if !comp.Ok() {
-		return comp.Done, fmt.Errorf("core: fine read failed: %v", comp.Status)
+		if comp.Status == nvme.StatusCorruptRing {
+			p.fltRingFB.Inc()
+			return comp.Done, errFineFallback
+		}
+		return comp.Done, fmt.Errorf("core: fine read failed: %w", comp.Status.Err())
 	}
 	p.io.FineReads++
 	p.io.BytesTransferred += comp.BytesMoved
 	if err := p.region.ReadAt(dest, buf); err != nil {
 		return comp.Done, err
 	}
+	if p.inj.Enabled() && fault.Sum32(buf) != comp.PayloadSum {
+		// In-flight DMA corruption: the landed bytes disagree with the
+		// device's pre-transfer checksum. Discard and fall back.
+		p.fltDMAFB.Inc()
+		return comp.Done, errFineFallback
+	}
 	if p.tr.Enabled() {
 		// Constructor + Requester host work before the command hits the wire.
 		p.tr.Span(telemetry.TrackFine, "construct", now, now+p.cfg.MissHostOverhead)
 	}
 	return comp.Done, nil
+}
+
+// fallBack accounts a failed fine attempt whose time must still be charged:
+// the VFS resumes its block path at the returned timestamp.
+func (p *Pipette) fallBack(now, done sim.Time) sim.Time {
+	if p.tr.Enabled() {
+		p.tr.Span(telemetry.TrackFine, "fault.fallback", now, done)
+	}
+	return done
 }
 
 // serveFrom copies the demanded window out of a cached entry and maintains

@@ -261,9 +261,11 @@ func (fs *FS) Create(name string, size int64, opts CreateOpts) (*Inode, error) {
 		}
 		ino.Extents = append(ino.Extents, Extent{FilePage: covered, LBA: lba, Pages: got})
 		covered += got
-		if covered < pages && opts.ExtentPages != 0 && bumped {
+		if covered < pages && opts.ExtentPages != 0 && bumped && fs.nextLBA < fs.ctrl.LogicalPages() {
 			// Skip one LBA to force fragmentation (bump allocations only:
-			// free-list reuse is naturally discontiguous).
+			// free-list reuse is naturally discontiguous). The bound keeps
+			// nextLBA on the device — past it, LogicalPages()-nextLBA would
+			// underflow and the frontier would hand out nonexistent LBAs.
 			fs.nextLBA++
 		}
 	}

@@ -252,3 +252,80 @@ func TestExtractLBAsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestReleaseCoalescing removes three adjacently-allocated files out of
+// order and asserts the free list fuses their runs into one — both the
+// merge-with-next and merge-with-previous branches of releaseRun fire —
+// then reuses the fused run as a single contiguous extent.
+func TestReleaseCoalescing(t *testing.T) {
+	fs := testFS(t)
+	const pages = 8
+	var base uint64
+	for i, name := range []string{"a", "b", "c"} {
+		ino, err := fs.Create(name, pages*4096, CreateOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ino.Extents) != 1 {
+			t.Fatalf("%s: %d extents, want 1", name, len(ino.Extents))
+		}
+		if i == 0 {
+			base = ino.Extents[0].LBA
+		} else if got := ino.Extents[0].LBA; got != base+uint64(i)*pages {
+			t.Fatalf("%s at LBA %d, want adjacent %d", name, got, base+uint64(i)*pages)
+		}
+	}
+	// Middle first (no neighbours), then left (merges with next), then
+	// right (merges with previous).
+	for _, name := range []string{"b", "a", "c"} {
+		if err := fs.Remove(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(fs.free) != 1 || fs.free[0] != (freeRun{lba: base, pages: 3 * pages}) {
+		t.Fatalf("free list = %+v, want one run [%d,+%d)", fs.free, base, 3*pages)
+	}
+	if fs.freePages != 3*pages {
+		t.Fatalf("freePages = %d, want %d", fs.freePages, 3*pages)
+	}
+	ino, err := fs.Create("fused", 3*pages*4096, CreateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ino.Extents) != 1 || ino.Extents[0].LBA != base {
+		t.Fatalf("fused run not reused contiguously: %+v", ino.Extents)
+	}
+}
+
+// TestCreateRollbackOnExhaustion drives Create past the capacity pre-check
+// with fragmentation skips (each bump-frontier chunk burns one extra LBA),
+// so allocation fails mid-file. The partial allocation must roll back: no
+// namespace entry, and the released pages fully reusable afterwards.
+func TestCreateRollbackOnExhaustion(t *testing.T) {
+	fs := testFS(t)
+	total := fs.FreeCapacityPages()
+	if _, err := fs.Create("filler", int64(total-16)*4096, CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// 16 pages free; 2-page extents + 1-page skips need ~24. The pre-check
+	// (16 <= 16) passes, allocation exhausts mid-way.
+	_, err := fs.Create("frag", 16*4096, CreateOpts{ExtentPages: 2})
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if _, err := fs.Lookup("frag"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed create left a namespace entry: %v", err)
+	}
+	// Whatever survives (free capacity minus the fragmentation holes) must
+	// be allocatable again — the rollback put the partial extents back.
+	rem := fs.FreeCapacityPages()
+	if rem == 0 {
+		t.Fatal("rollback returned nothing to the free list")
+	}
+	if _, err := fs.Create("after", int64(rem)*4096, CreateOpts{}); err != nil {
+		t.Fatalf("re-allocating rolled-back pages: %v", err)
+	}
+	if got := fs.FreeCapacityPages(); got != 0 {
+		t.Fatalf("FreeCapacityPages = %d after exact fill, want 0", got)
+	}
+}

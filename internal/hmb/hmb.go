@@ -20,6 +20,9 @@ package hmb
 import (
 	"errors"
 	"fmt"
+
+	"pipette/internal/fault"
+	"pipette/internal/sim"
 )
 
 // InfoRecord is one Info Area entry, written by the host's Constructor and
@@ -29,12 +32,30 @@ type InfoRecord struct {
 	ByteOff int    // offset of the demanded range within the page
 	ByteLen int    // length of the demanded range
 	Dest    int    // destination offset within the HMB region
+
+	// Sum seals the record against corruption while it sits in shared
+	// host memory. Push fills it; Consume verifies it.
+	Sum uint32
+}
+
+// recSum is the integrity checksum over a record's payload fields.
+func recSum(rec InfoRecord) uint32 {
+	h := sim.Mix64(rec.LBA)
+	h = sim.Mix64(h ^ uint64(uint32(rec.ByteOff)))
+	h = sim.Mix64(h ^ uint64(uint32(rec.ByteLen)))
+	h = sim.Mix64(h ^ uint64(uint32(rec.Dest)))
+	return uint32(h ^ h>>32)
 }
 
 // Ring errors.
 var (
 	ErrRingFull  = errors.New("hmb: info ring full")
 	ErrRingEmpty = errors.New("hmb: info ring empty")
+	// ErrCorruptRecord reports a consumed record whose checksum does not
+	// cover its fields anymore. The head still advances past it — the
+	// device must not wedge the ring on one bad entry — and the caller
+	// re-serves the request through the block path.
+	ErrCorruptRecord = errors.New("hmb: corrupt info record")
 )
 
 // InfoRing is the Info Area: a bounded ring with a host-owned tail and a
@@ -43,6 +64,28 @@ type InfoRing struct {
 	records []InfoRecord
 	head    uint32 // device-advanced: consumed
 	tail    uint32 // host-advanced: produced
+
+	inj *fault.Injector
+}
+
+// SetInjector arms hmb.ring fault injection: records may corrupt between
+// the host's append and the device's consume.
+func (r *InfoRing) SetInjector(inj *fault.Injector) { r.inj = inj }
+
+// corrupt flips one bit of one payload field, both selected by the
+// injection severity draw.
+func corrupt(rec *InfoRecord, sev float64) {
+	bit := uint(sev*64) % 64
+	switch uint(sev*251) % 4 {
+	case 0:
+		rec.LBA ^= 1 << bit
+	case 1:
+		rec.ByteOff ^= 1 << (bit % 30)
+	case 2:
+		rec.ByteLen ^= 1 << (bit % 30)
+	default:
+		rec.Dest ^= 1 << (bit % 30)
+	}
 }
 
 // NewInfoRing creates a ring with the given number of record slots.
@@ -60,9 +103,16 @@ func (r *InfoRing) Pending() int { return int(r.tail - r.head) }
 func (r *InfoRing) Cap() int { return len(r.records) - 1 }
 
 // Push appends a record and advances the tail (host side, Figure 4 step 3a).
+// The record is sealed with its checksum; under fault injection it may then
+// corrupt in place, modeling a flipped bit while the entry sits in shared
+// host memory.
 func (r *InfoRing) Push(rec InfoRecord) error {
 	if r.Pending() >= r.Cap() {
 		return ErrRingFull
+	}
+	rec.Sum = recSum(rec)
+	if out := r.inj.Check(fault.SiteHMBRing, rec.LBA); out.Hit {
+		corrupt(&rec, out.Sev)
 	}
 	r.records[r.tail%uint32(len(r.records))] = rec
 	r.tail++
@@ -70,13 +120,17 @@ func (r *InfoRing) Push(rec InfoRecord) error {
 }
 
 // Consume removes the oldest record and advances the head (device side,
-// Figure 4 step 3b).
+// Figure 4 step 3b). A record that fails its checksum is still consumed —
+// the ring must not wedge — and returned alongside ErrCorruptRecord.
 func (r *InfoRing) Consume() (InfoRecord, error) {
 	if r.Pending() == 0 {
 		return InfoRecord{}, ErrRingEmpty
 	}
 	rec := r.records[r.head%uint32(len(r.records))]
 	r.head++
+	if rec.Sum != recSum(rec) {
+		return rec, ErrCorruptRecord
+	}
 	return rec, nil
 }
 

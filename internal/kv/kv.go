@@ -84,6 +84,8 @@ type Stats struct {
 	ReclaimedBytes uint64 // dead bytes freed by compaction
 	MovedBytes     uint64 // live bytes compaction re-appended
 	Recovered      uint64 // records replayed by Open
+	CorruptSkips   uint64 // corrupt log runs recovery resynchronized past
+	SkippedBytes   uint64 // bytes of log skipped as unrecoverable
 }
 
 // Store is a log-structured KV store over a Backend. Not safe for concurrent
@@ -106,10 +108,13 @@ type Store struct {
 }
 
 // Open starts a store over be, replaying any existing segments under
-// cfg.NamePrefix: the index is rebuilt by scanning each segment's records in
-// file order, stopping at the first torn record (bad magic, insane length,
-// or checksum mismatch). Appends resume into the last segment. Returns the
-// simulated completion time of the recovery reads.
+// cfg.NamePrefix: the index is rebuilt by scanning each segment's records
+// in file order. A record damaged mid-segment (bad magic, insane length,
+// or checksum mismatch) is skipped — the scan resynchronizes at the next
+// valid record and counts the damage in Stats.CorruptSkips/SkippedBytes;
+// only a tail after which no valid record remains ends a segment's replay.
+// Appends resume into the last segment. Returns the simulated completion
+// time of the recovery reads.
 func Open(now sim.Time, be Backend, cfg Config) (*Store, sim.Time, error) {
 	cfg.setDefaults()
 	if cfg.SegmentBytes < int64(headerSize+cfg.MaxKeyLen+1) {
@@ -216,7 +221,9 @@ func (s *Store) Get(now sim.Time, key string, dst []byte) ([]byte, sim.Time, err
 	sg := s.segs[l.seg]
 	got, done, err := sg.r.ReadAt(now, dst[n:], l.recOff+valueOffset(key))
 	if err != nil {
-		return dst[:n], done, err
+		// %w keeps the device's error chain intact: an uncorrectable
+		// media error stays classifiable via errors.Is at the API surface.
+		return dst[:n], done, fmt.Errorf("kv: get %q: %w", key, err)
 	}
 	if got != int(l.valLen) {
 		return dst[:n], done, fmt.Errorf("kv: short read %d of %d", got, l.valLen)
@@ -290,7 +297,7 @@ func (s *Store) get(now sim.Time, key string, dst []byte) ([]byte, sim.Time, err
 	dst = dst[:need]
 	got, done, err := s.segs[l.seg].r.ReadAt(now, dst[n:], l.recOff+valueOffset(key))
 	if err != nil {
-		return dst[:n], done, err
+		return dst[:n], done, fmt.Errorf("kv: get %q: %w", key, err)
 	}
 	if got != int(l.valLen) {
 		return dst[:n], done, fmt.Errorf("kv: short read %d of %d", got, l.valLen)

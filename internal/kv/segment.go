@@ -206,37 +206,101 @@ func (s *Store) appendRecord(now sim.Time, rec []byte) (segID uint32, off int64,
 	return s.active.id, off, done, nil
 }
 
-// recoverSegment replays one segment's records into the index, stopping at
-// the first torn or pristine byte run. Reads are timed — recovery cost is
-// part of the simulation.
+// tryRecordAt reads and fully validates one record at off: header parse,
+// payload read, checksum over header fields plus payload. Read errors
+// (including uncorrectable media) count as "no record here" — recovery is
+// best-effort by design. The payload buffer is caller-owned scratch.
+func (s *Store) tryRecordAt(now sim.Time, sg *segment, off int64, hdr []byte, payload *[]byte) (recordHeader, []byte, sim.Time, bool) {
+	if off+headerSize > s.cfg.SegmentBytes {
+		return recordHeader{}, nil, now, false
+	}
+	n, done, err := sg.r.ReadAt(now, hdr, off)
+	if err != nil || n != headerSize {
+		return recordHeader{}, nil, now, false
+	}
+	now = done
+	h, ok := parseHeader(hdr, s.cfg.MaxKeyLen, s.cfg.SegmentBytes, off)
+	if !ok {
+		return recordHeader{}, nil, now, false
+	}
+	need := h.keyLen + h.valLen
+	if cap(*payload) < need {
+		*payload = make([]byte, need)
+	}
+	p := (*payload)[:need]
+	n, done, err = sg.r.ReadAt(now, p, off+headerSize)
+	if err != nil || n != need {
+		return recordHeader{}, nil, now, false
+	}
+	now = done
+	if fnv32a(hdr[1:8], p) != h.checksum {
+		return recordHeader{}, nil, now, false
+	}
+	return h, p, now, true
+}
+
+// scanForward searches for the next decodable record at or after from: the
+// log is read in chunks, every magic-byte candidate is validated in place
+// with tryRecordAt (header sanity plus checksum, so payload bytes that
+// merely look like a record start do not fool it). Not-found means the rest
+// of the segment holds no valid record — the torn tail.
+func (s *Store) scanForward(now sim.Time, sg *segment, from int64, hdr []byte, payload *[]byte) (int64, sim.Time, bool) {
+	const chunk = 4096
+	buf := make([]byte, chunk)
+	for base := from; base+headerSize <= s.cfg.SegmentBytes; {
+		n := int64(chunk)
+		if base+n > s.cfg.SegmentBytes {
+			n = s.cfg.SegmentBytes - base
+		}
+		rn, done, err := sg.r.ReadAt(now, buf[:n], base)
+		if err != nil || int64(rn) != n {
+			return 0, now, false
+		}
+		now = done
+		for i := int64(0); i < n; i++ {
+			if buf[i] != recordMagic {
+				continue
+			}
+			cand := base + i
+			_, _, t, ok := s.tryRecordAt(now, sg, cand, hdr, payload)
+			now = t
+			if ok {
+				return cand, now, true
+			}
+		}
+		base += n
+	}
+	return 0, now, false
+}
+
+// recoverSegment replays one segment's records into the index. A record
+// that fails validation mid-segment (a bit flip in any field) is skipped:
+// the scan resynchronizes at the next decodable record, the damaged bytes
+// are charged as dead space, and recovery continues — only when no valid
+// record remains does the segment end (the torn-tail case, which is not
+// counted as corruption). Reads are timed — recovery cost is part of the
+// simulation.
 func (s *Store) recoverSegment(now sim.Time, sg *segment) (sim.Time, error) {
 	hdr := make([]byte, headerSize)
 	var payload []byte
 	off := int64(0)
+	end := int64(0) // end of the last valid record — the append point
 	for off+headerSize <= s.cfg.SegmentBytes {
-		n, done, err := sg.r.ReadAt(now, hdr, off)
-		if err != nil || n != headerSize {
-			break
-		}
-		now = done
-		h, ok := parseHeader(hdr, s.cfg.MaxKeyLen, s.cfg.SegmentBytes, off)
+		h, p, t, ok := s.tryRecordAt(now, sg, off, hdr, &payload)
+		now = t
 		if !ok {
-			break
+			next, t, found := s.scanForward(now, sg, off+1, hdr, &payload)
+			now = t
+			if !found {
+				break
+			}
+			s.stats.CorruptSkips++
+			s.stats.SkippedBytes += uint64(next - off)
+			sg.dead += next - off
+			off = next
+			continue
 		}
-		need := h.keyLen + h.valLen
-		if cap(payload) < need {
-			payload = make([]byte, need)
-		}
-		payload = payload[:need]
-		n, done, err = sg.r.ReadAt(now, payload, off+headerSize)
-		if err != nil || n != need {
-			break
-		}
-		now = done
-		if fnv32a(hdr[1:8], payload) != h.checksum {
-			break
-		}
-		key := string(payload[:h.keyLen])
+		key := string(p[:h.keyLen])
 		sz := recordSize(h.keyLen, h.valLen)
 		if h.tombstone {
 			s.dropIndexed(key)
@@ -249,8 +313,9 @@ func (s *Store) recoverSegment(now sim.Time, sg *segment) (sim.Time, error) {
 		}
 		s.stats.Recovered++
 		off += sz
+		end = off
 	}
-	sg.tail = off
+	sg.tail = end
 	return now, nil
 }
 

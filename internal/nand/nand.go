@@ -64,6 +64,19 @@ var timings = map[CellType]Timing{
 // TimingFor returns the latency profile of a cell type.
 func TimingFor(c CellType) Timing { return timings[c] }
 
+// rbers are datasheet raw bit error rates per cell type: the probability
+// a single sensed bit is wrong before ECC. Denser cells store more levels
+// per cell and are orders of magnitude noisier.
+var rbers = map[CellType]float64{
+	SLC: 1e-9,
+	MLC: 1e-7,
+	TLC: 1e-6,
+}
+
+// RBERFor returns the raw bit error rate of a cell type. The fault
+// injector's rber* rules are resolved against this.
+func RBERFor(c CellType) float64 { return rbers[c] }
+
 // Config describes an array. The zero value is not usable; start from
 // DefaultConfig.
 type Config struct {

@@ -59,6 +59,13 @@ const (
 	StatusLBAOutOfRange
 	StatusUnmapped
 	StatusInternal
+	// StatusMediaError: the ECC engine exhausted its read-retry budget;
+	// the page's data is unrecoverable from the media.
+	StatusMediaError
+	// StatusCorruptRing: the device rejected a corrupted Info-Area ring
+	// record for a fine read. The host re-serves the request through the
+	// block path.
+	StatusCorruptRing
 )
 
 // String names the status.
@@ -74,8 +81,31 @@ func (s Status) String() string {
 		return "Unmapped"
 	case StatusInternal:
 		return "Internal"
+	case StatusMediaError:
+		return "MediaError"
+	case StatusCorruptRing:
+		return "CorruptRing"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// ErrUncorrectable is the host-visible form of StatusMediaError. The block
+// layer wraps it into its command errors, so the layers above — VFS, KV —
+// can classify device data loss with errors.Is.
+var ErrUncorrectable = errors.New("nvme: uncorrectable media error")
+
+// Err converts a failed status into a stable error (nil for StatusOK).
+// Sentinel-worthy statuses map to package-level errors; the rest render
+// generically.
+func (s Status) Err() error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusMediaError:
+		return ErrUncorrectable
+	default:
+		return fmt.Errorf("nvme: status %v", s)
 	}
 }
 
@@ -105,6 +135,12 @@ type Completion struct {
 	// BytesMoved is device->host traffic this command caused (telemetry
 	// the traffic tables are built from).
 	BytesMoved uint64
+
+	// PayloadSum is the device-side checksum of a fine read's extracted
+	// payload, computed before the DMA lands it in the HMB. Only filled
+	// when fault injection is enabled; the host recomputes it over the
+	// received bytes to detect in-flight DMA corruption.
+	PayloadSum uint32
 }
 
 // Ok reports whether the command succeeded.

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pipette/internal/fault"
 	"pipette/internal/ftl"
 	"pipette/internal/hmb"
 	"pipette/internal/nand"
@@ -79,6 +80,16 @@ type Config struct {
 	// OpFlush drains synchronously. 0 disables (writes program NAND
 	// inline), the calibrated default.
 	WriteBufferPages int
+
+	// ECCRetrySteps bounds the read-retry ladder the ECC engine walks when
+	// an injected raw-bit-error burst exceeds the default correction
+	// strength; each step re-senses the page (full tR + transfer). A page
+	// still failing past the ladder is uncorrectable. 0 means no retries:
+	// any ECC hit is immediately uncorrectable.
+	ECCRetrySteps int
+	// ECCUncorrectableFrac is the fraction of the injected-severity
+	// spectrum that exhausts the whole ladder and still fails.
+	ECCUncorrectableFrac float64
 }
 
 // DefaultConfig mirrors the paper's platform.
@@ -92,6 +103,8 @@ func DefaultConfig() Config {
 		FirmwareFineOverhead:  1 * sim.Microsecond,
 		ExtractOverhead:       300 * sim.Nanosecond,
 		CMBBytes:              4 << 20,
+		ECCRetrySteps:         4,
+		ECCUncorrectableFrac:  0.02,
 	}
 }
 
@@ -129,6 +142,16 @@ type Controller struct {
 	wbufIdx map[uint64]int
 
 	readBuf []byte // controller-DRAM staging for fine reads (ReadBufferPages pages)
+
+	// Fault injection state: nil injector = Nop, and the counters stay at
+	// zero. The counters are atomic so telemetry probes can sample them;
+	// they live here (not in Stats) because Stats is copied by value.
+	inj            *fault.Injector
+	fltECCRetry    telemetry.Counter
+	fltUncorrect   telemetry.Counter
+	fltRingCorrupt telemetry.Counter
+	fltDMACorrupt  telemetry.Counter
+	fltProgRetry   telemetry.Counter
 
 	stats Stats
 	tr    telemetry.Tracer
@@ -240,6 +263,8 @@ func statusFor(err error) nvme.Status {
 		return nvme.StatusLBAOutOfRange
 	case errors.Is(err, ftl.ErrUnmapped):
 		return nvme.StatusUnmapped
+	case errors.Is(err, nvme.ErrUncorrectable):
+		return nvme.StatusMediaError
 	default:
 		return nvme.StatusInternal
 	}
@@ -269,19 +294,16 @@ func (c *Controller) execBlockRead(now sim.Time, cmd *nvme.Command) nvme.Complet
 		}
 		for i := batch; i < batchEnd; i++ {
 			lba := cmd.LBA + uint64(i)
-			if buffered, ok := c.bufLookup(lba); ok {
-				// Write-buffer hit: served from controller DRAM.
-				copy(cmd.Data[i*ps:], buffered)
-				continue
-			}
-			done, err := c.fl.ReadInto(issueAt, ftl.LBA(lba), cmd.Data[i*ps:(i+1)*ps])
+			done, loaded, err := c.readLBAInto(issueAt, lba, cmd.Data[i*ps:(i+1)*ps])
 			if err != nil {
 				return nvme.Completion{Status: statusFor(err), Done: done}
 			}
 			if done > maxDone {
 				maxDone = done
 			}
-			c.stats.PagesLoaded++
+			if loaded {
+				c.stats.PagesLoaded++
+			}
 		}
 	}
 	moved = uint64(cmd.Pages * ps)
@@ -307,7 +329,7 @@ func (c *Controller) execWrite(now sim.Time, cmd *nvme.Command) nvme.Completion 
 	t := hostDone
 	c.stats.BytesFromHost += uint64(len(cmd.Data))
 	for i := 0; i < cmd.Pages; i++ {
-		done, err := c.fl.Write(t, ftl.LBA(cmd.LBA+uint64(i)), cmd.Data[i*ps:(i+1)*ps])
+		done, err := c.programLBA(t, cmd.LBA+uint64(i), cmd.Data[i*ps:(i+1)*ps])
 		if err != nil {
 			return nvme.Completion{Status: statusFor(err), Done: t}
 		}
@@ -348,6 +370,12 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 	}
 	rec, err := c.hmbRegion.Info().Consume()
 	if err != nil {
+		if errors.Is(err, hmb.ErrCorruptRecord) {
+			// The record is consumed (the ring must not wedge) but its
+			// fields cannot be trusted; the host re-serves via block I/O.
+			c.fltRingCorrupt.Inc()
+			return nvme.Completion{Status: nvme.StatusCorruptRing, Done: now + c.cfg.FirmwareFineOverhead}
+		}
 		return nvme.Completion{Status: nvme.StatusInvalidCommand, Done: now}
 	}
 	c.stats.InfoRecordsRun++
@@ -368,24 +396,33 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 	maxDone := start
 	for i, lba := range cmd.FineLBAs {
 		dst := c.readBuf[i*ps : (i+1)*ps]
-		if buffered, ok := c.bufLookup(lba); ok {
-			copy(dst, buffered)
-			continue
-		}
-		done, err := c.fl.ReadInto(start, ftl.LBA(lba), dst)
+		done, loaded, err := c.readLBAInto(start, lba, dst)
 		if err != nil {
 			return nvme.Completion{Status: statusFor(err), Done: done}
 		}
 		if done > maxDone {
 			maxDone = done
 		}
-		c.stats.PagesLoaded++
+		if loaded {
+			c.stats.PagesLoaded++
+		}
 	}
 
 	// Phase 3: extract the demanded range (may cross page boundaries) and
-	// scatter it to the HMB destination.
-	if err := c.hmbRegion.WriteAt(rec.Dest, c.readBuf[rec.ByteOff:rec.ByteOff+rec.ByteLen]); err != nil {
+	// scatter it to the HMB destination. Under fault injection the device
+	// checksums the payload before the DMA; the host recomputes it over
+	// the landed bytes, so an in-flight bit flip is detected, not served.
+	payload := c.readBuf[rec.ByteOff : rec.ByteOff+rec.ByteLen]
+	var paySum uint32
+	if c.inj.Enabled() {
+		paySum = fault.Sum32(payload)
+	}
+	if err := c.hmbRegion.WriteAt(rec.Dest, payload); err != nil {
 		return nvme.Completion{Status: nvme.StatusInternal, Done: maxDone}
+	}
+	if out := c.inj.Check(fault.SiteNVMeDMA, rec.LBA); out.Hit {
+		c.fltDMACorrupt.Inc()
+		c.corruptHMB(rec.Dest, rec.ByteLen, out.Sev)
 	}
 	done := maxDone + c.cfg.ExtractOverhead + c.cfg.PCIe.dmaTime(rec.ByteLen)
 	c.stats.RangesExtract++
@@ -399,7 +436,22 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 		Status:     nvme.StatusOK,
 		Done:       done,
 		BytesMoved: uint64(rec.ByteLen),
+		PayloadSum: paySum,
 	}
+}
+
+// corruptHMB flips one bit of a landed DMA payload in the HMB region,
+// modeling in-flight corruption the link CRC missed.
+func (c *Controller) corruptHMB(dest, n int, sev float64) {
+	window, err := c.hmbRegion.Slice(dest, n)
+	if err != nil {
+		return
+	}
+	bit := int(sev * float64(n*8))
+	if bit >= n*8 {
+		bit = n*8 - 1
+	}
+	window[bit/8] ^= 1 << (bit % 8)
 }
 
 // --- CMB mechanics for the 2B-SSD baselines -------------------------------
@@ -411,10 +463,7 @@ func (c *Controller) LoadToCMB(now sim.Time, lba uint64) (slot int, done sim.Tim
 	ps := c.cfg.NAND.PageSize
 	slot = c.cmbNext
 	dst := c.cmb[slot*ps : (slot+1)*ps]
-	done = now
-	if data, ok := c.bufLookup(lba); ok {
-		copy(dst, data)
-	} else if done, err = c.fl.ReadInto(now, ftl.LBA(lba), dst); err != nil {
+	if done, _, err = c.readLBAInto(now, lba, dst); err != nil {
 		return 0, done, err
 	}
 	c.cmbNext = (c.cmbNext + 1) % c.cmbSlots

@@ -1,7 +1,6 @@
 package ssd
 
 import (
-	"pipette/internal/ftl"
 	"pipette/internal/nvme"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
@@ -67,7 +66,7 @@ func (c *Controller) destage(now sim.Time, keep int, background bool) (sim.Time,
 		e := c.wbuf[0]
 		c.wbuf = c.wbuf[1:]
 		delete(c.wbufIdx, e.lba)
-		done, err := c.fl.Write(t, ftl.LBA(e.lba), e.data)
+		done, err := c.programLBA(t, e.lba, e.data)
 		if err != nil {
 			return t, err
 		}

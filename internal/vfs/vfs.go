@@ -17,6 +17,7 @@ import (
 
 	"pipette/internal/blockdev"
 	"pipette/internal/extfs"
+	"pipette/internal/fault"
 	"pipette/internal/ftl"
 	"pipette/internal/metrics"
 	"pipette/internal/pagecache"
@@ -77,6 +78,8 @@ type VFS struct {
 	router FineRouter
 	cfg    Config
 	tr     telemetry.Tracer
+	inj    *fault.Injector
+	fltWB  telemetry.Counter
 
 	io        metrics.IO
 	pendingWB []wbEntry
@@ -137,6 +140,14 @@ func (v *VFS) SetRouter(r FineRouter) { v.router = r }
 // SetTracer installs a tracer; each ReadAt/WriteAt becomes a request scope
 // with syscall and copy-out phases.
 func (v *VFS) SetTracer(tr telemetry.Tracer) { v.tr = telemetry.OrNop(tr) }
+
+// SetInjector arms vfs.writeback fault injection: a writeback command may
+// report a transient failure and be re-issued by the flusher.
+func (v *VFS) SetInjector(inj *fault.Injector) { v.inj = inj }
+
+// WritebackRetries reports writeback commands the flusher re-issued after
+// an injected transient failure.
+func (v *VFS) WritebackRetries() uint64 { return v.fltWB.Load() }
 
 // FS exposes the filesystem metadata layer.
 func (v *VFS) FS() *extfs.FS { return v.fs }
@@ -314,6 +325,10 @@ func (f *File) readAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error
 		if handled {
 			return n, v.copyOut(done), eof
 		}
+		// Unhandled: the router may still have spent time (a fine attempt
+		// that fell back on detected corruption); the block path resumes
+		// from its completion. Plain declines return done == now.
+		now = done
 	}
 
 	done, err := v.blockRead(now, f, buf, off)

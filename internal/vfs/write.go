@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"pipette/internal/fault"
 	"pipette/internal/pagecache"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
@@ -173,6 +174,17 @@ func (v *VFS) writebackPage(now sim.Time, key pagecache.Key, data []byte) (sim.T
 	done, moved, err := v.blk.WritePages(now, lba, data)
 	if err != nil {
 		return done, err
+	}
+	if out := v.inj.Check(fault.SiteVFSWriteback, lba); out.Hit {
+		// Transient writeback failure: the flusher re-issues the command
+		// from the failed attempt's completion time.
+		v.fltWB.Inc()
+		var rmoved uint64
+		done, rmoved, err = v.blk.WritePages(done, lba, data)
+		if err != nil {
+			return done, err
+		}
+		moved += rmoved
 	}
 	v.io.BytesWritten += moved
 	return done, nil

@@ -28,6 +28,7 @@ import (
 	"pipette/internal/blockdev"
 	"pipette/internal/core"
 	"pipette/internal/extfs"
+	"pipette/internal/fault"
 	"pipette/internal/kv"
 	"pipette/internal/metrics"
 	"pipette/internal/nvme"
@@ -47,6 +48,11 @@ const (
 	FineGrained = vfs.FineGrained
 )
 
+// ErrUncorrectable reports a read that exhausted the device's ECC
+// read-retry ladder: the data is lost, not silently wrong. Only surfaces
+// under an armed fault profile; classify with errors.Is.
+var ErrUncorrectable = nvme.ErrUncorrectable
+
 // Options configures a System. Zero values take defaults.
 type Options struct {
 	// CapacityBytes provisions the flash array (default 1 GiB).
@@ -61,6 +67,13 @@ type Options struct {
 	DisableFineCache bool
 	// Core overrides the framework tuning; leave zero for defaults.
 	Core *core.Config
+	// FaultProfile arms deterministic fault injection, in the syntax of
+	// fault.ParseProfile ("nand.read:rber*20,hmb.ring:0.01"). Empty (the
+	// default) injects nothing and adds zero overhead.
+	FaultProfile string
+	// FaultSeed seeds the injector's per-site decision streams (default
+	// 0x5eed). Same profile + same seed + same workload = same faults.
+	FaultSeed uint64
 }
 
 // System is one simulated host + SSD with Pipette installed.
@@ -74,7 +87,8 @@ type System struct {
 	blk  *blockdev.Layer
 	v    *vfs.VFS
 	core *core.Pipette
-	kvs  []*kv.Store // stores compacted by MaintenanceTick
+	inj  *fault.Injector // nil unless Options.FaultProfile armed one
+	kvs  []*kv.Store     // stores compacted by MaintenanceTick
 }
 
 // New assembles a system.
@@ -127,7 +141,24 @@ func New(opts Options) (*System, error) {
 	if opts.DisableFineCache {
 		p.DisableCache()
 	}
-	return &System{ctrl: ctrl, drv: drv, blk: blk, v: v, core: p}, nil
+	s := &System{ctrl: ctrl, drv: drv, blk: blk, v: v, core: p}
+	if opts.FaultProfile != "" {
+		prof, err := fault.ParseProfile(opts.FaultProfile)
+		if err != nil {
+			return nil, fmt.Errorf("pipette: %w", err)
+		}
+		seed := opts.FaultSeed
+		if seed == 0 {
+			seed = 0x5eed
+		}
+		if inj := prof.NewInjector(seed); inj != nil {
+			s.inj = inj
+			ctrl.SetInjector(inj)
+			v.SetInjector(inj)
+			p.SetInjector(inj)
+		}
+	}
+	return s, nil
 }
 
 // SetTracer installs a tracer on every layer of the system: VFS, block
@@ -184,6 +215,19 @@ func (s *System) Probes() []telemetry.Probe {
 		telemetry.GaugeProbe("hmb_info_pending", locked(func() float64 {
 			return float64(s.core.Region().Info().Pending())
 		})),
+	}
+	if s.inj != nil {
+		probes = append(probes,
+			telemetry.GaugeProbe("fault.injected", locked(func() float64 {
+				return float64(s.inj.TotalInjected())
+			})),
+			telemetry.GaugeProbe("fault.uncorrectable", locked(func() float64 {
+				return float64(s.ctrl.Faults().Uncorrectable)
+			})),
+			telemetry.GaugeProbe("fault.fallbacks", locked(func() float64 {
+				return float64(s.core.RingFallbacks() + s.core.DMAFallbacks())
+			})),
+		)
 	}
 	arr := s.ctrl.Array()
 	for ch := 0; ch < arr.Config().Channels; ch++ {
@@ -338,6 +382,10 @@ type Report struct {
 	PageCacheMemoryBytes uint64
 	Threshold            uint32
 	Core                 core.Stats
+
+	// Faults is the injection/recovery ledger, nil when no fault profile is
+	// armed — so the rendered report is unchanged for fault-free systems.
+	Faults *fault.Report
 }
 
 // Report gathers a snapshot.
@@ -358,7 +406,27 @@ func (s *System) Report() Report {
 	r.PageCache = metrics.Cache{Hits: hits, Accesses: accesses, Insertions: ins, Evictions: evs}
 	r.PageCacheMemoryBytes = s.v.PageCache().MemoryBytes()
 	r.FineCacheMemoryBytes = s.core.MemoryBytes()
+	if s.inj != nil {
+		f := s.faults()
+		r.Faults = &f
+	}
 	return r
+}
+
+// faults assembles the reliability ledger. Callers hold s.mu.
+func (s *System) faults() fault.Report {
+	cf := s.ctrl.Faults()
+	return fault.Report{
+		Injected:         s.inj.TotalInjected(),
+		ECCRetries:       cf.ECCRetries,
+		Uncorrectable:    cf.Uncorrectable,
+		RingCorruptions:  cf.RingCorruptions,
+		DMACorruptions:   cf.DMACorruptions,
+		RingFallbacks:    s.core.RingFallbacks(),
+		DMAFallbacks:     s.core.DMAFallbacks(),
+		ProgramRetries:   cf.ProgramRetries,
+		WritebackRetries: s.v.WritebackRetries(),
+	}
 }
 
 // String renders the report for humans.
@@ -378,5 +446,10 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "fine path         %d reads, %d admissions, %d bypasses, %d evictions, %d migrations, %d invalidations",
 		r.Core.FineReads, r.Core.Admissions, r.Core.TempBypasses,
 		r.Core.Evictions, r.Core.Migrations, r.Core.Invalidations)
+	if f := r.Faults; f != nil {
+		fmt.Fprintf(&b, "\nfaults            %d injected: %d ECC retries, %d uncorrectable, %d ring + %d DMA fallbacks, %d program + %d writeback retries",
+			f.Injected, f.ECCRetries, f.Uncorrectable,
+			f.RingFallbacks, f.DMAFallbacks, f.ProgramRetries, f.WritebackRetries)
+	}
 	return b.String()
 }
