@@ -6,15 +6,17 @@
 //	pipette-bench -list
 //	pipette-bench -exp all -scale quick
 //	pipette-bench -exp fig6               # or table2, fig8, apps, ...
+//	pipette-bench -exp phases,kv,faults   # comma-separated selection
 //	pipette-bench -exp apps -scale full   # paper-scale (slow)
 //	pipette-bench -exp all -j 8           # parallel cells, identical output
 //	pipette-bench -exp all -json BENCH_quick.json
+//	pipette-bench -exp all -listen :9100  # live /metrics /healthz /progress
+//	pipette-bench -exp phases,kv,faults -scale tiny -baseline BENCH_baseline.json -compare
 //	pipette-bench -exp fig6 -cpuprofile cpu.out
 //	pipette-bench -exp phases -trace-out trace.json -stats-out stats.csv
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,27 +25,25 @@ import (
 	"time"
 
 	"pipette/internal/bench"
+	"pipette/internal/buildinfo"
 	"pipette/internal/fault"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
-
-// perfSummary is the machine-readable perf record -json emits, so the
-// suite's wall-clock trajectory can be tracked across commits.
-type perfSummary struct {
-	Experiment  string           `json:"experiment"`
-	Scale       string           `json:"scale"`
-	Workers     int              `json:"workers"`
-	WallSeconds float64          `json:"wall_seconds"`
-	Cells       []bench.CellPerf `json:"cells"`
-}
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment id or paper artifact (fig6, table2, ... ; 'all')")
+		expName   = flag.String("exp", "all", "experiment ids or paper artifacts, comma-separated (fig6, table2, ... ; 'all')")
 		scaleName = flag.String("scale", "quick", "experiment scale: tiny, quick, or full")
 		workers   = flag.Int("j", 0, "worker goroutines for the experiment cells (0 = GOMAXPROCS)")
 		list      = flag.Bool("list", false, "list experiments and exit")
-		jsonOut   = flag.String("json", "", "write a machine-readable perf summary (suite wall-clock, per-cell sim throughput) to this file; '-' for stdout")
+		version   = flag.Bool("version", false, "print build identity and exit")
+		listen    = flag.String("listen", "", "serve live /metrics, /healthz, and /progress on this address (e.g. :9100)")
+		jsonOut   = flag.String("json", "", "write the machine-readable perf summary (regression-gate format) to this file; '-' for stdout")
+		baseline  = flag.String("baseline", "", "compare the run's perf summary against this committed baseline JSON")
+		compare   = flag.Bool("compare", false, "with -baseline: exit non-zero when any cell regresses past tolerance")
+		tolerance = flag.Float64("tolerance", 0, "override every tolerance band with this relative fraction (0 = defaults)")
+		rev       = flag.String("rev", "", "revision stamped into the perf summary (default: build version)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		traceOut  = flag.String("trace-out", "", "phases experiment: write Chrome trace-event JSON (open in Perfetto)")
 		statsOut  = flag.String("stats-out", "", "phases experiment: write sampled time-series CSV")
@@ -53,6 +53,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *version {
+		buildinfo.Fprint(os.Stdout, "pipette-bench")
+		return
+	}
 	if *list {
 		fmt.Println("experiments (select by id or by any artifact):")
 		for _, e := range bench.Experiments() {
@@ -80,6 +84,10 @@ func main() {
 		scale.Fault = prof
 		scale.FaultSeed = *faultSeed
 	}
+	if *compare && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "pipette-bench: -compare needs -baseline")
+		os.Exit(2)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -104,56 +112,113 @@ func main() {
 	}
 	pool := bench.NewPool(*workers)
 
-	start := time.Now()
-	var err error
-	if *expName == "all" {
-		err = bench.RunAll(os.Stdout, scale, pool)
-	} else {
-		var exp bench.Experiment
-		exp, err = bench.Find(*expName)
-		if err == nil {
-			fmt.Printf("### %s\n\n", exp.Title)
-			if exp.ID == "phases" {
-				// The phases experiment honours the export flags.
-				err = bench.WritePhaseBreakdown(os.Stdout, scale, topts, pool)
-			} else {
-				err = exp.Run(os.Stdout, scale, pool)
-			}
+	// -listen attaches the live registry before any cell runs. Finished
+	// cells fold their counters in atomically, so the rendered tables on
+	// stdout are byte-identical with or without a scraper; the server's own
+	// chatter goes to stderr.
+	if *listen != "" {
+		reg := telemetry.NewRegistry(telemetry.L("job", "pipette-bench"))
+		buildinfo.Register(reg, "pipette-bench")
+		live := bench.NewLive(reg)
+		pool.SetLive(live)
+		srv, err := telemetry.Serve(*listen, reg, live.Progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+			os.Exit(1)
 		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pipette-bench: serving /metrics /healthz /progress on http://%s\n", srv.Addr())
 	}
-	if err != nil {
+
+	start := time.Now()
+	if err := runExperiments(*expName, scale, topts, pool); err != nil {
 		fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
 		os.Exit(1)
 	}
 	wall := time.Since(start).Seconds()
 	fmt.Printf("(wall time %.1fs, scale %s, -j %d)\n", wall, scale.Name, pool.Workers())
 
-	if *jsonOut != "" {
-		summary := perfSummary{
-			Experiment:  *expName,
-			Scale:       scale.Name,
-			Workers:     pool.Workers(),
-			WallSeconds: wall,
-			Cells:       pool.Perf(),
-		}
-		out := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
-		}
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(summary); err != nil {
+	revision := *rev
+	if revision == "" {
+		revision = buildinfo.Version
+	}
+	summary := &bench.Summary{
+		Rev:         revision,
+		Experiment:  *expName,
+		Scale:       scale.Name,
+		Workers:     pool.Workers(),
+		WallSeconds: wall,
+		Cells:       pool.Perf(),
+	}
+
+	jsonPath := *jsonOut
+	if jsonPath == "" && *compare {
+		jsonPath = fmt.Sprintf("BENCH_%s.json", revision)
+	}
+	if jsonPath != "" {
+		if err := summary.WriteFile(jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
 			os.Exit(1)
 		}
-		if *jsonOut != "-" {
-			fmt.Printf("perf summary written to %s (%d cells)\n", *jsonOut, len(summary.Cells))
+		if jsonPath != "-" {
+			fmt.Printf("perf summary written to %s (%d cells)\n", jsonPath, len(summary.Cells))
 		}
 	}
+
+	if *baseline != "" {
+		base, err := bench.ReadSummary(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+			os.Exit(1)
+		}
+		tol := bench.DefaultTolerance()
+		if *tolerance > 0 {
+			tol = bench.Uniform(*tolerance)
+		}
+		regs, err := bench.Compare(summary, base, tol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.GateReport(summary, base, regs))
+		if *compare && len(regs) > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// runExperiments executes a comma-separated experiment selection against
+// one shared pool, so the perf summary covers every cell.
+func runExperiments(sel string, scale bench.Scale, topts bench.TelemetryOpts, pool *bench.Pool) error {
+	names := strings.Split(sel, ",")
+	for i, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if name == "all" {
+			if err := bench.RunAll(os.Stdout, scale, pool); err != nil {
+				return err
+			}
+			continue
+		}
+		exp, err := bench.Find(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("### %s\n\n", exp.Title)
+		if exp.ID == "phases" {
+			// The phases experiment honours the export flags.
+			err = bench.WritePhaseBreakdown(os.Stdout, scale, topts, pool)
+		} else {
+			err = exp.Run(os.Stdout, scale, pool)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -10,16 +10,23 @@
 //	pipette-kv -records 100000 -ops 200000 -workload A,C
 //	pipette-kv -workload B -fine=false
 //	pipette-kv -records 50000 -values 64 -seed 7
+//	pipette-kv -listen :9102                  # live /metrics while replaying
+//	pipette-kv -fault-profile nand.read:rber*20,hmb.ring:0.01
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"pipette"
+	"pipette/internal/buildinfo"
+	"pipette/internal/fault"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 	"pipette/internal/workload"
 )
 
@@ -34,16 +41,41 @@ func main() {
 		pcMB     = flag.Int64("pagecache", 16, "page cache budget (MiB)")
 		fgMB     = flag.Int("finecache", 8, "fine-grained read cache arena (MiB)")
 		seed     = flag.Uint64("seed", 42, "workload seed")
+		version  = flag.Bool("version", false, "print build identity and exit")
+		listen   = flag.String("listen", "", "serve live /metrics, /healthz, and /progress on this address (e.g. :9102)")
+		faultProf = flag.String("fault-profile", "", "arm fault injection: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
+		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "pipette-kv")
+		return
+	}
+	if _, err := fault.ParseProfile(*faultProf); err != nil {
+		log.Fatalf("pipette-kv: %v", err)
+	}
 
 	sys, err := pipette.New(pipette.Options{
 		CapacityBytes:  *capMB << 20,
 		PageCacheBytes: *pcMB << 20,
 		FineCacheBytes: *fgMB << 20,
+		FaultProfile:   *faultProf,
+		FaultSeed:      *faultSeed,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *listen != "" {
+		reg := telemetry.NewRegistry(telemetry.L("job", "pipette-kv"))
+		buildinfo.Register(reg, "pipette-kv")
+		sys.RegisterMetrics(reg)
+		srv, err := telemetry.Serve(*listen, reg, nil)
+		if err != nil {
+			log.Fatalf("pipette-kv: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pipette-kv: serving /metrics and /healthz on http://%s\n", srv.Addr())
 	}
 
 	for _, wl := range strings.Split(*wls, ",") {
@@ -96,16 +128,27 @@ func runWorkload(sys *pipette.System, wl string, records uint64, ops, valBytes i
 	}
 	defer kv.Close()
 
+	// Under an armed fault profile an operation may hit an uncorrectable
+	// media error; that is the experiment's subject, so count it and go on.
+	var lost uint64
+	tolerate := func(err error) error {
+		if err != nil && errors.Is(err, pipette.ErrUncorrectable) {
+			lost++
+			return nil
+		}
+		return err
+	}
+
 	key := func(k uint64) string { return fmt.Sprintf("user%010d", k) }
 	var buf []byte
 	loadStart := sys.Now()
 	for k := uint64(0); k < records; k++ {
 		buf = value(buf, k, 0, valBytes)
-		if err := kv.Put(key(k), buf); err != nil {
+		if err := tolerate(kv.Put(key(k), buf)); err != nil {
 			return fmt.Errorf("load %d: %w", k, err)
 		}
 	}
-	if err := kv.Sync(); err != nil {
+	if err := tolerate(kv.Sync()); err != nil {
 		return err
 	}
 	loaded := sys.Now()
@@ -115,7 +158,7 @@ func runWorkload(sys *pipette.System, wl string, records uint64, ops, valBytes i
 		req := gen.Next()
 		switch req.Op {
 		case workload.OpRead:
-			if _, err := kv.Get(key(req.Key)); err != nil {
+			if _, err := kv.Get(key(req.Key)); tolerateLookup(tolerate, err) != nil {
 				return fmt.Errorf("get %d: %w", req.Key, err)
 			}
 		case workload.OpUpdate, workload.OpInsert:
@@ -123,20 +166,21 @@ func runWorkload(sys *pipette.System, wl string, records uint64, ops, valBytes i
 				ver[req.Key]++
 			}
 			buf = value(buf, req.Key, ver[req.Key], valBytes)
-			if err := kv.Put(key(req.Key), buf); err != nil {
+			if err := tolerate(kv.Put(key(req.Key), buf)); err != nil {
 				return fmt.Errorf("put %d: %w", req.Key, err)
 			}
 		case workload.OpScan:
-			if err := kv.Scan(key(req.Key), req.ScanLen, func(string, []byte) bool { return true }); err != nil {
+			err := kv.Scan(key(req.Key), req.ScanLen, func(string, []byte) bool { return true })
+			if tolerate(err) != nil {
 				return fmt.Errorf("scan %d: %w", req.Key, err)
 			}
 		case workload.OpRMW:
-			if _, err := kv.Get(key(req.Key)); err != nil {
+			if _, err := kv.Get(key(req.Key)); tolerateLookup(tolerate, err) != nil {
 				return fmt.Errorf("rmw get %d: %w", req.Key, err)
 			}
 			ver[req.Key]++
 			buf = value(buf, req.Key, ver[req.Key], valBytes)
-			if err := kv.Put(key(req.Key), buf); err != nil {
+			if err := tolerate(kv.Put(key(req.Key), buf)); err != nil {
 				return fmt.Errorf("rmw put %d: %w", req.Key, err)
 			}
 		}
@@ -155,8 +199,21 @@ func runWorkload(sys *pipette.System, wl string, records uint64, ops, valBytes i
 		wl, mode, records, loaded-loadStart, ops, done-loaded)
 	fmt.Printf("  store: %d live keys, %d gets (%d misses), %d puts, %d deletes, %d scans\n",
 		kv.Len(), st.Gets, st.Misses, st.Puts, st.Deletes, st.Scans)
-	fmt.Printf("  log:   %.1f MB written, %.1f MB read, %d rotations, %d compactions (%.1f MB reclaimed)\n\n",
+	fmt.Printf("  log:   %.1f MB written, %.1f MB read, %d rotations, %d compactions (%.1f MB reclaimed)\n",
 		float64(st.BytesWritten)/(1<<20), float64(st.BytesRead)/(1<<20),
 		st.Rotations, st.Compactions, float64(st.ReclaimedBytes)/(1<<20))
+	if lost > 0 {
+		fmt.Printf("  faults: %d operations lost to uncorrectable media errors\n", lost)
+	}
+	fmt.Println()
 	return nil
+}
+
+// tolerateLookup folds the two benign Get outcomes — an uncorrectable
+// media error (counted by tolerate) and a key evicted by a lost write.
+func tolerateLookup(tolerate func(error) error, err error) error {
+	if errors.Is(err, pipette.ErrNotFound) {
+		return nil
+	}
+	return tolerate(err)
 }

@@ -13,6 +13,8 @@
 //	pipette-sim -workload recommender -requests 200000 -fine=false
 //	pipette-sim -workload socialgraph -pagecache 64 -finecache 8
 //	pipette-sim -trace-out trace.json -stats-out stats.csv
+//	pipette-sim -listen :9101                 # live /metrics while replaying
+//	pipette-sim -fault-profile nand.read:rber*50 -flight-dump flight.json
 package main
 
 import (
@@ -23,21 +25,46 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pipette"
 	"pipette/internal/bench"
+	"pipette/internal/buildinfo"
 	"pipette/internal/fault"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/workload"
 )
 
-// telemetryOpts are the observability exports of one run.
+// telemetryOpts are the observability attachments of one run: export
+// files, the flight-recorder dump path, and the -listen registry.
 type telemetryOpts struct {
 	traceOut      string
 	statsOut      string
 	statsInterval sim.Time
+	flightOut     string
+	reg           *telemetry.Registry // -listen: the system registers its families here
+	progress      *simProgress        // -listen: /progress state
+}
+
+// simProgress is the /progress document of an interactive run, updated
+// with plain atomic stores — the replay itself never observes it.
+type simProgress struct {
+	total uint64
+	done  atomic.Uint64
+	lost  atomic.Uint64
+}
+
+func (p *simProgress) snapshot() any {
+	if p == nil {
+		return struct{}{}
+	}
+	return struct {
+		RequestsTotal uint64 `json:"requests_total"`
+		RequestsDone  uint64 `json:"requests_done"`
+		RequestsLost  uint64 `json:"requests_lost"`
+	}{p.total, p.done.Load(), p.lost.Load()}
 }
 
 func main() {
@@ -51,13 +78,20 @@ func main() {
 		fine     = flag.Bool("fine", true, "enable the fine-grained read cache")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		workers  = flag.Int("j", 0, "worker goroutines when replaying several workloads (0 = GOMAXPROCS)")
+		version  = flag.Bool("version", false, "print build identity and exit")
+		listen   = flag.String("listen", "", "serve live /metrics, /healthz, and /progress on this address (e.g. :9101)")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto)")
 		statsOut = flag.String("stats-out", "", "write sampled time-series CSV")
 		statsInt  = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
+		flightOut = flag.String("flight-dump", "", "arm the flight recorder; the first uncorrectable read or fatal error dumps the recent-event ring to this file as JSON")
 		faultProf = flag.String("fault-profile", "", "arm fault injection: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
 		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "pipette-sim")
+		return
+	}
 	if _, err := fault.ParseProfile(*faultProf); err != nil {
 		fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
 		os.Exit(2)
@@ -67,14 +101,27 @@ func main() {
 		traceOut:      *traceOut,
 		statsOut:      *statsOut,
 		statsInterval: sim.Time((*statsInt).Nanoseconds()),
+		flightOut:     *flightOut,
 	}
 	wls := strings.Split(*wl, ",")
-	if len(wls) > 1 && (topts.traceOut != "" || topts.statsOut != "") {
-		fmt.Fprintln(os.Stderr, "pipette-sim: -trace-out/-stats-out need a single -workload")
+	if len(wls) > 1 && (topts.traceOut != "" || topts.statsOut != "" || topts.flightOut != "" || *listen != "") {
+		fmt.Fprintln(os.Stderr, "pipette-sim: -trace-out/-stats-out/-flight-dump/-listen need a single -workload")
 		os.Exit(2)
 	}
 
 	if len(wls) == 1 {
+		if *listen != "" {
+			topts.reg = telemetry.NewRegistry(telemetry.L("job", "pipette-sim"))
+			buildinfo.Register(topts.reg, "pipette-sim")
+			topts.progress = &simProgress{total: uint64(*requests)}
+			srv, err := telemetry.Serve(*listen, topts.reg, topts.progress.snapshot)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "pipette-sim: serving /metrics /healthz /progress on http://%s\n", srv.Addr())
+		}
 		if err := run(os.Stdout, wls[0], *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, topts); err != nil {
 			fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
 			os.Exit(1)
@@ -109,7 +156,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, faultProf string, faultSeed uint64, topts telemetryOpts) error {
+func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, faultProf string, faultSeed uint64, topts telemetryOpts) (err error) {
 	gen, err := makeGenerator(wl, dist, fileMB<<20, seed)
 	if err != nil {
 		return err
@@ -126,6 +173,9 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 	if err != nil {
 		return err
 	}
+	if topts.reg != nil {
+		sys.RegisterMetrics(topts.reg)
+	}
 	if err := sys.CreateFile("workload.dat", gen.FileSize(), true); err != nil {
 		return err
 	}
@@ -134,29 +184,65 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 		return err
 	}
 
-	// Open export files before the replay so a bad path fails fast, not
-	// after minutes of simulation.
+	// Every export file is created before the replay (a bad path fails
+	// fast, not after minutes of simulation) and flushed by the deferred
+	// Close even when the replay dies mid-run, so partial artifacts stay
+	// readable for post-mortem work.
+	var exports telemetry.Exports
+	defer func() {
+		if cerr := exports.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	var rec *telemetry.Recorder
-	var traceFile *os.File
 	if topts.traceOut != "" {
-		if traceFile, err = os.Create(topts.traceOut); err != nil {
+		rec = telemetry.NewRecorder()
+		if err := exports.AddTrace(topts.traceOut, rec); err != nil {
 			return err
 		}
-		defer traceFile.Close()
-		rec = telemetry.NewRecorder()
-		sys.SetTracer(rec)
 	}
 	var sampler *telemetry.Sampler
-	var statsFile *os.File
 	if topts.statsOut != "" {
 		sampler, err = telemetry.NewSampler(topts.statsInterval, sys.Probes())
 		if err != nil {
 			return err
 		}
-		if statsFile, err = os.Create(topts.statsOut); err != nil {
+		if err := exports.AddCSV(topts.statsOut, sampler); err != nil {
 			return err
 		}
-		defer statsFile.Close()
+	}
+	var flight *telemetry.FlightRecorder
+	var flightFile *os.File
+	dumped := false
+	if topts.flightOut != "" {
+		flight = telemetry.NewFlightRecorder(telemetry.DefaultFlightEvents)
+		if flightFile, err = os.Create(topts.flightOut); err != nil {
+			return err
+		}
+		defer flightFile.Close()
+	}
+	// The first anomaly owns the dump: its ring holds the events leading
+	// up to the problem, which later dumps would overwrite.
+	dumpFlight := func(reason string) {
+		if flight == nil || dumped {
+			return
+		}
+		dumped = true
+		if derr := flight.Dump(flightFile, reason, sys.Now()); derr != nil {
+			fmt.Fprintf(os.Stderr, "pipette-sim: flight dump: %v\n", derr)
+			return
+		}
+		fmt.Fprintf(w, "flight recorder dumped to %s (%s)\n", topts.flightOut, reason)
+	}
+	var tracers []telemetry.Tracer
+	if rec != nil {
+		tracers = append(tracers, rec)
+	}
+	if flight != nil {
+		tracers = append(tracers, flight)
+	}
+	if len(tracers) > 0 {
+		sys.SetTracer(telemetry.Tee(tracers...))
 	}
 
 	fmt.Fprintf(w, "workload %s over %.1f MiB, %d requests (fine cache: %v)\n\n",
@@ -183,14 +269,23 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 			// Under an armed fault profile uncorrectable media errors are
 			// expected outcomes, not harness failures: count and go on.
 			if !errors.Is(err, pipette.ErrUncorrectable) {
+				dumpFlight(fmt.Sprintf("fatal error at request %d: %v", i, err))
 				return fmt.Errorf("request %d: %w", i, err)
 			}
 			lost++
+			if topts.progress != nil {
+				topts.progress.lost.Add(1)
+			}
+			dumpFlight(fmt.Sprintf("uncorrectable media error at request %d", i))
+		}
+		if topts.progress != nil {
+			topts.progress.done.Store(uint64(i + 1))
 		}
 		if sampler != nil {
 			sampler.Tick(sys.Now())
 		}
 	}
+	err = nil // the loop's last request may have been a counted media error
 
 	rep := sys.Report()
 	fmt.Fprintln(w, rep)
@@ -202,24 +297,20 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 
 	if rec != nil {
 		fmt.Fprintf(w, "\nper-phase latency breakdown:\n%s", rec.Breakdown().Render())
-		if err := rec.WriteChromeTrace(traceFile); err != nil {
-			return err
-		}
-		if err := traceFile.Close(); err != nil {
-			return err
-		}
+	}
+	if cerr := exports.Close(); cerr != nil { // idempotent; the defer no-ops
+		return cerr
+	}
+	if rec != nil {
 		fmt.Fprintf(w, "trace written to %s (%d events; open in Perfetto / chrome://tracing)\n",
 			topts.traceOut, rec.Events())
 	}
 	if sampler != nil {
-		if err := sampler.WriteCSV(statsFile); err != nil {
-			return err
-		}
-		if err := statsFile.Close(); err != nil {
-			return err
-		}
 		fmt.Fprintf(w, "time series written to %s (%d samples, %d series)\n",
 			topts.statsOut, sampler.Rows(), len(sampler.Series()))
+	}
+	if flight != nil && !dumped {
+		dumpFlight("end of run (no anomaly)")
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"pipette"
+	"pipette/internal/buildinfo"
 	"pipette/internal/trace"
 	"pipette/internal/workload"
 )
@@ -29,6 +30,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "version", "-version", "--version":
+		buildinfo.Fprint(os.Stdout, "pipette-trace")
 	default:
 		usage()
 	}
@@ -39,7 +42,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pipette-trace gen|info|replay [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: pipette-trace gen|info|replay|version [flags] [file]")
 	os.Exit(2)
 }
 

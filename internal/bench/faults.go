@@ -196,6 +196,7 @@ func RunFaults(s Scale, p *Pool) (map[string]map[string]map[string]*FaultResult,
 							return nil, err
 						}
 						*slot = fr
+						p.Live().AddFaults(fr.Report)
 						return &fr.Result, nil
 					},
 				})

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Summary is the machine-readable record of one suite run: the shape of
+// BENCH_<rev>.json. Wall-clock fields are informational (they vary with
+// the host); the per-cell simulated metrics are deterministic, which is
+// what makes the regression gate exact — same code, same scale, same
+// numbers, so any drift beyond tolerance is a real change.
+type Summary struct {
+	Rev         string     `json:"rev,omitempty"`
+	Experiment  string     `json:"experiment"`
+	Scale       string     `json:"scale"`
+	Workers     int        `json:"workers"`
+	WallSeconds float64    `json:"wall_seconds"`
+	Cells       []CellPerf `json:"cells"`
+}
+
+// WriteFile writes the summary as indented JSON to path ("-" = stdout).
+func (s *Summary) WriteFile(path string) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSummary loads a summary (e.g. the committed BENCH_baseline.json).
+func ReadSummary(path string) (*Summary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Tolerance is the gate's per-metric relative band, as fractions: with
+// Throughput 0.1 a cell fails when its simulated throughput drops more
+// than 10% below baseline. Simulated metrics are deterministic, so the
+// bands absorb only intentional model drift, not run-to-run noise.
+type Tolerance struct {
+	Throughput float64 // max relative drop in sim ops/s
+	ReadAmp    float64 // max relative rise in read amplification
+	Latency    float64 // max relative rise in mean/p99 latency
+}
+
+// DefaultTolerance is the gate's default band (10% on every axis).
+func DefaultTolerance() Tolerance {
+	return Tolerance{Throughput: 0.10, ReadAmp: 0.10, Latency: 0.10}
+}
+
+// Uniform builds a tolerance with the same fraction on every axis.
+func Uniform(f float64) Tolerance {
+	return Tolerance{Throughput: f, ReadAmp: f, Latency: f}
+}
+
+// Regression is one tolerance-band violation.
+type Regression struct {
+	Label  string  // cell label
+	Metric string  // which metric crossed its band
+	Base   float64 // baseline value
+	Cur    float64 // current value
+	Limit  float64 // the bound that was crossed
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (limit %.4g)", r.Label, r.Metric, r.Base, r.Cur, r.Limit)
+}
+
+// Compare gates cur against base: every baseline cell must still exist
+// and stay inside the tolerance bands on simulated throughput, read
+// amplification, and latency. Cells new in cur pass silently — they have
+// no baseline yet. Mismatched scale or experiment set is an error, not a
+// regression: the numbers would be incomparable.
+func Compare(cur, base *Summary, tol Tolerance) ([]Regression, error) {
+	if cur.Scale != base.Scale {
+		return nil, fmt.Errorf("bench: scale mismatch: current %q vs baseline %q", cur.Scale, base.Scale)
+	}
+	if cur.Experiment != base.Experiment {
+		return nil, fmt.Errorf("bench: experiment mismatch: current %q vs baseline %q", cur.Experiment, base.Experiment)
+	}
+	curCells := make(map[string]CellPerf, len(cur.Cells))
+	for _, c := range cur.Cells {
+		curCells[c.Label] = c
+	}
+	var regs []Regression
+	for _, b := range base.Cells {
+		c, ok := curCells[b.Label]
+		if !ok {
+			regs = append(regs, Regression{Label: b.Label, Metric: "missing cell"})
+			continue
+		}
+		if b.SimOpsPerSec > 0 {
+			if limit := b.SimOpsPerSec * (1 - tol.Throughput); c.SimOpsPerSec < limit {
+				regs = append(regs, Regression{b.Label, "sim_ops_per_sec", b.SimOpsPerSec, c.SimOpsPerSec, limit})
+			}
+		}
+		if b.ReadAmp > 0 {
+			if limit := b.ReadAmp * (1 + tol.ReadAmp); c.ReadAmp > limit {
+				regs = append(regs, Regression{b.Label, "read_amp", b.ReadAmp, c.ReadAmp, limit})
+			}
+		}
+		if b.MeanUs > 0 {
+			if limit := b.MeanUs * (1 + tol.Latency); c.MeanUs > limit {
+				regs = append(regs, Regression{b.Label, "mean_us", b.MeanUs, c.MeanUs, limit})
+			}
+		}
+		if b.P99Us > 0 {
+			if limit := b.P99Us * (1 + tol.Latency); c.P99Us > limit {
+				regs = append(regs, Regression{b.Label, "p99_us", b.P99Us, c.P99Us, limit})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Label != regs[j].Label {
+			return regs[i].Label < regs[j].Label
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs, nil
+}
+
+// GateReport renders the compare outcome for humans: per-cell verdicts
+// and the regression list (empty = all clear).
+func GateReport(cur, base *Summary, regs []Regression) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf gate: %d baseline cells, %d current cells, %d regressions\n",
+		len(base.Cells), len(cur.Cells), len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(&b, "  REGRESSION %s\n", r)
+	}
+	if len(regs) == 0 {
+		b.WriteString("  all cells within tolerance\n")
+	}
+	return b.String()
+}

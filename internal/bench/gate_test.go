@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateSummary(cells ...CellPerf) *Summary {
+	return &Summary{Experiment: "phases,kv", Scale: "tiny", Workers: 2, Cells: cells}
+}
+
+func TestCompareAllClear(t *testing.T) {
+	base := gateSummary(
+		CellPerf{Label: "a", SimOpsPerSec: 1000, ReadAmp: 2.0, MeanUs: 10, P99Us: 50},
+		CellPerf{Label: "b", SimOpsPerSec: 500, ReadAmp: 1.1, MeanUs: 20, P99Us: 90},
+	)
+	// Identical numbers (the deterministic same-commit case) and numbers
+	// inside the band must both pass.
+	regs, err := Compare(base, base, DefaultTolerance())
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("self-compare: regs=%v err=%v", regs, err)
+	}
+	cur := gateSummary(
+		CellPerf{Label: "a", SimOpsPerSec: 950, ReadAmp: 2.1, MeanUs: 10.5, P99Us: 54},
+		CellPerf{Label: "b", SimOpsPerSec: 500, ReadAmp: 1.1, MeanUs: 20, P99Us: 90},
+		CellPerf{Label: "new-cell", SimOpsPerSec: 1}, // no baseline: passes
+	)
+	regs, err = Compare(cur, base, DefaultTolerance())
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("within-band compare: regs=%v err=%v", regs, err)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := gateSummary(
+		CellPerf{Label: "a", SimOpsPerSec: 1000, ReadAmp: 2.0, MeanUs: 10, P99Us: 50},
+		CellPerf{Label: "gone", SimOpsPerSec: 1},
+	)
+	cur := gateSummary(
+		CellPerf{Label: "a", SimOpsPerSec: 800, ReadAmp: 2.5, MeanUs: 12, P99Us: 60},
+	)
+	regs, err := Compare(cur, base, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := map[string]bool{}
+	for _, r := range regs {
+		byMetric[r.Metric] = true
+	}
+	for _, want := range []string{"sim_ops_per_sec", "read_amp", "mean_us", "p99_us", "missing cell"} {
+		if !byMetric[want] {
+			t.Errorf("missing regression for %s (got %v)", want, regs)
+		}
+	}
+	report := GateReport(cur, base, regs)
+	if !strings.Contains(report, "REGRESSION a: sim_ops_per_sec 1000 -> 800") {
+		t.Errorf("gate report missing throughput line:\n%s", report)
+	}
+}
+
+func TestCompareToleranceBands(t *testing.T) {
+	base := gateSummary(CellPerf{Label: "a", SimOpsPerSec: 1000})
+	// 15% drop passes at 20% tolerance, fails at 10%.
+	cur := gateSummary(CellPerf{Label: "a", SimOpsPerSec: 850})
+	if regs, _ := Compare(cur, base, Uniform(0.20)); len(regs) != 0 {
+		t.Fatalf("15%% drop flagged at 20%% tolerance: %v", regs)
+	}
+	if regs, _ := Compare(cur, base, Uniform(0.10)); len(regs) != 1 {
+		t.Fatalf("15%% drop not flagged at 10%% tolerance: %v", regs)
+	}
+}
+
+func TestCompareMismatchErrors(t *testing.T) {
+	base := gateSummary()
+	curScale := &Summary{Experiment: base.Experiment, Scale: "quick"}
+	if _, err := Compare(curScale, base, DefaultTolerance()); err == nil {
+		t.Fatal("scale mismatch must error")
+	}
+	curExp := &Summary{Experiment: "all", Scale: base.Scale}
+	if _, err := Compare(curExp, base, DefaultTolerance()); err == nil {
+		t.Fatal("experiment mismatch must error")
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	s := gateSummary(CellPerf{Label: "a", WallSeconds: 1.5, Ops: 100, SimOpsPerSec: 1000, ReadAmp: 2, MeanUs: 10, P99Us: 50})
+	s.Rev = "abc123"
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != "abc123" || len(got.Cells) != 1 || got.Cells[0] != s.Cells[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := ReadSummary(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+}

@@ -292,7 +292,11 @@ func RunKV(s Scale, p *Pool) ([][]*kvCellResult, error) {
 						return nil, err
 					}
 					grid[wi][ei] = r
-					return nil, nil
+					p.Live().AddKV(r.store)
+					// Returning the measurement (rather than nil) feeds the
+					// cell's deterministic throughput/read-amp/latency into
+					// the -json summary and the regression gate.
+					return &Result{Snapshot: r.snap, Hist: r.hist}, nil
 				},
 			})
 		}

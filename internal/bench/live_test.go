@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pipette/internal/telemetry"
+)
+
+// TestLiveScrapeDeterminism is the acceptance property of the live
+// metrics bridge: an experiment run at -j > 1 with a scraper hammering
+// the registry the whole time renders byte-identical output to a plain
+// run. The scraper only reads atomics and lock-guarded progress state, so
+// the cells' simulations cannot observe it.
+func TestLiveScrapeDeterminism(t *testing.T) {
+	t.Parallel()
+	exp, err := Find("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TinyScale()
+
+	var plain bytes.Buffer
+	if err := exp.Run(&plain, s, NewPool(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	live := NewLive(reg)
+	pool := NewPool(4)
+	pool.SetLive(live)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if err := reg.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := json.Marshal(live.Progress()); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	var scraped bytes.Buffer
+	runErr := exp.Run(&scraped, s, pool)
+	close(stop)
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	if !bytes.Equal(plain.Bytes(), scraped.Bytes()) {
+		t.Fatalf("output differs under scrape:\n--- plain\n%s\n--- scraped\n%s", plain.String(), scraped.String())
+	}
+
+	// After the run the registry must expose non-zero ssd, cache, and kv
+	// families (the fault family stays zero without an armed profile).
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	exposition := out.String()
+	for _, family := range []string{"ssd_reads_total", "cache_accesses_total", "kv_ops_total", "bench_cells_done_total"} {
+		nonZero := false
+		for _, line := range strings.Split(exposition, "\n") {
+			if strings.HasPrefix(line, family) && !strings.HasSuffix(line, " 0") {
+				nonZero = true
+				break
+			}
+		}
+		if !nonZero {
+			t.Errorf("family %s has no non-zero series after the kv run:\n%s", family, exposition)
+		}
+	}
+}
+
+// TestLiveFaultFamily: the faults experiment must light up the fault
+// family's injection and recovery counters.
+func TestLiveFaultFamily(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	live := NewLive(reg)
+	pool := NewPool(4)
+	pool.SetLive(live)
+	var buf bytes.Buffer
+	if err := writeFaults(&buf, TinyScale(), pool); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fault_injected_total ") ||
+		strings.Contains(out.String(), "fault_injected_total 0\n") {
+		t.Errorf("fault_injected_total not populated after faults run:\n%s", out.String())
+	}
+}
+
+// TestLiveProgress pins the /progress document shape.
+func TestLiveProgress(t *testing.T) {
+	live := NewLive(telemetry.NewRegistry())
+	live.cellStarted("b")
+	live.cellStarted("a")
+	live.cellFinished("a", CellPerf{Label: "a", WallSeconds: 0.5, Ops: 10}, false)
+	raw, err := json.Marshal(live.Progress())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p struct {
+		CellsTotal int `json:"cells_total"`
+		CellsDone  int `json:"cells_done"`
+		Cells      []struct {
+			Label string `json:"label"`
+			State string `json:"state"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.CellsTotal != 2 || p.CellsDone != 1 {
+		t.Fatalf("progress counts wrong: %+v", p)
+	}
+	if len(p.Cells) != 2 || p.Cells[0].Label != "a" || p.Cells[0].State != "done" || p.Cells[1].State != "running" {
+		t.Fatalf("cell list wrong: %+v", p)
+	}
+}

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"os"
 
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
@@ -28,10 +27,13 @@ var phaseEngineIdxs = []int{0, 4}
 // then prints the per-phase latency table of each engine: mean/p50/p99 per
 // span name, from the VFS syscall entry down to the NAND tR and bus
 // transfer. When opts names files, the Pipette run's trace (Chrome
-// trace-event JSON) and sampled time series (CSV) are written there too.
-// The two engine replays are pool cells; rendering and file export happen
-// after both complete, in the fixed engine order.
-func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) error {
+// trace-event JSON) and sampled time series (CSV) are written there too,
+// through a telemetry.Exports set: the files are created before any cell
+// runs (a bad path fails fast) and flushed even when a cell dies mid-run,
+// so a partial trace survives for post-mortem reading. The two engine
+// replays are pool cells; rendering happens after both complete, in the
+// fixed engine order.
+func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err error) {
 	interval := opts.StatsInterval
 	if interval <= 0 {
 		interval = sim.Millisecond
@@ -42,6 +44,38 @@ func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) erro
 		sampler *telemetry.Sampler
 	}
 	outs := make([]phaseOut, len(phaseEngineIdxs))
+
+	// The Pipette engine's exports: registered before the cells run so the
+	// files exist up front and the deferred Close flushes whatever the
+	// replay produced, complete run or not.
+	const pipetteIdx = 1 // index within phaseEngineIdxs
+	var exports telemetry.Exports
+	defer func() {
+		if cerr := exports.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if opts.TraceOut != "" {
+		if aerr := exports.Add(opts.TraceOut, func(fw io.Writer) error {
+			if outs[pipetteIdx].rec == nil {
+				return nil
+			}
+			return outs[pipetteIdx].rec.WriteChromeTrace(fw)
+		}); aerr != nil {
+			return aerr
+		}
+	}
+	if opts.StatsOut != "" {
+		if aerr := exports.Add(opts.StatsOut, func(fw io.Writer) error {
+			if outs[pipetteIdx].sampler == nil {
+				return nil
+			}
+			return outs[pipetteIdx].sampler.WriteCSV(fw)
+		}); aerr != nil {
+			return aerr
+		}
+	}
+
 	cells := make([]Cell, 0, len(phaseEngineIdxs))
 	for i, ei := range phaseEngineIdxs {
 		i, ei := i, ei
@@ -62,11 +96,13 @@ func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) erro
 				if err != nil {
 					return nil, err
 				}
+				// Publish before the replay: a cell that dies mid-run still
+				// leaves its partial recorder for the export flush.
+				outs[i] = phaseOut{rec: rec, sampler: sampler}
 				res, err := Run(e, gen, s.Requests, RunOpts{Sampler: sampler})
 				if err != nil {
 					return nil, fmt.Errorf("bench: phases %s: %w", e.Name(), err)
 				}
-				outs[i] = phaseOut{rec: rec, sampler: sampler}
 				return res, nil
 			},
 		})
@@ -86,33 +122,17 @@ func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) erro
 		}
 		fmt.Fprintln(w)
 		if name == "Pipette" {
+			if cerr := exports.Close(); cerr != nil { // idempotent; defer no-ops
+				return cerr
+			}
 			if opts.TraceOut != "" {
-				if err := writeFileWith(opts.TraceOut, rec.WriteChromeTrace); err != nil {
-					return err
-				}
 				fmt.Fprintf(w, "trace written to %s (open in Perfetto / chrome://tracing)\n", opts.TraceOut)
 			}
 			if opts.StatsOut != "" {
-				if err := writeFileWith(opts.StatsOut, sampler.WriteCSV); err != nil {
-					return err
-				}
 				fmt.Fprintf(w, "time series written to %s (%d samples at %v)\n",
 					opts.StatsOut, sampler.Rows(), interval)
 			}
 		}
 	}
 	return nil
-}
-
-// writeFileWith streams fn's output into path.
-func writeFileWith(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -19,6 +19,7 @@ import (
 // (tests, the public API) pass.
 type Pool struct {
 	workers int
+	live    *Live // nil unless -listen attached a registry
 
 	mu   sync.Mutex
 	perf []CellPerf
@@ -41,6 +42,23 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// SetLive attaches the live metrics bridge: finished cells fold their
+// counters into it and /progress reflects per-cell completion. A nil
+// pool or nil bridge keeps the zero-overhead default.
+func (p *Pool) SetLive(l *Live) {
+	if p != nil {
+		p.live = l
+	}
+}
+
+// Live reports the attached metrics bridge (nil when not listening).
+func (p *Pool) Live() *Live {
+	if p == nil {
+		return nil
+	}
+	return p.live
+}
+
 // Cell is one independently runnable unit of an experiment: typically one
 // (engine, workload) pair over a private simulated system. Run returns the
 // cell's measurement for perf accounting; cells that do not produce a
@@ -51,14 +69,18 @@ type Cell struct {
 }
 
 // CellPerf is one executed cell's wall-clock cost and simulated
-// throughput — the raw material of pipette-bench's -json perf summary.
-// Wall seconds are host time and vary run to run; the sim fields are
-// deterministic.
+// measurements — the raw material of pipette-bench's -json perf summary
+// and of the regression gate's baseline cells. Wall seconds are host time
+// and vary run to run; every sim field is deterministic, so the gate can
+// compare them exactly across commits.
 type CellPerf struct {
 	Label        string  `json:"label"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	Ops          uint64  `json:"ops,omitempty"`
 	SimOpsPerSec float64 `json:"sim_ops_per_sec,omitempty"`
+	ReadAmp      float64 `json:"read_amp,omitempty"`
+	MeanUs       float64 `json:"mean_us,omitempty"`
+	P99Us        float64 `json:"p99_us,omitempty"`
 }
 
 // RunCells executes the cells, at most Workers() at a time, and returns the
@@ -95,16 +117,23 @@ func (p *Pool) RunCells(cells []Cell) error {
 }
 
 func (p *Pool) runCell(c Cell) error {
-	start := time.Now()
-	res, err := c.Run()
 	if p == nil {
+		_, err := c.Run()
 		return err
 	}
+	p.live.cellStarted(c.Label)
+	start := time.Now()
+	res, err := c.Run()
 	pf := CellPerf{Label: c.Label, WallSeconds: time.Since(start).Seconds()}
 	if res != nil {
 		pf.Ops = res.Snapshot.Ops
 		pf.SimOpsPerSec = res.Snapshot.ThroughputOpsPerSec()
+		pf.ReadAmp = res.Snapshot.IO.ReadAmplification()
+		pf.MeanUs = res.Snapshot.MeanLat.Micros()
+		pf.P99Us = res.Snapshot.P99Lat.Micros()
+		p.live.AddSnapshot(&res.Snapshot)
 	}
+	p.live.cellFinished(c.Label, pf, err != nil)
 	p.mu.Lock()
 	p.perf = append(p.perf, pf)
 	p.mu.Unlock()

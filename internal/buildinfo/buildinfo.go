@@ -1,0 +1,40 @@
+// Package buildinfo carries the link-time identity every pipette binary
+// reports: the -version flag, the build_info metric, and the revision the
+// regression gate stamps into BENCH_<rev>.json all read from here.
+//
+// Stamp a release build with:
+//
+//	go build -ldflags "-X pipette/internal/buildinfo.Version=$(git describe --always --dirty)" ./cmd/...
+//
+// Unstamped builds report "dev".
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"pipette/internal/telemetry"
+)
+
+// Version is the build's human-readable identity, overridden at link time
+// via -ldflags -X. Keep it a plain var (not const) or the linker cannot
+// stamp it.
+var Version = "dev"
+
+// Register exposes the conventional build_info gauge on reg: constant
+// value 1, identity in the labels, so dashboards can join any series
+// against the binary that produced it.
+func Register(reg *telemetry.Registry, component string) {
+	reg.GaugeFunc("build_info", "build identity; the value is always 1",
+		func() float64 { return 1 },
+		telemetry.L("component", component),
+		telemetry.L("version", Version),
+		telemetry.L("goversion", runtime.Version()))
+}
+
+// Fprint writes the one-line -version output.
+func Fprint(w io.Writer, component string) {
+	fmt.Fprintf(w, "%s %s (%s %s/%s)\n", component, Version,
+		runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,37 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"pipette/internal/telemetry"
+)
+
+func TestRegister(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	Register(reg, "pipette-test")
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `build_info{component="pipette-test",`) {
+		t.Errorf("build_info series missing:\n%s", out)
+	}
+	if !strings.Contains(out, `version="dev"`) {
+		t.Errorf("unstamped build must report dev:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "build_info{") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("build_info value must be 1: %q", line)
+		}
+	}
+}
+
+func TestFprint(t *testing.T) {
+	var b strings.Builder
+	Fprint(&b, "pipette-test")
+	if !strings.HasPrefix(b.String(), "pipette-test dev (go") {
+		t.Errorf("unexpected -version line: %q", b.String())
+	}
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"pipette/internal/sim"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(8)
+	for i := 0; i < 20; i++ {
+		f.Span("nand/d0", fmt.Sprintf("tR-%d", i), sim.Time(i*1000), sim.Time(i*1000+500))
+	}
+	if got := f.Len(); got != 8 {
+		t.Fatalf("ring holds %d entries, want 8", got)
+	}
+
+	var buf bytes.Buffer
+	if err := f.Dump(&buf, "test", sim.Time(20_000)); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Reason   string `json:"reason"`
+		Captured int    `json:"captured"`
+		Dropped  uint64 `json:"dropped"`
+		Events   []struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if d.Reason != "test" || d.Captured != 8 || d.Dropped != 12 {
+		t.Fatalf("dump header wrong: %+v", d)
+	}
+	// Oldest-first: the surviving events are 12..19 in order.
+	for i, ev := range d.Events {
+		if want := fmt.Sprintf("tR-%d", 12+i); ev.Name != want {
+			t.Fatalf("event %d is %q, want %q", i, ev.Name, want)
+		}
+		if i > 0 && ev.Seq != d.Events[i-1].Seq+1 {
+			t.Fatalf("non-monotonic seq at %d: %v", i, d.Events)
+		}
+	}
+}
+
+func TestFlightRecorderKinds(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.BeginRequest("read", 0)
+	f.Span(TrackSSD, "exec", 0, 100)
+	f.Instant(TrackPageCache, "miss", 50)
+	f.Note("uncorrectable at request 3", sim.Time(120))
+	f.EndRequest(100) // boundary only; not recorded
+
+	var buf bytes.Buffer
+	if err := f.Dump(&buf, "kinds", 0); err != nil {
+		t.Fatal(err)
+	}
+	var d flightDump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]string, len(d.Events))
+	for i, ev := range d.Events {
+		kinds[i] = ev.Kind
+	}
+	want := []string{"request", "span", "instant", "note"}
+	if len(kinds) != len(want) {
+		t.Fatalf("got kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("got kinds %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestFlightRecorderKeepsRecordingAfterDump: a dump is a snapshot, not a
+// terminal state — the ring keeps collecting for a later, second failure.
+func TestFlightRecorderKeepsRecordingAfterDump(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Span("ssd", "a", 0, 1)
+	var buf bytes.Buffer
+	if err := f.Dump(&buf, "first", 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Span("ssd", "b", 1, 2)
+	buf.Reset()
+	if err := f.Dump(&buf, "second", 0); err != nil {
+		t.Fatal(err)
+	}
+	var d flightDump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Captured != 2 {
+		t.Fatalf("second dump captured %d events, want 2", d.Captured)
+	}
+}
+
+func TestTee(t *testing.T) {
+	if tr := Tee(); tr != Nop() {
+		t.Fatal("empty Tee should be Nop")
+	}
+	if tr := Tee(nil, Nop()); tr != Nop() {
+		t.Fatal("Tee of nil+Nop should be Nop")
+	}
+	rec := NewRecorder()
+	if tr := Tee(rec, nil); tr != Tracer(rec) {
+		t.Fatal("single-member Tee should unwrap")
+	}
+
+	fr := NewFlightRecorder(8)
+	tr := Tee(rec, fr)
+	if !tr.Enabled() {
+		t.Fatal("tee of live tracers must be enabled")
+	}
+	tr.BeginRequest("read", 0)
+	tr.Span("ssd", "exec", 0, 10)
+	tr.Instant("pagecache", "miss", 5)
+	tr.EndRequest(10)
+	if rec.Events() != 3 { // span + instant + request span from EndRequest
+		t.Fatalf("recorder saw %d events, want 3", rec.Events())
+	}
+	if fr.Len() != 3 { // request + span + instant (EndRequest unrecorded)
+		t.Fatalf("flight recorder holds %d entries, want 3", fr.Len())
+	}
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the live observability endpoint a CLI's -listen flag starts:
+//
+//	/metrics  - the Registry in Prometheus text exposition format
+//	/healthz  - liveness JSON (status, uptime)
+//	/progress - caller-supplied progress JSON (per-cell bench completion,
+//	            per-workload request counts)
+//
+// The server runs entirely on scraper goroutines; the simulated run never
+// blocks on it. Registry values are atomics or lock-guarded getters, so a
+// scraper polling at any rate leaves the run's output byte-identical.
+type Server struct {
+	reg      *Registry
+	progress func() any
+	started  time.Time
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability server on addr (e.g. ":9090" or
+// "127.0.0.1:0"). progress may be nil; when set, its return value is
+// marshalled as the /progress response. The listener is bound before
+// returning, so a bad address fails fast; requests are then served in the
+// background until Close.
+func Serve(addr string, reg *Registry, progress func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, progress: progress, started: time.Now(), ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/progress", s.handleProgress)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr reports the bound address ("127.0.0.1:43213"), useful with port 0.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.progress == nil {
+		w.Write([]byte("{}\n")) //nolint:errcheck
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(s.progress()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry(L("engine", "test"))
+	c := reg.Counter("reqs_total", "requests")
+	c.Add(3)
+	srv, err := Serve("127.0.0.1:0", reg, func() any {
+		return map[string]any{"cells_done": 2, "cells_total": 5}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, ctype := get(t, base+"/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, `reqs_total{engine="test"} 3`) {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+
+	body, ctype = get(t, base+"/healthz")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("healthz content type %q", ctype)
+	}
+	var h struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil || h.Status != "ok" {
+		t.Errorf("healthz body %q (err %v)", body, err)
+	}
+
+	body, _ = get(t, base+"/progress")
+	var p struct {
+		Done  int `json:"cells_done"`
+		Total int `json:"cells_total"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil || p.Done != 2 || p.Total != 5 {
+		t.Errorf("progress body %q (err %v)", body, err)
+	}
+}
+
+func TestServeNilProgress(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body, _ := get(t, "http://"+srv.Addr()+"/progress")
+	if strings.TrimSpace(body) != "{}" {
+		t.Errorf("nil progress body %q, want {}", body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:99999", NewRegistry(), nil); err == nil {
+		t.Fatal("bad address must fail at Serve time")
+	}
+}

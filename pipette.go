@@ -243,6 +243,114 @@ func (s *System) Probes() []telemetry.Probe {
 	return probes
 }
 
+// RegisterMetrics exposes the system's live counters on a
+// telemetry.Registry as scrape-time collectors, under the same family
+// names pipette-bench's harness publishes — one dashboard serves both. The
+// collectors are stateless reads of the layers' accumulators, each taking
+// the System lock for the duration of one getter: a scraper may briefly
+// delay application threads but can never advance virtual time or change
+// any simulated outcome.
+func (s *System) RegisterMetrics(reg *telemetry.Registry) {
+	lockedU := func(get func() uint64) func() uint64 {
+		return func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return get()
+		}
+	}
+	lockedF := func(get func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return get()
+		}
+	}
+
+	reg.CounterFunc("ssd_reads_total", "read commands issued to the device",
+		lockedU(func() uint64 { return s.v.IO().BlockReads }), telemetry.L("interface", "block"))
+	reg.CounterFunc("ssd_reads_total", "read commands issued to the device",
+		lockedU(func() uint64 { return s.core.IO().FineReads }), telemetry.L("interface", "fine"))
+	reg.CounterFunc("ssd_writes_total", "write commands issued to the device",
+		lockedU(func() uint64 { return s.v.IO().Writes }))
+	reg.CounterFunc("ssd_bytes_total", "host-interface traffic",
+		lockedU(func() uint64 { return s.v.IO().BytesRequested }), telemetry.L("direction", "requested"))
+	reg.CounterFunc("ssd_bytes_total", "host-interface traffic",
+		lockedU(func() uint64 { return s.v.IO().BytesTransferred + s.core.IO().BytesTransferred }),
+		telemetry.L("direction", "transferred"))
+	reg.CounterFunc("ssd_bytes_total", "host-interface traffic",
+		lockedU(func() uint64 { return s.v.IO().BytesWritten }), telemetry.L("direction", "written"))
+
+	reg.CounterFunc("cache_hits_total", "cache hits",
+		lockedU(func() uint64 { h, _, _, _ := s.v.PageCache().Stats(); return h }),
+		telemetry.L("cache", "page"))
+	reg.CounterFunc("cache_accesses_total", "cache accesses",
+		lockedU(func() uint64 { _, a, _, _ := s.v.PageCache().Stats(); return a }),
+		telemetry.L("cache", "page"))
+	reg.CounterFunc("cache_hits_total", "cache hits",
+		lockedU(func() uint64 { return s.core.CacheStats().Hits }), telemetry.L("cache", "fine"))
+	reg.CounterFunc("cache_accesses_total", "cache accesses",
+		lockedU(func() uint64 { return s.core.CacheStats().Accesses }), telemetry.L("cache", "fine"))
+
+	kvTotal := func(get func(kv.Stats) uint64) func() uint64 {
+		return lockedU(func() uint64 {
+			var n uint64
+			for _, st := range s.kvs {
+				n += get(st.Stats())
+			}
+			return n
+		})
+	}
+	reg.CounterFunc("kv_ops_total", "KV store operations",
+		kvTotal(func(st kv.Stats) uint64 { return st.Puts }), telemetry.L("op", "put"))
+	reg.CounterFunc("kv_ops_total", "KV store operations",
+		kvTotal(func(st kv.Stats) uint64 { return st.Gets }), telemetry.L("op", "get"))
+	reg.CounterFunc("kv_rotations_total", "KV log segments sealed",
+		kvTotal(func(st kv.Stats) uint64 { return st.Rotations }))
+	reg.CounterFunc("kv_compactions_total", "KV segments compacted",
+		kvTotal(func(st kv.Stats) uint64 { return st.Compactions }))
+	reg.CounterFunc("kv_log_bytes_total", "KV value-log traffic",
+		kvTotal(func(st kv.Stats) uint64 { return st.BytesWritten }), telemetry.L("direction", "written"))
+	reg.CounterFunc("kv_log_bytes_total", "KV value-log traffic",
+		kvTotal(func(st kv.Stats) uint64 { return st.BytesRead }), telemetry.L("direction", "read"))
+
+	if s.inj != nil {
+		faultU := func(get func(fault.Report) uint64) func() uint64 {
+			return lockedU(func() uint64 { return get(s.faults()) })
+		}
+		reg.CounterFunc("fault_injected_total", "fault decisions drawn across all sites",
+			faultU(func(r fault.Report) uint64 { return r.Injected }))
+		reg.CounterFunc("fault_ecc_retries_total", "NAND read-retry steps charged by the ECC ladder",
+			faultU(func(r fault.Report) uint64 { return r.ECCRetries }))
+		reg.CounterFunc("fault_uncorrectable_total", "reads that exhausted the retry budget",
+			faultU(func(r fault.Report) uint64 { return r.Uncorrectable }))
+		reg.CounterFunc("fault_fallbacks_total", "fine reads re-served via block I/O",
+			faultU(func(r fault.Report) uint64 { return r.RingFallbacks }), telemetry.L("path", "ring"))
+		reg.CounterFunc("fault_fallbacks_total", "fine reads re-served via block I/O",
+			faultU(func(r fault.Report) uint64 { return r.DMAFallbacks }), telemetry.L("path", "dma"))
+		reg.CounterFunc("fault_retries_total", "commands re-issued after a fault",
+			faultU(func(r fault.Report) uint64 { return r.ProgramRetries }), telemetry.L("site", "program"))
+		reg.CounterFunc("fault_retries_total", "commands re-issued after a fault",
+			faultU(func(r fault.Report) uint64 { return r.WritebackRetries }), telemetry.L("site", "writeback"))
+	}
+
+	reg.GaugeFunc("pipette_virtual_seconds", "elapsed simulated time",
+		lockedF(func() float64 { return s.clock.Now().Seconds() }))
+	reg.GaugeFunc("pipette_read_amplification", "transferred / requested bytes",
+		lockedF(func() float64 {
+			io := s.v.IO()
+			io.BytesTransferred += s.core.IO().BytesTransferred
+			return io.ReadAmplification()
+		}))
+	reg.GaugeFunc("pipette_fine_threshold_bytes", "adaptive fine-read admission threshold",
+		lockedF(func() float64 { return float64(s.core.Threshold()) }))
+	reg.GaugeFunc("pipette_cache_resident_bytes", "cache memory in use",
+		lockedF(func() float64 { return float64(s.v.PageCache().MemoryBytes()) }),
+		telemetry.L("cache", "page"))
+	reg.GaugeFunc("pipette_cache_resident_bytes", "cache memory in use",
+		lockedF(func() float64 { return float64(s.core.MemoryBytes()) }),
+		telemetry.L("cache", "fine"))
+}
+
 // CreateFile makes a fixed-size file. preload fills it with deterministic
 // device content at zero virtual cost (dataset setup).
 func (s *System) CreateFile(name string, size int64, preload bool) error {

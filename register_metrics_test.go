@@ -1,0 +1,74 @@
+package pipette_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pipette"
+	"pipette/internal/telemetry"
+)
+
+// TestRegisterMetrics drives a faulted System with file and KV traffic and
+// checks the registry exposes non-zero series in all four metric families.
+func TestRegisterMetrics(t *testing.T) {
+	sys, err := pipette.New(pipette.Options{
+		CapacityBytes: 64 << 20,
+		FaultProfile:  "nand.read:rber*50,hmb.ring:0.05",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry(telemetry.L("job", "test"))
+	sys.RegisterMetrics(reg)
+
+	if err := sys.CreateFile("data", 4<<20, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := sys.Open("data", pipette.ReadOnly|pipette.FineGrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	for i := int64(0); i < 400; i++ {
+		_, err := f.ReadAt(buf, (i*7919)%(4<<20-128))
+		if err != nil && !errors.Is(err, pipette.ErrUncorrectable) {
+			t.Fatal(err)
+		}
+	}
+	store, err := sys.OpenKV(pipette.KVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		if err := store.Put(key, []byte(strings.Repeat("v", 64))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	exposition := out.String()
+	for _, family := range []string{"ssd_reads_total", "cache_accesses_total", "kv_ops_total", "fault_injected_total"} {
+		nonZero := false
+		for _, line := range strings.Split(exposition, "\n") {
+			if strings.HasPrefix(line, family) && !strings.HasSuffix(line, " 0") {
+				nonZero = true
+				break
+			}
+		}
+		if !nonZero {
+			t.Errorf("family %s has no non-zero series:\n%s", family, exposition)
+		}
+	}
+	if !strings.Contains(exposition, `job="test"`) {
+		t.Errorf("constant label missing from exposition:\n%s", exposition)
+	}
+}
