@@ -47,6 +47,7 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		traceOut  = flag.String("trace-out", "", "phases experiment: write Chrome trace-event JSON (open in Perfetto)")
 		statsOut  = flag.String("stats-out", "", "phases experiment: write sampled time-series CSV")
+		exportOut = flag.String("export-out", "", "phases experiment: write the run-export bundle JSON (pipette-report input)")
 		statsInt  = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
 		faultProf = flag.String("fault-profile", "", "arm fault injection on every engine: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
 		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
@@ -109,6 +110,7 @@ func main() {
 		TraceOut:      *traceOut,
 		StatsOut:      *statsOut,
 		StatsInterval: sim.Time((*statsInt).Nanoseconds()),
+		ExportOut:     *exportOut,
 	}
 	pool := bench.NewPool(*workers)
 

@@ -1,0 +1,81 @@
+// Command pipette-report renders run-export bundles — the JSON written by
+// pipette-sim -export and pipette-bench -export-out — into one
+// self-contained HTML run report: latency percentile tables, a per-run
+// stage waterfall (where each request's virtual time went, stage by
+// stage), and per-resource occupancy heatmaps (NAND channels and dies,
+// the PCIe DMA link, the NVMe ring).
+//
+// The output is fully deterministic: it embeds no wall-clock content and
+// formats every number with fixed precision, so identical runs produce
+// byte-identical HTML — reports can be diffed across commits and archived
+// as CI artifacts.
+//
+// Usage:
+//
+//	pipette-report -o report.html run.json
+//	pipette-report -o report.html -title "nightly quick run" phases.json sim.json
+//	pipette-report -o - run.json > report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipette/internal/buildinfo"
+	"pipette/internal/report"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "report.html", "output HTML file; '-' for stdout")
+		title   = flag.String("title", "Pipette run report", "report title")
+		version = flag.Bool("version", false, "print build identity and exit")
+	)
+	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "pipette-report")
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "pipette-report: no export files given (write them with pipette-sim -export or pipette-bench -export-out)")
+		os.Exit(2)
+	}
+
+	exports := make([]*report.Export, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		e, err := report.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(1)
+		}
+		exports = append(exports, e)
+	}
+
+	if *out == "-" {
+		if err := report.WriteHTML(os.Stdout, *title, exports); err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := report.WriteHTML(f, *title, exports); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+		os.Exit(1)
+	}
+	runs := 0
+	for _, e := range exports {
+		runs += len(e.Runs)
+	}
+	fmt.Printf("report written to %s (%d runs)\n", *out, runs)
+}

@@ -32,6 +32,8 @@ import (
 	"pipette/internal/bench"
 	"pipette/internal/buildinfo"
 	"pipette/internal/fault"
+	"pipette/internal/metrics"
+	"pipette/internal/report"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/workload"
@@ -69,21 +71,22 @@ func (p *simProgress) snapshot() any {
 
 func main() {
 	var (
-		wl       = flag.String("workload", "mixE", "comma-separated list of mixA..mixE, recommender, socialgraph, or searchengine")
-		dist     = flag.String("dist", "uniform", "synthetic request distribution: uniform or zipfian")
-		requests = flag.Int("requests", 100_000, "requests to replay")
-		fileMB   = flag.Int64("file-mb", 128, "synthetic dataset size (MiB)")
-		pcMB     = flag.Int64("pagecache", 40, "page cache budget (MiB)")
-		fgMB     = flag.Int("finecache", 8, "fine-grained read cache arena (MiB)")
-		fine     = flag.Bool("fine", true, "enable the fine-grained read cache")
-		seed     = flag.Uint64("seed", 42, "workload seed")
-		workers  = flag.Int("j", 0, "worker goroutines when replaying several workloads (0 = GOMAXPROCS)")
-		version  = flag.Bool("version", false, "print build identity and exit")
-		listen   = flag.String("listen", "", "serve live /metrics, /healthz, and /progress on this address (e.g. :9101)")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto)")
-		statsOut = flag.String("stats-out", "", "write sampled time-series CSV")
+		wl        = flag.String("workload", "mixE", "comma-separated list of mixA..mixE, recommender, socialgraph, or searchengine")
+		dist      = flag.String("dist", "uniform", "synthetic request distribution: uniform or zipfian")
+		requests  = flag.Int("requests", 100_000, "requests to replay")
+		fileMB    = flag.Int64("file-mb", 128, "synthetic dataset size (MiB)")
+		pcMB      = flag.Int64("pagecache", 40, "page cache budget (MiB)")
+		fgMB      = flag.Int("finecache", 8, "fine-grained read cache arena (MiB)")
+		fine      = flag.Bool("fine", true, "enable the fine-grained read cache")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		workers   = flag.Int("j", 0, "worker goroutines when replaying several workloads (0 = GOMAXPROCS)")
+		version   = flag.Bool("version", false, "print build identity and exit")
+		listen    = flag.String("listen", "", "serve live /metrics, /healthz, and /progress on this address (e.g. :9101)")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto)")
+		statsOut  = flag.String("stats-out", "", "write sampled time-series CSV")
 		statsInt  = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
-		flightOut = flag.String("flight-dump", "", "arm the flight recorder; the first uncorrectable read or fatal error dumps the recent-event ring to this file as JSON")
+		exportOut = flag.String("export", "", "write the run-export bundle JSON (pipette-report input) to this file")
+		flightOut = flag.String("flight-dump", "", "arm the flight recorder; the first uncorrectable read, fatal error, or panic dumps the recent-event ring to this file as JSON")
 		faultProf = flag.String("fault-profile", "", "arm fault injection: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
 		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
 	)
@@ -109,6 +112,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	// -export collects one report run per workload, in input order, and
+	// writes the bundle after every replay finishes — deterministic at any
+	// -j because the runs are private simulations rendered post-hoc.
+	runs := make([]report.Run, len(wls))
+	writeExport := func() error {
+		if *exportOut == "" {
+			return nil
+		}
+		exp := &report.Export{Tool: "pipette-sim", Runs: runs}
+		if err := exp.WriteFile(*exportOut); err != nil {
+			return err
+		}
+		fmt.Printf("run export written to %s (%d runs)\n", *exportOut, len(runs))
+		return nil
+	}
+
 	if len(wls) == 1 {
 		if *listen != "" {
 			topts.reg = telemetry.NewRegistry(telemetry.L("job", "pipette-sim"))
@@ -122,7 +141,11 @@ func main() {
 			defer srv.Close()
 			fmt.Fprintf(os.Stderr, "pipette-sim: serving /metrics /healthz /progress on http://%s\n", srv.Addr())
 		}
-		if err := run(os.Stdout, wls[0], *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, topts); err != nil {
+		if err := run(os.Stdout, wls[0], *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, topts, &runs[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeExport(); err != nil {
 			fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -138,7 +161,7 @@ func main() {
 		cells = append(cells, bench.Cell{
 			Label: "sim/" + name,
 			Run: func() (*bench.Result, error) {
-				return nil, run(&bufs[i], name, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, telemetryOpts{})
+				return nil, run(&bufs[i], name, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, telemetryOpts{}, &runs[i])
 			},
 		})
 	}
@@ -154,9 +177,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
 		os.Exit(1)
 	}
+	if err := writeExport(); err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
+		os.Exit(1)
+	}
 }
 
-func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, faultProf string, faultSeed uint64, topts telemetryOpts) (err error) {
+func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, faultProf string, faultSeed uint64, topts telemetryOpts, expRun *report.Run) (err error) {
 	gen, err := makeGenerator(wl, dist, fileMB<<20, seed)
 	if err != nil {
 		return err
@@ -234,6 +261,15 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 		}
 		fmt.Fprintf(w, "flight recorder dumped to %s (%s)\n", topts.flightOut, reason)
 	}
+	// A panic anywhere in the replay still dumps the ring — the events
+	// leading up to the crash are exactly what the recorder is for — then
+	// resumes unwinding.
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight(fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+	}()
 	var tracers []telemetry.Tracer
 	if rec != nil {
 		tracers = append(tracers, rec)
@@ -253,6 +289,7 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 	for i := range payload {
 		payload[i] = byte(i)
 	}
+	var hist metrics.Histogram
 	var lost int
 	for i := 0; i < requests; i++ {
 		req := gen.Next()
@@ -260,11 +297,13 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 			buf = make([]byte, req.Size)
 			payload = make([]byte, req.Size)
 		}
+		before := sys.Now()
 		if req.Write {
 			_, err = f.WriteAt(payload[:req.Size], req.Off)
 		} else {
 			_, err = f.ReadAt(buf[:req.Size], req.Off)
 		}
+		hist.Observe(sys.Now() - before)
 		if err != nil {
 			// Under an armed fault profile uncorrectable media errors are
 			// expected outcomes, not harness failures: count and go on.
@@ -288,6 +327,20 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 	err = nil // the loop's last request may have been a counted media error
 
 	rep := sys.Report()
+	if expRun != nil {
+		st := rep.Stages
+		*expRun = report.Run{
+			Name:      wl,
+			Requests:  uint64(requests),
+			ElapsedNs: int64(rep.Elapsed),
+			OpsPerSec: float64(requests) / rep.Elapsed.Seconds(),
+			ReadAmp:   rep.IO.ReadAmplification(),
+			Latency:   report.PercentilesOf(&hist),
+			StageNs:   int64(st.Sum()),
+			Stages:    report.StageRows(&st),
+			Resources: rep.Resources,
+		}
+	}
 	fmt.Fprintln(w, rep)
 	if lost > 0 {
 		fmt.Fprintf(w, "\nuncorrectable     %d of %d requests lost to media errors\n", lost, requests)

@@ -88,23 +88,13 @@ func cmdInfo(args []string) error {
 	if err != nil {
 		return err
 	}
-	var reads, writes, bytes int64
-	var maxEnd int64
-	sizes := map[int]int{}
-	for _, r := range reqs {
-		if r.Write {
-			writes++
-		} else {
-			reads++
-		}
-		bytes += int64(r.Size)
-		sizes[r.Size]++
-		if end := r.Off + int64(r.Size); end > maxEnd {
-			maxEnd = end
-		}
+	s := trace.Summarize(reqs)
+	fmt.Printf("%s: %d requests, %.1f MiB requested, extent %.1f MiB, %d distinct sizes\n",
+		fs.Arg(0), s.Requests, float64(s.Bytes)/(1<<20), float64(s.Extent)/(1<<20), s.Distinct)
+	fmt.Printf("%-6s %10s %12s %10s %10s %10s\n", "op", "count", "bytes", "size p50", "size p99", "size max")
+	for _, op := range s.Ops {
+		fmt.Printf("%-6s %10d %12d %10d %10d %10d\n", op.Op, op.Count, op.Bytes, op.P50, op.P99, op.Max)
 	}
-	fmt.Printf("%s: %d requests (%d reads, %d writes), %.1f MiB requested, extent %.1f MiB, %d distinct sizes\n",
-		fs.Arg(0), len(reqs), reads, writes, float64(bytes)/(1<<20), float64(maxEnd)/(1<<20), len(sizes))
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"pipette/internal/ftl"
 	"pipette/internal/metrics"
 	"pipette/internal/nvme"
+	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/ssd"
 	"pipette/internal/telemetry"
@@ -45,6 +46,12 @@ type Engine interface {
 	// Faults aggregates the stack's fault-injection and recovery counters
 	// (all zeros when the fault profile is empty).
 	Faults() fault.Report
+	// Stages exposes the engine's per-request stage account — the raw
+	// material of the waterfall breakdown.
+	Stages() *telemetry.StageAccount
+	// Resources exposes the engine's resource-occupancy tracker (NAND
+	// channels/dies, PCIe DMA link, NVMe ring).
+	Resources() *resource.Tracker
 }
 
 // StackConfig assembles one engine's private system.
@@ -111,6 +118,8 @@ type stack struct {
 	v    *vfs.VFS
 	file *vfs.File
 	inj  *fault.Injector // nil with an empty profile
+	sa   *telemetry.StageAccount
+	res  *resource.Tracker
 }
 
 func newStack(cfg StackConfig, flags vfs.OpenFlag) (*stack, error) {
@@ -139,7 +148,16 @@ func newStack(cfg StackConfig, flags vfs.OpenFlag) (*stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &stack{ctrl: ctrl, drv: drv, blk: blk, v: v, file: file}
+	s := &stack{ctrl: ctrl, drv: drv, blk: blk, v: v, file: file,
+		sa: telemetry.NewStageAccount(), res: resource.NewTracker()}
+	// Stage attribution and resource occupancy thread through every layer;
+	// registration order (dma, nand, ring) is the export row order.
+	v.SetStages(s.sa)
+	blk.SetStages(s.sa)
+	drv.SetStages(s.sa)
+	ctrl.SetStages(s.sa)
+	ctrl.SetResources(s.res)
+	drv.SetRingTimeline(s.res.Register("nvme.ring"))
 	if inj := cfg.FaultProfile.NewInjector(cfg.FaultSeed); inj != nil {
 		s.inj = inj
 		ctrl.SetInjector(inj)
@@ -302,6 +320,12 @@ func (e *BlockIO) Probes() []telemetry.Probe { return stackProbes(e.s, nil) }
 
 // Faults implements Engine.
 func (e *BlockIO) Faults() fault.Report { return e.s.faults() }
+
+// Stages implements Engine.
+func (e *BlockIO) Stages() *telemetry.StageAccount { return e.s.sa }
+
+// Resources implements Engine.
+func (e *BlockIO) Resources() *resource.Tracker { return e.s.res }
 
 // Sync exposes fsync for harness phases.
 func (e *BlockIO) Sync(now sim.Time) (sim.Time, error) { return e.s.file.Sync(now) }

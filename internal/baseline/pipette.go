@@ -4,6 +4,7 @@ import (
 	"pipette/internal/core"
 	"pipette/internal/fault"
 	"pipette/internal/metrics"
+	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/vfs"
@@ -42,6 +43,7 @@ func newPipetteEngine(cfg StackConfig, noCache bool) (*PipetteEngine, error) {
 		p.DisableCache()
 		name = "Pipette w/o cache"
 	}
+	p.SetStages(s.sa)
 	if s.inj != nil {
 		p.SetInjector(s.inj)
 	}
@@ -89,6 +91,12 @@ func (e *PipetteEngine) Faults() fault.Report {
 	f.DMAFallbacks = e.p.DMAFallbacks()
 	return f
 }
+
+// Stages implements Engine.
+func (e *PipetteEngine) Stages() *telemetry.StageAccount { return e.s.sa }
+
+// Resources implements Engine.
+func (e *PipetteEngine) Resources() *resource.Tracker { return e.s.res }
 
 // Sync exposes fsync for harness phases.
 func (e *PipetteEngine) Sync(now sim.Time) (sim.Time, error) { return e.s.file.Sync(now) }

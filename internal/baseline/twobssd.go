@@ -5,6 +5,7 @@ import (
 
 	"pipette/internal/fault"
 	"pipette/internal/metrics"
+	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/vfs"
@@ -55,8 +56,17 @@ func (e *TwoBSSD) Name() string {
 
 // ReadAt implements Engine: load the covering NAND pages into the CMB
 // (they race across channels), then move only the demanded bytes across
-// PCIe via MMIO transactions or a DMA transfer.
+// PCIe via MMIO transactions or a DMA transfer. The byte interface
+// bypasses the VFS, so the engine owns the stage-account request scope
+// itself.
 func (e *TwoBSSD) ReadAt(now sim.Time, buf []byte, off int64) (sim.Time, error) {
+	e.s.sa.Begin(now)
+	done, err := e.readAt(now, buf, off)
+	e.s.sa.Finish(done)
+	return done, err
+}
+
+func (e *TwoBSSD) readAt(now sim.Time, buf []byte, off int64) (sim.Time, error) {
 	n := len(buf)
 	if off < 0 || off+int64(n) > e.s.file.Size() {
 		return now, fmt.Errorf("baseline: 2B-SSD read [%d,+%d) out of file", off, n)
@@ -77,6 +87,7 @@ func (e *TwoBSSD) ReadAt(now sim.Time, buf []byte, off int64) (sim.Time, error) 
 	case DMA:
 		now += e.cfg.DMAMap
 	}
+	e.s.sa.Mark(telemetry.StageConstruct, now)
 
 	// Load pages to the CMB; issue together, wait for the last.
 	if cap(e.slotScratch) < len(lbas) {
@@ -87,13 +98,20 @@ func (e *TwoBSSD) ReadAt(now sim.Time, buf []byte, off int64) (sim.Time, error) 
 	for i, lba := range lbas {
 		slot, done, err := e.s.ctrl.LoadToCMB(now, lba)
 		if err != nil {
-			return now, fmt.Errorf("baseline: CMB load: %w", err)
+			// The failed access still waits for its racing loads.
+			if done > loadDone {
+				loadDone = done
+			}
+			return loadDone, fmt.Errorf("baseline: CMB load: %w", err)
 		}
 		slots[i] = slot
 		if done > loadDone {
 			loadDone = done
 		}
 	}
+
+	// Close the racing loads' attribution window at the last completion.
+	e.s.sa.Mark(telemetry.StageNAND, loadDone)
 
 	// Transfer the demanded window page by page.
 	t := loadDone
@@ -162,6 +180,12 @@ func (e *TwoBSSD) Probes() []telemetry.Probe { return stackProbes(e.s, nil) }
 
 // Faults implements Engine.
 func (e *TwoBSSD) Faults() fault.Report { return e.s.faults() }
+
+// Stages implements Engine.
+func (e *TwoBSSD) Stages() *telemetry.StageAccount { return e.s.sa }
+
+// Resources implements Engine.
+func (e *TwoBSSD) Resources() *resource.Tracker { return e.s.res }
 
 // Sync flushes buffered writes to flash — after which the byte interface
 // observes them.

@@ -16,6 +16,8 @@ import (
 	"pipette/internal/baseline"
 	"pipette/internal/fault"
 	"pipette/internal/metrics"
+	"pipette/internal/report"
+	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/workload"
@@ -190,6 +192,14 @@ type RunOpts struct {
 type Result struct {
 	Snapshot metrics.Snapshot
 	Hist     metrics.Histogram
+
+	// Stages is the engine's per-request time attribution over the whole
+	// replay (warmup included — the account spans every request the stack
+	// served, which is what its conservation invariant covers).
+	Stages telemetry.StageSnapshot
+	// Resources is the engine's per-resource occupancy (NAND channels and
+	// dies, PCIe DMA link, NVMe ring) over the replay.
+	Resources *resource.Snapshot
 }
 
 // Run replays requests from gen against e and measures the paper's
@@ -262,6 +272,8 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 		}
 	}
 
+	res.Stages = e.Stages().Snapshot()
+	res.Resources = e.Resources().Snapshot(now)
 	snap := e.Snapshot()
 	subIO(&snap.IO, base.IO)
 	subCache(&snap.PageCache, base.PageCache)
@@ -273,6 +285,23 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 	snap.MaxLat = res.Hist.Max()
 	res.Snapshot = snap
 	return res, nil
+}
+
+// ExportRun converts one cell measurement into a report-bundle run record,
+// the pipette-report input format.
+func ExportRun(name, wl string, r *Result) report.Run {
+	return report.Run{
+		Name:      name,
+		Workload:  wl,
+		Requests:  r.Snapshot.Ops,
+		ElapsedNs: int64(r.Snapshot.Elapsed),
+		OpsPerSec: r.Snapshot.ThroughputOpsPerSec(),
+		ReadAmp:   r.Snapshot.IO.ReadAmplification(),
+		Latency:   report.PercentilesOf(&r.Hist),
+		StageNs:   int64(r.Stages.Sum()),
+		Stages:    report.StageRows(&r.Stages),
+		Resources: r.Resources,
+	}
 }
 
 func subIO(a *metrics.IO, b metrics.IO) {

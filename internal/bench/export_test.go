@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pipette/internal/report"
+	"pipette/internal/workload"
+)
+
+// TestRunCapturesStagesAndResources checks that every cell measurement
+// carries the per-stage attribution and the resource occupancy, that the
+// attribution conserves (stage sum == summed end-to-end latencies), and
+// that the NAND channels and the DMA link saw traffic.
+func TestRunCapturesStagesAndResources(t *testing.T) {
+	s := TinyScale()
+	e, err := newEngine(4, s.stackConfig(s.FileSize())) // Pipette
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.Mixes(s.FileSize(), 4096, workload.Uniform, 0xbead)[2]
+	gen, err := workload.NewSynthetic(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(e, gen, 500, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages.Requests == 0 {
+		t.Fatal("stage account saw no requests")
+	}
+	if res.Stages.Sum() != res.Stages.Elapsed {
+		t.Fatalf("stage sum %v != elapsed %v: conservation broken", res.Stages.Sum(), res.Stages.Elapsed)
+	}
+	if res.Resources == nil || len(res.Resources.Resources) == 0 {
+		t.Fatal("no resource snapshot captured")
+	}
+	var nand, dma int64
+	for _, r := range res.Resources.Resources {
+		switch {
+		case strings.HasPrefix(r.Name, "nand.ch"):
+			nand += r.BusyNs
+		case r.Name == "pcie.dma":
+			dma = r.BusyNs
+		}
+	}
+	if nand == 0 || dma == 0 {
+		t.Fatalf("resource occupancy not recorded: nand=%d dma=%d", nand, dma)
+	}
+
+	run := ExportRun("Pipette", "mixC", res)
+	var sum int64
+	for _, row := range run.Stages {
+		sum += row.TotalNs
+	}
+	if sum != run.StageNs {
+		t.Fatalf("export stage rows sum to %d, StageNs is %d", sum, run.StageNs)
+	}
+}
+
+// TestPhaseExportDeterministicAcrossWorkers runs the phases experiment at
+// -j 1 and -j 2 and requires the stdout tables, the export bundle, and the
+// rendered HTML to be byte-identical — the report pipeline must not leak
+// scheduling order anywhere.
+func TestPhaseExportDeterministicAcrossWorkers(t *testing.T) {
+	s := TinyScale()
+	dir := t.TempDir()
+	outs := make([]bytes.Buffer, 2)
+	exports := make([][]byte, 2)
+	htmls := make([][]byte, 2)
+	for i, workers := range []int{1, 2} {
+		path := filepath.Join(dir, "exp.json")
+		err := WritePhaseBreakdown(&outs[i], s, TelemetryOpts{ExportOut: path}, NewPool(workers))
+		if err != nil {
+			t.Fatalf("-j %d: %v", workers, err)
+		}
+		if exports[i], err = os.ReadFile(path); err != nil {
+			t.Fatal(err)
+		}
+		exp, err := report.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h bytes.Buffer
+		if err := report.WriteHTML(&h, "phases", []*report.Export{exp}); err != nil {
+			t.Fatal(err)
+		}
+		htmls[i] = h.Bytes()
+	}
+	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
+		t.Error("phases stdout differs between -j 1 and -j 2")
+	}
+	if !bytes.Equal(exports[0], exports[1]) {
+		t.Error("export bundle differs between -j 1 and -j 2")
+	}
+	if !bytes.Equal(htmls[0], htmls[1]) {
+		t.Error("rendered HTML differs between -j 1 and -j 2")
+	}
+	if !strings.Contains(outs[0].String(), "stage waterfall") ||
+		!strings.Contains(outs[0].String(), "resource utilization") {
+		t.Error("phases output misses the waterfall/utilization tables")
+	}
+}

@@ -12,8 +12,10 @@ import (
 	"pipette/internal/kv"
 	"pipette/internal/metrics"
 	"pipette/internal/nvme"
+	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/ssd"
+	"pipette/internal/telemetry"
 	"pipette/internal/vfs"
 	"pipette/internal/workload"
 )
@@ -73,6 +75,8 @@ type kvStack struct {
 	ctrl *ssd.Controller
 	v    *vfs.VFS
 	pip  *core.Pipette // nil for the block engine
+	sa   *telemetry.StageAccount
+	res  *resource.Tracker
 }
 
 // newKVStack assembles a stack sized for datasetBytes of live records, with
@@ -104,7 +108,16 @@ func newKVStack(s Scale, fine bool) (*kvStack, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &kvStack{ctrl: ctrl, v: v}
+	st := &kvStack{ctrl: ctrl, v: v,
+		sa: telemetry.NewStageAccount(), res: resource.NewTracker()}
+	// Same attribution wiring as the baseline engines, so kv cells carry
+	// the stage waterfall and resource occupancy too.
+	v.SetStages(st.sa)
+	blk.SetStages(st.sa)
+	drv.SetStages(st.sa)
+	ctrl.SetStages(st.sa)
+	ctrl.SetResources(st.res)
+	drv.SetRingTimeline(st.res.Register("nvme.ring"))
 	if fine {
 		p, err := core.New(v, drv, cfg.Core)
 		if err != nil {
@@ -148,11 +161,13 @@ func kvSegmentBytes(s Scale) int64 {
 
 // kvCellResult is one (workload, engine) measurement.
 type kvCellResult struct {
-	snap  metrics.Snapshot
-	hist  metrics.Histogram
-	store kv.Stats
-	segs  int
-	keys  int
+	snap      metrics.Snapshot
+	hist      metrics.Histogram
+	stages    telemetry.StageSnapshot
+	resources *resource.Snapshot
+	store     kv.Stats
+	segs      int
+	keys      int
 }
 
 // runKVCell loads the store and replays one YCSB workload over one engine.
@@ -205,6 +220,7 @@ func runKVCell(s Scale, wl string, fine bool) (*kvCellResult, error) {
 	for i := 0; i < ops; i++ {
 		req := gen.Next()
 		before := now
+		st.sa.Begin(now)
 		switch req.Op {
 		case workload.OpRead:
 			got, now, err = store.Get(now, kvKey(req.Key), got[:0])
@@ -247,6 +263,7 @@ func runKVCell(s Scale, wl string, fine bool) (*kvCellResult, error) {
 				return nil, fmt.Errorf("bench: kv %s rmw put %d: %w", wl, req.Key, err)
 			}
 		}
+		st.sa.Finish(now)
 		res.hist.Observe(now - before)
 		if i%kvTickEvery == kvTickEvery-1 {
 			if _, now, err = store.MaintenanceTick(now); err != nil {
@@ -264,6 +281,8 @@ func runKVCell(s Scale, wl string, fine bool) (*kvCellResult, error) {
 	snap.MeanLat = res.hist.Mean()
 	snap.P99Lat = res.hist.Quantile(0.99)
 	res.snap = snap
+	res.stages = st.sa.Snapshot()
+	res.resources = st.res.Snapshot(now)
 	res.store = store.Stats()
 	res.store.Puts -= baseKV.Puts
 	res.store.Gets -= baseKV.Gets
@@ -296,7 +315,7 @@ func RunKV(s Scale, p *Pool) ([][]*kvCellResult, error) {
 					// Returning the measurement (rather than nil) feeds the
 					// cell's deterministic throughput/read-amp/latency into
 					// the -json summary and the regression gate.
-					return &Result{Snapshot: r.snap, Hist: r.hist}, nil
+					return &Result{Snapshot: r.snap, Hist: r.hist, Stages: r.stages, Resources: r.resources}, nil
 				},
 			})
 		}

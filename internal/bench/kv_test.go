@@ -35,6 +35,19 @@ func TestKVExperimentShapes(t *testing.T) {
 		if blk.snap.IO.FineReads != 0 {
 			t.Errorf("YCSB-%s: block engine reports fine reads", wl)
 		}
+		// The measured window's stage attribution must conserve for both
+		// engines — mutation paths (Put, compaction) included.
+		for ei, r := range []*kvCellResult{blk, pip} {
+			if r.stages.Requests == 0 {
+				t.Fatalf("YCSB-%s/%s: no stage-accounted ops", wl, kvEngines[ei])
+			}
+			if r.stages.Sum() != r.stages.Elapsed {
+				t.Errorf("YCSB-%s/%s: stage sum %v != elapsed %v", wl, kvEngines[ei], r.stages.Sum(), r.stages.Elapsed)
+			}
+			if r.resources == nil {
+				t.Fatalf("YCSB-%s/%s: no resource snapshot", wl, kvEngines[ei])
+			}
+		}
 	}
 }
 

@@ -2,12 +2,14 @@ package bench
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"pipette/internal/fault"
 	"pipette/internal/kv"
 	"pipette/internal/metrics"
+	"pipette/internal/resource"
 	"pipette/internal/telemetry"
 )
 
@@ -26,17 +28,18 @@ type Live struct {
 	opsDone   *telemetry.LiveCounter
 	cellWall  *telemetry.LiveHistogram
 
-	ssdBlockReads, ssdFineReads, ssdWrites             *telemetry.LiveCounter
-	bytesRequested, bytesTransferred, bytesWritten     *telemetry.LiveCounter
-	pcHits, pcAccesses, fineHits, fineAccesses         *telemetry.LiveCounter
-	kvPuts, kvGets, kvRotations, kvCompactions         *telemetry.LiveCounter
-	kvBytesWritten, kvBytesRead                        *telemetry.LiveCounter
-	fInjected, fECCRetries, fUncorrectable             *telemetry.LiveCounter
+	ssdBlockReads, ssdFineReads, ssdWrites                  *telemetry.LiveCounter
+	bytesRequested, bytesTransferred, bytesWritten          *telemetry.LiveCounter
+	pcHits, pcAccesses, fineHits, fineAccesses              *telemetry.LiveCounter
+	kvPuts, kvGets, kvRotations, kvCompactions              *telemetry.LiveCounter
+	kvBytesWritten, kvBytesRead                             *telemetry.LiveCounter
+	fInjected, fECCRetries, fUncorrectable                  *telemetry.LiveCounter
 	fRingFallbacks, fDMAFallbacks, fProgRetries, fWBRetries *telemetry.LiveCounter
 
-	mu    sync.Mutex
-	total int
-	cells map[string]*cellState
+	mu      sync.Mutex
+	total   int
+	cells   map[string]*cellState
+	resBusy map[string]*telemetry.LiveCounter
 }
 
 // cellState is one cell's /progress record.
@@ -49,7 +52,7 @@ type cellState struct {
 
 // NewLive registers the harness's metric families on reg.
 func NewLive(reg *telemetry.Registry) *Live {
-	l := &Live{reg: reg, cells: make(map[string]*cellState)}
+	l := &Live{reg: reg, cells: make(map[string]*cellState), resBusy: make(map[string]*telemetry.LiveCounter)}
 	l.cellsDone = reg.Counter("bench_cells_done_total", "experiment cells completed")
 	l.opsDone = reg.Counter("bench_ops_total", "measured simulated operations completed by finished cells")
 	l.cellWall = reg.Histogram("bench_cell_wall_seconds", "wall-clock cost of one cell",
@@ -119,6 +122,40 @@ func (l *Live) AddSnapshot(s *metrics.Snapshot) {
 	l.pcAccesses.Add(s.PageCache.Accesses)
 	l.fineHits.Add(s.FineCache.Hits)
 	l.fineAccesses.Add(s.FineCache.Accesses)
+}
+
+// AddResources folds one finished cell's per-resource busy time into the
+// bench_resource_busy_ns_total family: the channel buses and the host
+// links. Per-die rows are skipped — a family of 64 way series would swamp
+// the exposition, and the die detail lives in the run exports. Series are
+// registered on first sight in the snapshot's (deterministic) resource
+// order; every cell shares one layout, so whichever cell finishes first
+// registers the same series in the same order.
+func (l *Live) AddResources(s *resource.Snapshot) {
+	if l == nil || s == nil {
+		return
+	}
+	l.mu.Lock()
+	counters := make([]*telemetry.LiveCounter, 0, len(s.Resources))
+	values := make([]uint64, 0, len(s.Resources))
+	for _, r := range s.Resources {
+		if strings.Contains(r.Name, ".w") {
+			continue
+		}
+		c, ok := l.resBusy[r.Name]
+		if !ok {
+			c = l.reg.Counter("bench_resource_busy_ns_total",
+				"cumulative busy virtual time per simulated resource across finished cells",
+				telemetry.L("resource", r.Name))
+			l.resBusy[r.Name] = c
+		}
+		counters = append(counters, c)
+		values = append(values, uint64(r.BusyNs))
+	}
+	l.mu.Unlock()
+	for i, c := range counters {
+		c.Add(values[i])
+	}
 }
 
 // AddKV folds one finished cell's store counters into the kv family.

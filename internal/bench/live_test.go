@@ -76,7 +76,7 @@ func TestLiveScrapeDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	exposition := out.String()
-	for _, family := range []string{"ssd_reads_total", "cache_accesses_total", "kv_ops_total", "bench_cells_done_total"} {
+	for _, family := range []string{"ssd_reads_total", "cache_accesses_total", "kv_ops_total", "bench_cells_done_total", "bench_resource_busy_ns_total"} {
 		nonZero := false
 		for _, line := range strings.Split(exposition, "\n") {
 			if strings.HasPrefix(line, family) && !strings.HasSuffix(line, " 0") {

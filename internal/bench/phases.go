@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"pipette/internal/report"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/workload"
@@ -15,6 +16,7 @@ type TelemetryOpts struct {
 	TraceOut      string   // Chrome trace-event JSON (open in Perfetto)
 	StatsOut      string   // time-series CSV
 	StatsInterval sim.Time // sampling interval; 0 = 1 ms virtual
+	ExportOut     string   // run-export bundle JSON (pipette-report input)
 }
 
 // phaseEngineIdxs are the two ends of the comparison: the conventional
@@ -42,6 +44,7 @@ func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err
 	type phaseOut struct {
 		rec     *telemetry.Recorder
 		sampler *telemetry.Sampler
+		res     *Result
 	}
 	outs := make([]phaseOut, len(phaseEngineIdxs))
 
@@ -75,6 +78,19 @@ func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err
 			return aerr
 		}
 	}
+	if opts.ExportOut != "" {
+		if aerr := exports.Add(opts.ExportOut, func(fw io.Writer) error {
+			exp := &report.Export{Tool: "pipette-bench phases", Scale: s.Name}
+			for i, ei := range phaseEngineIdxs {
+				if r := outs[i].res; r != nil {
+					exp.Runs = append(exp.Runs, ExportRun(EngineNames[ei], "mixC", r))
+				}
+			}
+			return exp.WriteJSON(fw)
+		}); aerr != nil {
+			return aerr
+		}
+	}
 
 	cells := make([]Cell, 0, len(phaseEngineIdxs))
 	for i, ei := range phaseEngineIdxs {
@@ -103,6 +119,7 @@ func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err
 				if err != nil {
 					return nil, fmt.Errorf("bench: phases %s: %w", e.Name(), err)
 				}
+				outs[i].res = res
 				return res, nil
 			},
 		})
@@ -119,6 +136,10 @@ func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err
 		if dropped := rec.Dropped(); dropped > 0 {
 			fmt.Fprintf(w, "(trace kept %d events, dropped %d past the cap; histograms cover all)\n",
 				rec.Events(), dropped)
+		}
+		if res := outs[i].res; res != nil {
+			fmt.Fprintf(w, "\nstage waterfall\n%s", res.Stages.Waterfall().Render())
+			fmt.Fprintf(w, "\nresource utilization\n%s", res.Resources.Table(false).Render())
 		}
 		fmt.Fprintln(w)
 		if name == "Pipette" {

@@ -132,6 +132,7 @@ func (p *Pool) runCell(c Cell) error {
 		pf.MeanUs = res.Snapshot.MeanLat.Micros()
 		pf.P99Us = res.Snapshot.P99Lat.Micros()
 		p.live.AddSnapshot(&res.Snapshot)
+		p.live.AddResources(res.Resources)
 	}
 	p.live.cellFinished(c.Label, pf, err != nil)
 	p.mu.Lock()

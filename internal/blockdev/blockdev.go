@@ -53,6 +53,7 @@ type Layer struct {
 	pageSize int
 	stats    Stats
 	tr       telemetry.Tracer
+	sa       *telemetry.StageAccount
 
 	// Request-scoped scratch (the layer, like the whole stack, is
 	// single-threaded): sort buffer and run list for coalescing, and the
@@ -79,6 +80,10 @@ func (l *Layer) Stats() Stats { return l.stats }
 // SetTracer installs a tracer; each merged device command becomes one span
 // on the block track.
 func (l *Layer) SetTracer(tr telemetry.Tracer) { l.tr = telemetry.OrNop(tr) }
+
+// SetStages installs the per-request stage account; the layer attributes
+// its per-command software overhead to the queue stage.
+func (l *Layer) SetStages(sa *telemetry.StageAccount) { l.sa = sa }
 
 // run is a merged contiguous extent.
 type run struct {
@@ -134,6 +139,7 @@ func (l *Layer) ReadPagesEach(now sim.Time, lbas []uint64, deliver func(lba uint
 		}
 		buf := l.readBuf[:need]
 		issueAt := now + l.cfg.PerRequestOverhead
+		l.sa.Mark(telemetry.StageQueue, issueAt)
 		comp, err := l.drv.Submit(issueAt, nvme.Command{
 			Op: nvme.OpRead, LBA: r.start, Pages: r.count, Data: buf,
 		})
@@ -195,7 +201,9 @@ func (l *Layer) WritePages(now sim.Time, lba uint64, data []byte) (sim.Time, uin
 		if off+n > pages {
 			n = pages - off
 		}
-		comp, err := l.drv.Submit(t+l.cfg.PerRequestOverhead, nvme.Command{
+		issueAt := t + l.cfg.PerRequestOverhead
+		l.sa.Mark(telemetry.StageQueue, issueAt)
+		comp, err := l.drv.Submit(issueAt, nvme.Command{
 			Op:    nvme.OpWrite,
 			LBA:   lba + uint64(off),
 			Pages: n,
@@ -220,7 +228,9 @@ func (l *Layer) WritePages(now sim.Time, lba uint64, data []byte) (sim.Time, uin
 
 // Trim discards the given contiguous page range.
 func (l *Layer) Trim(now sim.Time, lba uint64, pages int) (sim.Time, error) {
-	comp, err := l.drv.Submit(now+l.cfg.PerRequestOverhead, nvme.Command{
+	issueAt := now + l.cfg.PerRequestOverhead
+	l.sa.Mark(telemetry.StageQueue, issueAt)
+	comp, err := l.drv.Submit(issueAt, nvme.Command{
 		Op: nvme.OpTrim, LBA: lba, Pages: pages,
 	})
 	if err != nil {

@@ -50,6 +50,7 @@ type Pipette struct {
 	rng         *sim.RNG
 	stats       Stats
 	tr          telemetry.Tracer
+	sa          *telemetry.StageAccount
 
 	// Fault handling: with an injector armed the host validates fine-read
 	// payloads and re-serves corrupted requests through the block path.
@@ -129,6 +130,10 @@ func (p *Pipette) OverflowBytes() int { return p.overBytes }
 
 // SetTracer installs a tracer on the fine-grained read path.
 func (p *Pipette) SetTracer(tr telemetry.Tracer) { p.tr = telemetry.OrNop(tr) }
+
+// SetStages installs the per-request stage account; the framework
+// attributes fine-cache hits, constructor work, and fallback waste.
+func (p *Pipette) SetStages(sa *telemetry.StageAccount) { p.sa = sa }
 
 // SetInjector arms the host side of fault handling: Info-Area records may
 // corrupt in shared memory (the ring seals and verifies them), and fine-read
@@ -230,6 +235,7 @@ func (p *Pipette) TryFineRead(now sim.Time, f *vfs.File, off int64, buf []byte) 
 		if p.tr.Enabled() {
 			p.tr.Span(telemetry.TrackFine, "hit", now, now+p.cfg.HitService)
 		}
+		p.sa.Mark(telemetry.StageCache, now+p.cfg.HitService)
 		return now + p.cfg.HitService, true, nil
 	}
 	p.fg.Record(false)
@@ -305,7 +311,9 @@ func (p *Pipette) fetchFine(now sim.Time, f *vfs.File, off int64, buf []byte, de
 	if err := p.region.Info().Push(rec); err != nil {
 		return now, fmt.Errorf("core: info ring: %w", err)
 	}
-	comp, err := p.drv.Submit(now+p.cfg.MissHostOverhead, nvme.Command{
+	issueAt := now + p.cfg.MissHostOverhead
+	p.sa.Mark(telemetry.StageConstruct, issueAt)
+	comp, err := p.drv.Submit(issueAt, nvme.Command{
 		Op:       nvme.OpFineRead,
 		FineLBAs: lbas,
 	})
@@ -338,8 +346,13 @@ func (p *Pipette) fetchFine(now sim.Time, f *vfs.File, off int64, buf []byte, de
 }
 
 // fallBack accounts a failed fine attempt whose time must still be charged:
-// the VFS resumes its block path at the returned timestamp.
+// the VFS resumes its block path at the returned timestamp. The attempt's
+// construct/ring/firmware/NAND/DMA time is wasted work, so everything
+// attributed since the attempt began is re-labeled as retry — the
+// conservation sum still holds while the waterfall shows the fallback cost.
 func (p *Pipette) fallBack(now, done sim.Time) sim.Time {
+	p.sa.Reattribute(now, telemetry.StageRetry)
+	p.sa.Mark(telemetry.StageRetry, done)
 	if p.tr.Enabled() {
 		p.tr.Span(telemetry.TrackFine, "fault.fallback", now, done)
 	}

@@ -104,6 +104,7 @@ type FTL struct {
 	logicalPages uint64
 	stats        Stats
 	tr           telemetry.Tracer
+	sa           *telemetry.StageAccount
 }
 
 // New builds an FTL over the array. Bad blocks already marked on the array
@@ -182,6 +183,12 @@ func (f *FTL) SetTracer(tr telemetry.Tracer) {
 	f.arr.SetTracer(f.tr)
 }
 
+// SetStages installs the per-request stage account. The FTL attributes
+// media time: page reads mark the NAND stage, programs (including GC the
+// write triggered) mark the program stage. The map lookup itself costs no
+// modeled time — it is covered by the controller's firmware stage.
+func (f *FTL) SetStages(sa *telemetry.StageAccount) { f.sa = sa }
+
 // Array exposes the underlying NAND array (the SSD controller needs it for
 // the fine-grained read engine's direct page loads).
 func (f *FTL) Array() *nand.Array { return f.arr }
@@ -220,7 +227,11 @@ func (f *FTL) ReadInto(now sim.Time, lba LBA, buf []byte) (sim.Time, error) {
 	if err != nil {
 		return now, err
 	}
-	return f.arr.ReadPageInto(now, ppa, buf)
+	done, err := f.arr.ReadPageInto(now, ppa, buf)
+	if err == nil {
+		f.sa.Mark(telemetry.StageNAND, done)
+	}
+	return done, err
 }
 
 // popFree removes and returns the least-worn free block of a die —
@@ -415,6 +426,7 @@ func (f *FTL) Write(now sim.Time, lba LBA, data []byte) (sim.Time, error) {
 	}
 	f.setMapping(lba, ppa)
 	f.stats.HostWrites++
+	f.sa.Mark(telemetry.StageProgram, done)
 	return done, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"pipette/internal/bitset"
+	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 )
@@ -261,6 +262,9 @@ type Array struct {
 	tr        telemetry.Tracer
 	dieTracks []string // per-die span track names ("nand/d3")
 	chTracks  []string // per-channel span track names ("nand/ch0")
+
+	chRes  []*resource.Timeline // per-channel occupancy timelines (nil = off)
+	dieRes []*resource.Timeline // per-die occupancy timelines
 }
 
 // New creates an array. The whole device starts erased.
@@ -297,6 +301,26 @@ func (a *Array) SetTracer(tr telemetry.Tracer) {
 	a.chTracks = make([]string, a.cfg.Channels)
 	for i := range a.chTracks {
 		a.chTracks[i] = fmt.Sprintf("nand/ch%d", i)
+	}
+}
+
+// SetResources registers the array's channels and dies with a resource
+// tracker: one timeline per channel bus ("nand.ch0") and one per die
+// ("nand.ch0.w0" — channel × way), in that order. A nil tracker turns
+// recording off.
+func (a *Array) SetResources(rt *resource.Tracker) {
+	if rt == nil {
+		a.chRes, a.dieRes = nil, nil
+		return
+	}
+	a.chRes = make([]*resource.Timeline, a.cfg.Channels)
+	for ch := range a.chRes {
+		a.chRes[ch] = rt.Register(fmt.Sprintf("nand.ch%d", ch))
+	}
+	a.dieRes = make([]*resource.Timeline, a.cfg.Dies())
+	for die := range a.dieRes {
+		a.dieRes[die] = rt.Register(fmt.Sprintf("nand.ch%d.w%d",
+			die/a.cfg.WaysPerChannel, die%a.cfg.WaysPerChannel))
 	}
 }
 
@@ -382,6 +406,10 @@ func (a *Array) ReadPageInto(now sim.Time, p PPA, buf []byte) (sim.Time, error) 
 		a.tr.Span(a.dieTracks[die], "tR", senseStart, senseEnd)
 		a.tr.Span(a.chTracks[ch], "xfer", txStart, done)
 	}
+	if a.dieRes != nil {
+		a.dieRes[die].Add(senseStart, senseEnd)
+		a.chRes[ch].Add(txStart, done)
+	}
 
 	a.stats.Reads++
 	a.stats.BytesOut += uint64(a.cfg.PageSize)
@@ -443,6 +471,10 @@ func (a *Array) ProgramPage(now sim.Time, p PPA, data []byte) (sim.Time, error) 
 		a.tr.Span(a.chTracks[ch], "xfer", txStart, txEnd)
 		a.tr.Span(a.dieTracks[die], "tPROG", progStart, done)
 	}
+	if a.dieRes != nil {
+		a.chRes[ch].Add(txStart, txEnd)
+		a.dieRes[die].Add(progStart, done)
+	}
 
 	stored := make([]byte, len(data))
 	copy(stored, data)
@@ -474,6 +506,9 @@ func (a *Array) EraseBlock(now sim.Time, b BlockID) (sim.Time, error) {
 	eraseStart, done := a.dies.Acquire(die, now, a.timing.EraseBlock)
 	if a.tr.Enabled() {
 		a.tr.Span(a.dieTracks[die], "tBERS", eraseStart, done)
+	}
+	if a.dieRes != nil {
+		a.dieRes[die].Add(eraseStart, done)
 	}
 	a.stats.Erases++
 	return done, nil

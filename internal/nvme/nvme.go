@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 )
@@ -275,6 +276,8 @@ type Driver struct {
 	submitted uint64
 	completed uint64
 	tr        telemetry.Tracer
+	sa        *telemetry.StageAccount
+	ringRes   *resource.Timeline // ring-protocol occupancy (nil = off)
 }
 
 // NewDriver builds a queue pair of the given depth over a device.
@@ -292,6 +295,14 @@ func NewDriver(dev Device, queueDepth int, costs Costs) *Driver {
 // the nvme track, covering doorbell to completion reap.
 func (d *Driver) SetTracer(tr telemetry.Tracer) { d.tr = telemetry.OrNop(tr) }
 
+// SetStages installs the per-request stage account; the driver attributes
+// the ring-protocol costs (doorbell, fetch, completion).
+func (d *Driver) SetStages(sa *telemetry.StageAccount) { d.sa = sa }
+
+// SetRingTimeline records the ring protocol's occupancy windows on a
+// resource timeline (nil turns recording off).
+func (d *Driver) SetRingTimeline(tl *resource.Timeline) { d.ringRes = tl }
+
 // Stats reports commands submitted and completed.
 func (d *Driver) Stats() (submitted, completed uint64) {
 	return d.submitted, d.completed
@@ -307,13 +318,18 @@ func (d *Driver) Submit(now sim.Time, cmd Command) (Completion, error) {
 	d.submitted++
 
 	fetchAt := now + d.costs.Doorbell + d.costs.Fetch
+	d.sa.Mark(telemetry.StageRing, fetchAt)
+	d.ringRes.Add(now, fetchAt)
 	fetched, err := d.sq.Pop()
 	if err != nil {
 		return Completion{}, fmt.Errorf("nvme: device fetch: %w", err)
 	}
 	comp := d.dev.Execute(fetchAt, &fetched)
 	comp.ID = fetched.ID
+	execDone := comp.Done
 	comp.Done += d.costs.Completion
+	d.sa.Mark(telemetry.StageRing, comp.Done)
+	d.ringRes.Add(execDone, comp.Done)
 	if err := d.cq.Push(comp); err != nil {
 		return Completion{}, fmt.Errorf("nvme: completion post: %w", err)
 	}

@@ -1,0 +1,210 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"pipette/internal/resource"
+)
+
+// stageColors is the fixed waterfall palette, keyed by stage name so the
+// same stage has the same color in every report. Unknown names fall back
+// to gray.
+var stageColors = map[string]string{
+	"syscall":   "#4e79a7",
+	"cache":     "#59a14f",
+	"queue":     "#9c755f",
+	"construct": "#b07aa1",
+	"ring":      "#edc948",
+	"firmware":  "#f28e2b",
+	"nand":      "#e15759",
+	"retry":     "#8c1515",
+	"dma":       "#76b7b2",
+	"program":   "#ff9da7",
+	"writeback": "#86bcb6",
+	"copyout":   "#a0cbe8",
+	"other":     "#bab0ac",
+}
+
+func stageColor(name string) string {
+	if c, ok := stageColors[name]; ok {
+		return c
+	}
+	return "#999999"
+}
+
+const htmlStyle = `body{font:14px/1.45 -apple-system,"Segoe UI",Roboto,sans-serif;margin:2em auto;max-width:72em;padding:0 1em;color:#1a1a1a}
+h1{font-size:1.5em;border-bottom:2px solid #ddd;padding-bottom:.3em}
+h2{font-size:1.2em;margin-top:2em}
+h3{font-size:1.05em;margin-top:1.5em}
+table{border-collapse:collapse;margin:.6em 0}
+th,td{border:1px solid #ddd;padding:.25em .6em;text-align:right}
+th:first-child,td:first-child{text-align:left}
+th{background:#f4f4f4}
+.bar{display:flex;height:1.4em;width:100%;max-width:48em;border:1px solid #ccc;border-radius:2px;overflow:hidden;margin:.4em 0}
+.bar span{display:block;height:100%}
+.legend{margin:.2em 0 .6em;font-size:.85em}
+.legend span{display:inline-block;margin-right:1em;white-space:nowrap}
+.swatch{display:inline-block;width:.8em;height:.8em;margin-right:.3em;vertical-align:-.08em;border-radius:2px}
+.heat{border-collapse:collapse}
+.heat td{border:none;padding:0;width:4px;height:14px;min-width:2px}
+.heat td.rn{width:auto;padding:0 .6em 0 0;font-size:.85em;text-align:right;white-space:nowrap}
+.meta{color:#555;font-size:.9em}
+details{margin:.6em 0}
+summary{cursor:pointer;color:#555}
+`
+
+// WriteHTML renders the exports as one self-contained HTML document: a
+// latency percentile table, a per-run stage waterfall, and a per-run
+// resource-utilization heatmap. The output carries no wall-clock content
+// and iterates only slices, so identical exports render byte-identically.
+func WriteHTML(w io.Writer, title string, exports []*Export) error {
+	var b strings.Builder
+	esc := html.EscapeString
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n<title>%s</title>\n<style>\n%s</style>\n</head>\n<body>\n", esc(title), htmlStyle)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(title))
+
+	for _, e := range exports {
+		hdr := e.Tool
+		if hdr == "" {
+			hdr = "run"
+		}
+		if e.Scale != "" {
+			hdr += " (scale " + e.Scale + ")"
+		}
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", esc(hdr))
+		writeLatencyTable(&b, e.Runs)
+		for i := range e.Runs {
+			writeRun(&b, &e.Runs[i])
+		}
+	}
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeLatencyTable renders the percentile table: one row per run.
+func writeLatencyTable(b *strings.Builder, runs []Run) {
+	if len(runs) == 0 {
+		return
+	}
+	b.WriteString("<h3>End-to-end latency (µs)</h3>\n<table>\n<tr><th>run</th><th>requests</th><th>mean</th><th>p50</th><th>p90</th><th>p99</th><th>p99.9</th><th>max</th></tr>\n")
+	for i := range runs {
+		r := &runs[i]
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td></tr>\n",
+			html.EscapeString(runLabel(r)), r.Requests,
+			r.Latency.MeanUs, r.Latency.P50Us, r.Latency.P90Us,
+			r.Latency.P99Us, r.Latency.P999Us, r.Latency.MaxUs)
+	}
+	b.WriteString("</table>\n")
+}
+
+func runLabel(r *Run) string {
+	if r.Workload != "" && r.Workload != r.Name {
+		return r.Name + " / " + r.Workload
+	}
+	return r.Name
+}
+
+func writeRun(b *strings.Builder, r *Run) {
+	esc := html.EscapeString
+	fmt.Fprintf(b, "<h3>%s</h3>\n", esc(runLabel(r)))
+	fmt.Fprintf(b, "<p class=\"meta\">%d requests in %.3f ms virtual time, %.0f ops/s",
+		r.Requests, float64(r.ElapsedNs)/1e6, r.OpsPerSec)
+	if r.ReadAmp > 0 {
+		fmt.Fprintf(b, ", read amplification %.2f", r.ReadAmp)
+	}
+	b.WriteString("</p>\n")
+
+	writeWaterfall(b, r)
+	writeResources(b, r.Resources)
+}
+
+// writeWaterfall renders the stage breakdown as a stacked bar (share of
+// total attributed time) plus the numeric table.
+func writeWaterfall(b *strings.Builder, r *Run) {
+	if len(r.Stages) == 0 || r.StageNs <= 0 {
+		return
+	}
+	b.WriteString("<h4>Stage waterfall</h4>\n<div class=\"bar\">")
+	for _, s := range r.Stages {
+		share := 100 * float64(s.TotalNs) / float64(r.StageNs)
+		fmt.Fprintf(b, "<span style=\"width:%.3f%%;background:%s\" title=\"%s %.1f%%\"></span>",
+			share, stageColor(s.Name), html.EscapeString(s.Name), share)
+	}
+	b.WriteString("</div>\n<div class=\"legend\">")
+	for _, s := range r.Stages {
+		fmt.Fprintf(b, "<span><i class=\"swatch\" style=\"background:%s\"></i>%s</span>",
+			stageColor(s.Name), html.EscapeString(s.Name))
+	}
+	b.WriteString("</div>\n")
+	b.WriteString("<table>\n<tr><th>stage</th><th>total (ms)</th><th>share %</th><th>reqs</th><th>mean (µs)</th><th>p99 (µs)</th><th>max (µs)</th></tr>\n")
+	for _, s := range r.Stages {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%.3f</td><td>%.1f</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.2f</td></tr>\n",
+			html.EscapeString(s.Name), float64(s.TotalNs)/1e6,
+			100*float64(s.TotalNs)/float64(r.StageNs), s.Requests, s.MeanUs, s.P99Us, s.MaxUs)
+	}
+	fmt.Fprintf(b, "<tr><td>total</td><td>%.3f</td><td>100.0</td><td>%d</td><td></td><td></td><td></td></tr>\n",
+		float64(r.StageNs)/1e6, r.Requests)
+	b.WriteString("</table>\n")
+}
+
+// writeResources renders the utilization summary table (per-die rows
+// folded away) and the binned-occupancy heatmap: one row per resource,
+// one cell per virtual-time bin, shaded by the busy fraction of that bin.
+// Per-die rows get their own collapsed heatmap.
+func writeResources(b *strings.Builder, s *resource.Snapshot) {
+	if s == nil || len(s.Resources) == 0 {
+		return
+	}
+	b.WriteString("<h4>Resource utilization</h4>\n<table>\n<tr><th>resource</th><th>busy (ms)</th><th>util %</th><th>ops</th></tr>\n")
+	for _, r := range s.Resources {
+		if strings.Contains(r.Name, ".w") {
+			continue
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%.3f</td><td>%.1f</td><td>%d</td></tr>\n",
+			html.EscapeString(r.Name), float64(r.BusyNs)/1e6, 100*r.Utilization, r.Ops)
+	}
+	b.WriteString("</table>\n")
+
+	if s.BinNs <= 0 {
+		return
+	}
+	fmt.Fprintf(b, "<p class=\"meta\">Occupancy heatmap: one cell per %.0f µs of virtual time; darker is busier.</p>\n",
+		float64(s.BinNs)/1e3)
+	writeHeatmap(b, s, false)
+	b.WriteString("<details><summary>Per-die detail (channel × way)</summary>\n")
+	writeHeatmap(b, s, true)
+	b.WriteString("</details>\n")
+}
+
+func writeHeatmap(b *strings.Builder, s *resource.Snapshot, dies bool) {
+	b.WriteString("<table class=\"heat\">\n")
+	for _, r := range s.Resources {
+		if strings.Contains(r.Name, ".w") != dies {
+			continue
+		}
+		fmt.Fprintf(b, "<tr><td class=\"rn\">%s</td>", html.EscapeString(r.Name))
+		for i, busy := range r.Bins {
+			frac := float64(busy) / float64(s.BinNs)
+			if frac > 1 {
+				frac = 1
+			}
+			// Idle bins stay bare cells; the per-die detail drops the hover
+			// titles too. Both keep large reports small.
+			switch {
+			case frac == 0:
+				b.WriteString("<td></td>")
+			case dies:
+				fmt.Fprintf(b, "<td style=\"background:rgba(31,119,180,%.2f)\"></td>", frac)
+			default:
+				fmt.Fprintf(b, "<td style=\"background:rgba(31,119,180,%.2f)\" title=\"%s bin %d: %.0f%%\"></td>",
+					frac, html.EscapeString(r.Name), i, 100*frac)
+			}
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+}

@@ -1,0 +1,144 @@
+// Package report defines the run-export bundle — the machine-readable
+// record of one simulation or benchmark run: request counts, latency
+// percentiles, the per-stage time waterfall, and the per-resource
+// occupancy timelines — plus the renderer that turns one or more bundles
+// into a self-contained HTML run report.
+//
+// Everything here is deterministic by construction: exports carry only
+// virtual-time measurements (never wall-clock), collections are slices in
+// a fixed order (never map iteration), and floats render with fixed
+// precision. Identical runs therefore produce byte-identical JSON and
+// byte-identical HTML, at any worker count — which is what lets CI diff
+// reports across commits.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pipette/internal/metrics"
+	"pipette/internal/resource"
+	"pipette/internal/telemetry"
+)
+
+// Percentiles summarizes one latency distribution in microseconds.
+type Percentiles struct {
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P90Us  float64 `json:"p90_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// PercentilesOf extracts the summary from a latency histogram.
+func PercentilesOf(h *metrics.Histogram) Percentiles {
+	if h == nil || h.Count() == 0 {
+		return Percentiles{}
+	}
+	return Percentiles{
+		MeanUs: h.Mean().Micros(),
+		P50Us:  h.Quantile(0.50).Micros(),
+		P90Us:  h.Quantile(0.90).Micros(),
+		P99Us:  h.Quantile(0.99).Micros(),
+		P999Us: h.Quantile(0.999).Micros(),
+		MaxUs:  h.Max().Micros(),
+	}
+}
+
+// StageRow is one stage of a run's time-attribution waterfall. Requests
+// counts only the requests where the stage claimed nonzero time.
+type StageRow struct {
+	Name     string  `json:"name"`
+	TotalNs  int64   `json:"total_ns"`
+	Requests uint64  `json:"requests"`
+	MeanUs   float64 `json:"mean_us"`
+	P99Us    float64 `json:"p99_us"`
+	MaxUs    float64 `json:"max_us"`
+}
+
+// StageRows flattens a stage snapshot into waterfall rows, in pipeline
+// order, skipping stages that never claimed time.
+func StageRows(s *telemetry.StageSnapshot) []StageRow {
+	var rows []StageRow
+	for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+		if s.Totals[st] == 0 {
+			continue
+		}
+		h := &s.Hists[st]
+		rows = append(rows, StageRow{
+			Name:     st.String(),
+			TotalNs:  int64(s.Totals[st]),
+			Requests: h.Count(),
+			MeanUs:   h.Mean().Micros(),
+			P99Us:    h.Quantile(0.99).Micros(),
+			MaxUs:    h.Max().Micros(),
+		})
+	}
+	return rows
+}
+
+// Run is one measured replay: an engine × workload cell of pipette-bench
+// or one pipette-sim workload.
+type Run struct {
+	Name      string  `json:"name"`
+	Workload  string  `json:"workload,omitempty"`
+	Requests  uint64  `json:"requests"`
+	ElapsedNs int64   `json:"elapsed_ns"` // virtual time consumed
+	OpsPerSec float64 `json:"ops_per_sec"`
+	ReadAmp   float64 `json:"read_amp,omitempty"`
+
+	Latency Percentiles `json:"latency"`
+
+	// StageNs is the conservation sum: total time attributed across all
+	// stages, equal to the summed end-to-end latencies of every request
+	// the stage account finished.
+	StageNs int64      `json:"stage_ns"`
+	Stages  []StageRow `json:"stages"`
+
+	Resources *resource.Snapshot `json:"resources,omitempty"`
+}
+
+// Export is one run bundle: what a tool invocation measured.
+type Export struct {
+	Tool  string `json:"tool"`
+	Scale string `json:"scale,omitempty"`
+	Runs  []Run  `json:"runs"`
+}
+
+// WriteJSON writes the export as indented JSON. Field and run order are
+// fixed, so identical runs serialize byte-identically.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// WriteFile writes the export to path.
+func (e *Export) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if err := e.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("report: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadFile parses an export written by WriteFile.
+func ReadFile(path string) (*Export, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	defer f.Close()
+	var e Export
+	if err := json.NewDecoder(f).Decode(&e); err != nil {
+		return nil, fmt.Errorf("report: parsing %s: %w", path, err)
+	}
+	return &e, nil
+}

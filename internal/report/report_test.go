@@ -1,0 +1,135 @@
+package report
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pipette/internal/metrics"
+	"pipette/internal/resource"
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+)
+
+// sampleExport builds a small export with every section populated.
+func sampleExport() *Export {
+	var h metrics.Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Time(i) * sim.Microsecond)
+	}
+	sa := telemetry.NewStageAccount()
+	sa.Begin(0)
+	sa.Mark(telemetry.StageSyscall, 1000)
+	sa.Mark(telemetry.StageNAND, 61_000)
+	sa.Mark(telemetry.StageCopyout, 61_300)
+	sa.Finish(61_300)
+	st := sa.Snapshot()
+
+	tr := resource.NewTracker()
+	ch := tr.Register("nand.ch0")
+	die := tr.Register("nand.ch0.w1")
+	dma := tr.Register("pcie.dma")
+	ch.Add(0, 50_000)
+	die.Add(0, 50_000)
+	dma.Add(50_000, 60_000)
+
+	return &Export{
+		Tool:  "test",
+		Scale: "tiny",
+		Runs: []Run{{
+			Name:      "engine <a>", // exercises HTML escaping
+			Workload:  "mixC",
+			Requests:  st.Requests,
+			ElapsedNs: int64(st.Elapsed),
+			OpsPerSec: 1234.5,
+			ReadAmp:   1.5,
+			Latency:   PercentilesOf(&h),
+			StageNs:   int64(st.Sum()),
+			Stages:    StageRows(&st),
+			Resources: tr.Snapshot(61_300),
+		}},
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	exp := sampleExport()
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := exp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := exp.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("export does not round-trip byte-identically through JSON")
+	}
+}
+
+func TestStageRowsConserve(t *testing.T) {
+	exp := sampleExport()
+	r := &exp.Runs[0]
+	var sum int64
+	for _, s := range r.Stages {
+		sum += s.TotalNs
+	}
+	if sum != r.StageNs {
+		t.Fatalf("stage rows sum to %d, StageNs is %d", sum, r.StageNs)
+	}
+	if r.StageNs != r.ElapsedNs {
+		t.Fatalf("StageNs %d != ElapsedNs %d for a single-request run", r.StageNs, r.ElapsedNs)
+	}
+}
+
+func TestWriteHTMLSectionsAndEscaping(t *testing.T) {
+	exp := sampleExport()
+	var b bytes.Buffer
+	if err := WriteHTML(&b, "t & t", []*Export{exp}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"t &amp; t",
+		"engine &lt;a&gt;", // run name escaped
+		"End-to-end latency",
+		"Stage waterfall",
+		"Resource utilization",
+		"nand.ch0",
+		"Per-die detail",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML misses %q", want)
+		}
+	}
+	if strings.Contains(out, "engine <a>") {
+		t.Error("run name not escaped")
+	}
+	// Self-contained: no external fetches of any kind.
+	for _, banned := range []string{"http://", "https://", "<script", "src="} {
+		if strings.Contains(out, banned) {
+			t.Errorf("HTML contains %q; report must be self-contained", banned)
+		}
+	}
+}
+
+func TestWriteHTMLDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteHTML(&a, "r", []*Export{sampleExport()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHTML(&b, "r", []*Export{sampleExport()}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical exports rendered different HTML")
+	}
+}

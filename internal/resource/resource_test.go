@@ -1,0 +1,125 @@
+package resource
+
+import (
+	"bytes"
+	"testing"
+
+	"pipette/internal/sim"
+)
+
+func TestTimelineAccumulates(t *testing.T) {
+	tr := NewTracker()
+	ch := tr.Register("nand.ch0")
+	ch.Add(0, 10*sim.Microsecond)
+	ch.Add(20*sim.Microsecond, 30*sim.Microsecond)
+	ch.Add(5, 5) // empty, ignored
+
+	if got := ch.Busy(); got != 20*sim.Microsecond {
+		t.Errorf("busy = %v, want 20us", got)
+	}
+	if ch.Ops() != 2 {
+		t.Errorf("ops = %d, want 2", ch.Ops())
+	}
+	if got := ch.Utilization(100 * sim.Microsecond); got != 0.2 {
+		t.Errorf("utilization = %v, want 0.2", got)
+	}
+}
+
+func TestTimelineBinning(t *testing.T) {
+	tr := NewTracker()
+	tl := tr.Register("x")
+	w := DefaultBinWidth
+	// Interval straddling bins 0..2: covers all of bin 0 and 1, half of 2.
+	tl.Add(0, 2*w+w/2)
+	snap := tr.Snapshot(3 * w)
+	bins := snap.Resources[0].Bins
+	if len(bins) != 3 {
+		t.Fatalf("bins = %d, want 3", len(bins))
+	}
+	if bins[0] != int64(w) || bins[1] != int64(w) || bins[2] != int64(w/2) {
+		t.Errorf("bins = %v, want [%d %d %d]", bins, w, w, w/2)
+	}
+	var sum int64
+	for _, b := range bins {
+		sum += b
+	}
+	if sum != int64(tl.Busy()) {
+		t.Errorf("bin sum %d != busy %d", sum, tl.Busy())
+	}
+}
+
+func TestTrackerRescaleSharedWidth(t *testing.T) {
+	tr := NewTracker()
+	a := tr.Register("a")
+	b := tr.Register("b")
+	a.Add(0, DefaultBinWidth) // lands in bin 0 at initial width
+
+	// Push b far past the initial capacity; every timeline must rescale.
+	far := DefaultBinWidth * sim.Time(DefaultMaxBins) * 4
+	b.Add(far-DefaultBinWidth, far)
+
+	snap := tr.Snapshot(far)
+	if want := int64(DefaultBinWidth * 4); snap.BinNs != want {
+		t.Fatalf("bin width = %d, want %d", snap.BinNs, want)
+	}
+	// a's busy time survived the merges, still in bin 0.
+	if snap.Resources[0].Bins[0] != int64(DefaultBinWidth) {
+		t.Errorf("a bin0 = %d, want %d", snap.Resources[0].Bins[0], DefaultBinWidth)
+	}
+	var sumA, sumB int64
+	for _, v := range snap.Resources[0].Bins {
+		sumA += v
+	}
+	for _, v := range snap.Resources[1].Bins {
+		sumB += v
+	}
+	if sumA != int64(a.Busy()) || sumB != int64(b.Busy()) {
+		t.Errorf("bin sums (%d, %d) != busy (%d, %d)", sumA, sumB, a.Busy(), b.Busy())
+	}
+}
+
+func TestNilTrackerInert(t *testing.T) {
+	var tr *Tracker
+	tl := tr.Register("x")
+	tl.Add(0, 100)
+	if tl.Busy() != 0 || tl.Ops() != 0 || tl.Utilization(10) != 0 {
+		t.Fatal("nil-tracker timeline must be inert")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("nil tracker Len must be 0")
+	}
+	snap := tr.Snapshot(100)
+	if len(snap.Resources) != 0 {
+		t.Fatal("nil tracker snapshot must be empty")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	tr := NewTracker()
+	tr.Register("nand.ch0").Add(0, 5*sim.Microsecond)
+	tr.Register("pcie.dma").Add(sim.Microsecond, 3*sim.Microsecond)
+	snap := tr.Snapshot(10 * sim.Microsecond)
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Resources) != 2 || got.Resources[0].Name != "nand.ch0" ||
+		got.Resources[1].BusyNs != int64(2*sim.Microsecond) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	var buf2 bytes.Buffer
+	if err := got.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Error("snapshot JSON is not byte-stable across a round trip")
+	}
+}

@@ -29,6 +29,9 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros reports t as floating-point microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
 // String formats the time with an adaptive unit, e.g. "12.5us" or "3.2ms".
 func (t Time) String() string {
 	switch {

@@ -18,6 +18,7 @@ import (
 	"pipette/internal/nand"
 	"pipette/internal/nvme"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // FaultStats counts the controller's fault-recovery activity. All zeros
@@ -67,7 +68,13 @@ func (c *Controller) readLBAInto(now sim.Time, lba uint64, dst []byte) (done sim
 		return done, false, err
 	}
 	if out := c.inj.Check(fault.SiteNANDRead, lba); out.Hit {
+		// Everything attributed from here on is ladder work: capture the
+		// attribution frontier so the re-senses the FTL marks as NAND time
+		// get moved to the retry stage, keeping conservation exact.
+		frontier := c.sa.Cursor()
 		done, err = c.eccRecover(done, lba, dst, out.Sev)
+		c.sa.Reattribute(frontier, telemetry.StageRetry)
+		c.sa.Mark(telemetry.StageRetry, done)
 	}
 	return done, true, err
 }

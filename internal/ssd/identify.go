@@ -106,6 +106,10 @@ func (c *Controller) Smart() Smart {
 	if len(counts) > 0 {
 		s.AvgEraseCount = float64(sum) / float64(len(counts))
 	}
+	s.ChannelBusyTime = make([]sim.Time, c.cfg.NAND.Channels)
+	for ch := range s.ChannelBusyTime {
+		s.ChannelBusyTime[ch] = c.arr.ChannelBusy(ch)
+	}
 	return s
 }
 

@@ -18,6 +18,7 @@ import (
 	"pipette/internal/hmb"
 	"pipette/internal/nand"
 	"pipette/internal/nvme"
+	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 )
@@ -153,8 +154,10 @@ type Controller struct {
 	fltDMACorrupt  telemetry.Counter
 	fltProgRetry   telemetry.Counter
 
-	stats Stats
-	tr    telemetry.Tracer
+	stats  Stats
+	tr     telemetry.Tracer
+	sa     *telemetry.StageAccount
+	dmaRes *resource.Timeline // PCIe link occupancy (nil = off)
 }
 
 // New builds the full device stack: NAND array, FTL, controller.
@@ -219,6 +222,27 @@ func (c *Controller) SetTracer(tr telemetry.Tracer) {
 	c.fl.SetTracer(c.tr)
 }
 
+// SetStages installs the per-request stage account and cascades it to the
+// FTL, which attributes media time (NAND sense/transfer, programs, GC).
+// The controller itself attributes firmware, DMA, and ECC-retry time.
+func (c *Controller) SetStages(sa *telemetry.StageAccount) {
+	c.sa = sa
+	c.fl.SetStages(sa)
+}
+
+// SetResources registers the device's occupied resources with a tracker:
+// the PCIe link ("pcie.dma", covering DMA bursts and MMIO transactions),
+// then the NAND channels and dies.
+func (c *Controller) SetResources(rt *resource.Tracker) {
+	if rt == nil {
+		c.dmaRes = nil
+		c.arr.SetResources(nil)
+		return
+	}
+	c.dmaRes = rt.Register("pcie.dma")
+	c.arr.SetResources(rt)
+}
+
 // PageSize reports the device's page size.
 func (c *Controller) PageSize() int { return c.cfg.NAND.PageSize }
 
@@ -280,6 +304,7 @@ func (c *Controller) execBlockRead(now sim.Time, cmd *nvme.Command) nvme.Complet
 	}
 	c.stats.BlockReadCmds++
 	start := now + c.cfg.FirmwareBlockOverhead
+	c.sa.Mark(telemetry.StageFirmware, start)
 
 	var moved uint64
 	maxDone := start
@@ -296,6 +321,11 @@ func (c *Controller) execBlockRead(now sim.Time, cmd *nvme.Command) nvme.Complet
 			lba := cmd.LBA + uint64(i)
 			done, loaded, err := c.readLBAInto(issueAt, lba, cmd.Data[i*ps:(i+1)*ps])
 			if err != nil {
+				// A failed read still waits for the racing loads it already
+				// issued: the command completes no earlier than any of them.
+				if done < maxDone {
+					done = maxDone
+				}
 				return nvme.Completion{Status: statusFor(err), Done: done}
 			}
 			if done > maxDone {
@@ -308,6 +338,8 @@ func (c *Controller) execBlockRead(now sim.Time, cmd *nvme.Command) nvme.Complet
 	}
 	moved = uint64(cmd.Pages * ps)
 	done := maxDone + c.cfg.PCIe.dmaTime(int(moved))
+	c.sa.Mark(telemetry.StageDMA, done)
+	c.dmaRes.Add(maxDone, done)
 	c.stats.BytesToHost += moved
 	if c.tr.Enabled() {
 		c.tr.Span(telemetry.TrackSSD, "read.firmware", now, start)
@@ -325,7 +357,11 @@ func (c *Controller) execWrite(now sim.Time, cmd *nvme.Command) nvme.Completion 
 		return nvme.Completion{Status: nvme.StatusInvalidCommand, Done: now}
 	}
 	c.stats.WriteCmds++
-	hostDone := now + c.cfg.FirmwareBlockOverhead + c.cfg.PCIe.dmaTime(len(cmd.Data))
+	fwDone := now + c.cfg.FirmwareBlockOverhead
+	hostDone := fwDone + c.cfg.PCIe.dmaTime(len(cmd.Data))
+	c.sa.Mark(telemetry.StageFirmware, fwDone)
+	c.sa.Mark(telemetry.StageDMA, hostDone)
+	c.dmaRes.Add(fwDone, hostDone)
 	t := hostDone
 	c.stats.BytesFromHost += uint64(len(cmd.Data))
 	for i := 0; i < cmd.Pages; i++ {
@@ -353,7 +389,9 @@ func (c *Controller) execTrim(now sim.Time, cmd *nvme.Command) nvme.Completion {
 			return nvme.Completion{Status: statusFor(err), Done: now}
 		}
 	}
-	return nvme.Completion{Status: nvme.StatusOK, Done: now + c.cfg.FirmwareBlockOverhead}
+	done := now + c.cfg.FirmwareBlockOverhead
+	c.sa.Mark(telemetry.StageFirmware, done)
+	return nvme.Completion{Status: nvme.StatusOK, Done: done}
 }
 
 // execFineRead is the Fine-Grained Read Engine (Figure 4). One command
@@ -374,7 +412,9 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 			// The record is consumed (the ring must not wedge) but its
 			// fields cannot be trusted; the host re-serves via block I/O.
 			c.fltRingCorrupt.Inc()
-			return nvme.Completion{Status: nvme.StatusCorruptRing, Done: now + c.cfg.FirmwareFineOverhead}
+			rejectAt := now + c.cfg.FirmwareFineOverhead
+			c.sa.Mark(telemetry.StageFirmware, rejectAt)
+			return nvme.Completion{Status: nvme.StatusCorruptRing, Done: rejectAt}
 		}
 		return nvme.Completion{Status: nvme.StatusInvalidCommand, Done: now}
 	}
@@ -389,6 +429,7 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 	}
 	c.stats.FineReadCmds++
 	start := now + c.cfg.FirmwareFineOverhead
+	c.sa.Mark(telemetry.StageFirmware, start)
 
 	// Phase 1: load pages into the controller read buffer; they issue
 	// together and race across channels. Pages land contiguously, so the
@@ -398,6 +439,10 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 		dst := c.readBuf[i*ps : (i+1)*ps]
 		done, loaded, err := c.readLBAInto(start, lba, dst)
 		if err != nil {
+			// As in the block path: the command outlives its racing loads.
+			if done < maxDone {
+				done = maxDone
+			}
 			return nvme.Completion{Status: statusFor(err), Done: done}
 		}
 		if done > maxDone {
@@ -425,6 +470,8 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 		c.corruptHMB(rec.Dest, rec.ByteLen, out.Sev)
 	}
 	done := maxDone + c.cfg.ExtractOverhead + c.cfg.PCIe.dmaTime(rec.ByteLen)
+	c.sa.Mark(telemetry.StageDMA, done)
+	c.dmaRes.Add(maxDone+c.cfg.ExtractOverhead, done)
 	c.stats.RangesExtract++
 	c.stats.BytesToHost += uint64(rec.ByteLen)
 	if c.tr.Enabled() {
@@ -482,7 +529,10 @@ func (c *Controller) MMIORead(now sim.Time, slot, off int, buf []byte) (sim.Time
 	copy(buf, c.cmb[base+off:])
 	c.stats.MMIOBytesRead += uint64(len(buf))
 	c.stats.BytesToHost += uint64(len(buf))
-	return now + c.cfg.PCIe.mmioTime(len(buf)), nil
+	done := now + c.cfg.PCIe.mmioTime(len(buf))
+	c.sa.Mark(telemetry.StageDMA, done)
+	c.dmaRes.Add(now, done)
+	return done, nil
 }
 
 // DMAReadFromCMB transfers len(buf) bytes from a CMB slot to the host by
@@ -495,7 +545,10 @@ func (c *Controller) DMAReadFromCMB(now sim.Time, slot, off int, buf []byte) (si
 	base := slot * c.cfg.NAND.PageSize
 	copy(buf, c.cmb[base+off:])
 	c.stats.BytesToHost += uint64(len(buf))
-	return now + c.cfg.PCIe.dmaTime(len(buf)), nil
+	done := now + c.cfg.PCIe.dmaTime(len(buf))
+	c.sa.Mark(telemetry.StageDMA, done)
+	c.dmaRes.Add(now, done)
+	return done, nil
 }
 
 func (c *Controller) checkCMBRange(slot, off, n int) error {

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// unescapeLabel reverses escapeLabel per the Prometheus text-format spec
+// for quoted label values. It rejects raw newlines (would break the
+// line-oriented format), raw double quotes (would terminate the value
+// early in a real parser), and unknown escape sequences.
+func unescapeLabel(s string) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", false
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", false
+			}
+		case '\n', '"':
+			return "", false
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String(), true
+}
+
+// unescapeHelp reverses escapeHelp: backslash and newline escapes only;
+// raw double quotes are legal in help text.
+func unescapeHelp(s string) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", false
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", false
+			}
+		case '\n':
+			return "", false
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String(), true
+}
+
+// FuzzPromEscaping checks the text-exposition escaping round-trips: any
+// label value or help string survives escape → parse, and the escaped
+// forms never contain a raw newline (which would corrupt the line-oriented
+// format) or, for labels, an unescaped quote.
+func FuzzPromEscaping(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"plain",
+		`back\slash`,
+		`qu"ote`,
+		"line\nbreak",
+		`trailing\`,
+		`\"`,
+		"mix\\\"\nall",
+		"unicode Ω ✓",
+		string([]byte{0xff, 0xfe}), // invalid UTF-8 must still round-trip bytewise
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := escapeLabel(s)
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("escapeLabel(%q) = %q contains a raw newline", s, esc)
+		}
+		got, ok := unescapeLabel(esc)
+		if !ok {
+			t.Fatalf("escapeLabel(%q) = %q does not parse", s, esc)
+		}
+		if got != s {
+			t.Fatalf("label round-trip: %q -> %q -> %q", s, esc, got)
+		}
+
+		hesc := escapeHelp(s)
+		if strings.ContainsRune(hesc, '\n') {
+			t.Fatalf("escapeHelp(%q) = %q contains a raw newline", s, hesc)
+		}
+		hgot, ok := unescapeHelp(hesc)
+		if !ok {
+			t.Fatalf("escapeHelp(%q) = %q does not parse", s, hesc)
+		}
+		if hgot != s {
+			t.Fatalf("help round-trip: %q -> %q -> %q", s, hesc, hgot)
+		}
+
+		// Full-encoder round-trip: the fuzz string as a label value and
+		// help text must come back out of a real exposition intact.
+		reg := NewRegistry()
+		reg.Counter("fuzz_total", s, L("v", s)).Inc()
+		var out strings.Builder
+		if err := reg.WritePrometheus(&out); err != nil {
+			t.Fatal(err)
+		}
+		text := out.String()
+		// Escaped content never holds a raw newline, so the line structure
+		// is trustworthy: locate lines by prefix, not by substring (the
+		// fuzz string could embed any substring inside the HELP line).
+		const seriesPrefix = `fuzz_total{v="`
+		const helpPrefix = "# HELP fuzz_total "
+		rest, helpLine := "", ""
+		found, helpFound := false, false
+		for _, line := range strings.Split(text, "\n") {
+			switch {
+			case strings.HasPrefix(line, seriesPrefix):
+				rest = line[len(seriesPrefix):]
+				found = true
+			case strings.HasPrefix(line, helpPrefix):
+				helpLine = line[len(helpPrefix):]
+				helpFound = true
+			}
+		}
+		if !found {
+			t.Fatalf("series line missing from exposition:\n%s", text)
+		}
+		// Scan for the closing quote escape-aware: a backslash consumes
+		// the next byte, so an escaped \" inside the value never ends it.
+		j := -1
+		for k := 0; k < len(rest); k++ {
+			if rest[k] == '\\' {
+				k++
+				continue
+			}
+			if rest[k] == '"' {
+				j = k
+				break
+			}
+		}
+		if j < 0 || !strings.HasPrefix(rest[j:], `"} `) {
+			t.Fatalf("series line unterminated: %q", rest)
+		}
+		if got, ok := unescapeLabel(rest[:j]); !ok || got != s {
+			t.Fatalf("exposition label %q parses to %q (ok=%v), want %q", rest[:j], got, ok, s)
+		}
+		if s != "" {
+			if !helpFound {
+				t.Fatalf("HELP line missing:\n%s", text)
+			}
+			if got, ok := unescapeHelp(helpLine); !ok || got != s {
+				t.Fatalf("exposition help %q parses to %q (ok=%v), want %q", helpLine, got, ok, s)
+			}
+		}
+	})
+}

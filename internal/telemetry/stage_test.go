@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"pipette/internal/sim"
+)
+
+func TestStageAccountPartition(t *testing.T) {
+	a := NewStageAccount()
+	a.Begin(100)
+	a.Mark(StageSyscall, 110)
+	a.Mark(StageNAND, 160)
+	a.Mark(StageDMA, 175)
+	a.Mark(StageCopyout, 180)
+	lat := a.Finish(200) // 20ns unclaimed tail -> other
+
+	if lat != 100 {
+		t.Fatalf("latency = %d, want 100", lat)
+	}
+	if got := a.Total(StageSyscall); got != 10 {
+		t.Errorf("syscall = %d, want 10", got)
+	}
+	if got := a.Total(StageNAND); got != 50 {
+		t.Errorf("nand = %d, want 50", got)
+	}
+	if got := a.Total(StageOther); got != 20 {
+		t.Errorf("other = %d, want 20", got)
+	}
+	if a.Sum() != a.Elapsed() {
+		t.Errorf("conservation violated: sum %d != elapsed %d", a.Sum(), a.Elapsed())
+	}
+	if a.Gaps() != 0 {
+		t.Errorf("gaps = %d, want 0", a.Gaps())
+	}
+	if a.Requests() != 1 {
+		t.Errorf("requests = %d, want 1", a.Requests())
+	}
+}
+
+func TestStageAccountOverlappedMarks(t *testing.T) {
+	a := NewStageAccount()
+	a.Begin(0)
+	// Two racing commands: the first completes at 80, the second's
+	// intermediate milestones are all before the cursor and claim
+	// nothing; only its tail beyond 80 lands in its stage.
+	a.Mark(StageNAND, 80)
+	a.Mark(StageFirmware, 20) // overlapped, no-op
+	a.Mark(StageNAND, 60)     // overlapped, no-op
+	a.Mark(StageDMA, 95)
+	a.Finish(95)
+
+	if got := a.Total(StageNAND); got != 80 {
+		t.Errorf("nand = %d, want 80", got)
+	}
+	if got := a.Total(StageFirmware); got != 0 {
+		t.Errorf("firmware = %d, want 0", got)
+	}
+	if got := a.Total(StageDMA); got != 15 {
+		t.Errorf("dma = %d, want 15", got)
+	}
+	if a.Sum() != 95 || a.Elapsed() != 95 {
+		t.Errorf("sum %d, elapsed %d, want 95 both", a.Sum(), a.Elapsed())
+	}
+}
+
+func TestStageAccountReattribute(t *testing.T) {
+	a := NewStageAccount()
+	a.Begin(0)
+	a.Mark(StageSyscall, 10)
+	// Fine attempt 10..70 that will be thrown away.
+	a.Mark(StageConstruct, 20)
+	a.Mark(StageFirmware, 30)
+	a.Mark(StageNAND, 55)
+	a.Mark(StageDMA, 70)
+	a.Reattribute(10, StageRetry)
+	a.Mark(StageRetry, 75) // host time detecting the corruption
+	// Block-path retry succeeds.
+	a.Mark(StageNAND, 130)
+	a.Mark(StageCopyout, 140)
+	a.Finish(140)
+
+	if got := a.Total(StageSyscall); got != 10 {
+		t.Errorf("syscall = %d, want 10 (reattribute must not touch time before `from`)", got)
+	}
+	if got := a.Total(StageRetry); got != 65 {
+		t.Errorf("retry = %d, want 65", got)
+	}
+	if got := a.Total(StageConstruct) + a.Total(StageFirmware) + a.Total(StageDMA); got != 0 {
+		t.Errorf("wasted-attempt stages retained %d ns, want 0", got)
+	}
+	if got := a.Total(StageNAND); got != 55 {
+		t.Errorf("nand = %d, want 55", got)
+	}
+	if a.Sum() != 140 || a.Gaps() != 0 {
+		t.Errorf("sum %d (want 140), gaps %d (want 0)", a.Sum(), a.Gaps())
+	}
+}
+
+func TestStageAccountReattributeSplitsStraddler(t *testing.T) {
+	a := NewStageAccount()
+	a.Begin(0)
+	a.Mark(StageNAND, 100)
+	a.Reattribute(40, StageRetry)
+	a.Finish(100)
+
+	if got := a.Total(StageNAND); got != 40 {
+		t.Errorf("nand = %d, want 40", got)
+	}
+	if got := a.Total(StageRetry); got != 60 {
+		t.Errorf("retry = %d, want 60", got)
+	}
+	if a.Gaps() != 0 {
+		t.Errorf("gaps = %d, want 0", a.Gaps())
+	}
+}
+
+func TestStageAccountNilSafe(t *testing.T) {
+	var a *StageAccount
+	a.Begin(0)
+	a.Mark(StageNAND, 10)
+	a.Reattribute(0, StageRetry)
+	if a.Finish(10) != 0 || a.Sum() != 0 || a.Requests() != 0 {
+		t.Fatal("nil account must be inert")
+	}
+	a.SetOnFinish(nil)
+	if a.StageHistogram(StageNAND) != nil {
+		t.Fatal("nil account histogram must be nil")
+	}
+}
+
+func TestStageAccountOnFinishConservation(t *testing.T) {
+	a := NewStageAccount()
+	checked := 0
+	a.SetOnFinish(func(segs []StageSeg, start, end sim.Time) {
+		checked++
+		var sum sim.Time
+		at := start
+		for _, s := range segs {
+			if s.Start != at {
+				t.Errorf("segment gap at %d (start %d)", at, s.Start)
+			}
+			sum += s.End - s.Start
+			at = s.End
+		}
+		if at != end || sum != end-start {
+			t.Errorf("segments sum %d over [%d,%d]", sum, start, end)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		base := sim.Time(i * 1000)
+		a.Begin(base)
+		a.Mark(StageSyscall, base+7)
+		a.Mark(StageNAND, base+300)
+		a.Mark(StageCopyout, base+310)
+		a.Finish(base + 320)
+	}
+	if checked != 5 {
+		t.Fatalf("onFinish ran %d times, want 5", checked)
+	}
+}
+
+func TestStageWaterfallTable(t *testing.T) {
+	a := NewStageAccount()
+	a.Begin(0)
+	a.Mark(StageSyscall, 1000)
+	a.Mark(StageNAND, 51000)
+	a.Mark(StageCopyout, 52000)
+	a.Finish(52000)
+
+	out := a.Waterfall().Render()
+	for _, want := range []string{"syscall", "nand", "copyout", "total", "100.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "other") {
+		t.Errorf("waterfall shows zero-valued stage 'other':\n%s", out)
+	}
+}
+
+func TestStageAccountBindRegistry(t *testing.T) {
+	a := NewStageAccount()
+	reg := NewRegistry()
+	a.BindRegistry(reg)
+	a.Begin(0)
+	a.Mark(StageNAND, 50000)
+	a.Finish(50000)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`pipette_stage_ns_total{stage="nand"} 50000`,
+		"pipette_stage_requests_total 1",
+		`pipette_stage_us_count{stage="nand"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestStageSnapshotMerge(t *testing.T) {
+	a := NewStageAccount()
+	a.Begin(0)
+	a.Mark(StageNAND, 100)
+	a.Finish(100)
+	b := NewStageAccount()
+	b.Begin(0)
+	b.Mark(StageNAND, 50)
+	b.Mark(StageDMA, 70)
+	b.Finish(70)
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(&sb)
+	if sa.Requests != 2 || sa.Elapsed != 170 || sa.Sum() != 170 {
+		t.Fatalf("merge: requests %d elapsed %d sum %d", sa.Requests, sa.Elapsed, sa.Sum())
+	}
+	if sa.Totals[StageNAND] != 150 || sa.Hists[StageNAND].Count() != 2 {
+		t.Fatalf("merge: nand total %d count %d", sa.Totals[StageNAND], sa.Hists[StageNAND].Count())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"pipette/internal/workload"
 )
@@ -138,6 +139,78 @@ func ReadAll(r io.Reader) ([]workload.Request, error) {
 		}
 		out = append(out, req)
 	}
+}
+
+// OpSummary is one op type's share of a request stream, with exact
+// request-size percentiles (nearest-rank over the sorted sizes — no
+// bucketing, the stream is fully in memory).
+type OpSummary struct {
+	Op    string // "read" or "write"
+	Count int
+	Bytes int64
+	P50   int // request-size percentiles, bytes
+	P99   int
+	Max   int
+}
+
+// Summary describes a request stream: totals plus per-op-type size stats.
+type Summary struct {
+	Requests int
+	Bytes    int64
+	Extent   int64 // highest byte touched + 1
+	Distinct int   // distinct request sizes across all ops
+	Ops      []OpSummary
+}
+
+// Summarize computes a stream's Summary. Op types with no requests are
+// omitted; present types appear in read-then-write order.
+func Summarize(reqs []workload.Request) Summary {
+	var s Summary
+	s.Requests = len(reqs)
+	distinct := make(map[int]struct{})
+	var sizes [2][]int // by op: read, write
+	var bytes [2]int64
+	for _, r := range reqs {
+		op := 0
+		if r.Write {
+			op = 1
+		}
+		sizes[op] = append(sizes[op], r.Size)
+		bytes[op] += int64(r.Size)
+		s.Bytes += int64(r.Size)
+		distinct[r.Size] = struct{}{}
+		if end := r.Off + int64(r.Size); end > s.Extent {
+			s.Extent = end
+		}
+	}
+	s.Distinct = len(distinct)
+	for op, name := range []string{"read", "write"} {
+		n := len(sizes[op])
+		if n == 0 {
+			continue
+		}
+		sort.Ints(sizes[op])
+		s.Ops = append(s.Ops, OpSummary{
+			Op:    name,
+			Count: n,
+			Bytes: bytes[op],
+			P50:   nearestRank(sizes[op], 50),
+			P99:   nearestRank(sizes[op], 99),
+			Max:   sizes[op][n-1],
+		})
+	}
+	return s
+}
+
+// nearestRank returns the pth percentile of sorted (ascending) values by
+// the nearest-rank definition: the smallest value with at least p% of the
+// sample at or below it.
+func nearestRank(sorted []int, p int) int {
+	rank := (len(sorted)*p + 99) / 100 // ceil(n*p/100)
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // Record captures n requests from a generator into w.

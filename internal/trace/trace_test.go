@@ -213,3 +213,46 @@ func TestReplayer(t *testing.T) {
 		t.Error("empty trace accepted")
 	}
 }
+
+// TestSummarize pins the per-op accounting and the exact (nearest-rank)
+// size percentiles the info subcommand prints.
+func TestSummarize(t *testing.T) {
+	var reqs []workload.Request
+	// 100 reads sized 1..100 at consecutive offsets; 2 writes of 4096.
+	off := int64(0)
+	for i := 1; i <= 100; i++ {
+		reqs = append(reqs, workload.Request{Off: off, Size: i})
+		off += int64(i)
+	}
+	reqs = append(reqs,
+		workload.Request{Write: true, Off: off, Size: 4096},
+		workload.Request{Write: true, Off: off + 4096, Size: 4096})
+
+	s := Summarize(reqs)
+	if s.Requests != 102 || s.Distinct != 101 {
+		t.Fatalf("totals wrong: %+v", s)
+	}
+	if want := off + 8192; s.Extent != want {
+		t.Fatalf("extent %d, want %d", s.Extent, want)
+	}
+	if len(s.Ops) != 2 || s.Ops[0].Op != "read" || s.Ops[1].Op != "write" {
+		t.Fatalf("op order wrong: %+v", s.Ops)
+	}
+	r := s.Ops[0]
+	if r.Count != 100 || r.Bytes != 5050 || r.P50 != 50 || r.P99 != 99 || r.Max != 100 {
+		t.Fatalf("read summary wrong: %+v", r)
+	}
+	w := s.Ops[1]
+	if w.Count != 2 || w.Bytes != 8192 || w.P50 != 4096 || w.P99 != 4096 || w.Max != 4096 {
+		t.Fatalf("write summary wrong: %+v", w)
+	}
+
+	// Single-element and empty streams must not panic.
+	one := Summarize(reqs[:1])
+	if one.Ops[0].P50 != 1 || one.Ops[0].P99 != 1 || one.Ops[0].Max != 1 {
+		t.Fatalf("single-request percentiles wrong: %+v", one.Ops[0])
+	}
+	if empty := Summarize(nil); empty.Requests != 0 || len(empty.Ops) != 0 {
+		t.Fatalf("empty summary wrong: %+v", empty)
+	}
+}

@@ -78,6 +78,7 @@ type VFS struct {
 	router FineRouter
 	cfg    Config
 	tr     telemetry.Tracer
+	sa     *telemetry.StageAccount
 	inj    *fault.Injector
 	fltWB  telemetry.Counter
 
@@ -140,6 +141,12 @@ func (v *VFS) SetRouter(r FineRouter) { v.router = r }
 // SetTracer installs a tracer; each ReadAt/WriteAt becomes a request scope
 // with syscall and copy-out phases.
 func (v *VFS) SetTracer(tr telemetry.Tracer) { v.tr = telemetry.OrNop(tr) }
+
+// SetStages installs the per-request stage account. The VFS owns the
+// request scope: every ReadAt/WriteAt/Sync opens the account and closes it
+// at its completion time, so stage times sum exactly to each request's
+// end-to-end latency.
+func (v *VFS) SetStages(sa *telemetry.StageAccount) { v.sa = sa }
 
 // SetInjector arms vfs.writeback fault injection: a writeback command may
 // report a transient failure and be re-issued by the flusher.
@@ -269,13 +276,18 @@ func (v *VFS) readahead(ino uint64) *pagecache.Readahead {
 // ReadAt reads up to len(buf) bytes at off, returning bytes read, the
 // virtual completion time, and io.EOF past the end.
 func (f *File) ReadAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error) {
-	if tr := f.v.tr; tr.Enabled() {
+	v := f.v
+	v.sa.Begin(now)
+	if tr := v.tr; tr.Enabled() {
 		tr.BeginRequest(fmt.Sprintf("read %dB", len(buf)), now)
 		n, done, err := f.readAt(now, buf, off)
 		tr.EndRequest(done)
+		v.sa.Finish(done)
 		return n, done, err
 	}
-	return f.readAt(now, buf, off)
+	n, done, err := f.readAt(now, buf, off)
+	v.sa.Finish(done)
+	return n, done, err
 }
 
 func (f *File) readAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error) {
@@ -303,6 +315,7 @@ func (f *File) readAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error
 		v.tr.Span(telemetry.TrackVFS, "syscall", now, now+v.cfg.SyscallOverhead)
 	}
 	now += v.cfg.SyscallOverhead
+	v.sa.Mark(telemetry.StageSyscall, now)
 	v.io.BytesRequested += uint64(n)
 
 	// Fine-grained path: consult the page cache first (§3.1.2); on a miss
@@ -344,6 +357,7 @@ func (v *VFS) copyOut(done sim.Time) sim.Time {
 	if v.tr.Enabled() {
 		v.tr.Span(telemetry.TrackVFS, "copyout", done, end)
 	}
+	v.sa.Mark(telemetry.StageCopyout, end)
 	return end
 }
 

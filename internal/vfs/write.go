@@ -17,13 +17,18 @@ import (
 // overlapping fine-cache items so later fine reads see either the updated
 // page cache or the post-flush flash content.
 func (f *File) WriteAt(now sim.Time, data []byte, off int64) (int, sim.Time, error) {
-	if tr := f.v.tr; tr.Enabled() {
+	v := f.v
+	v.sa.Begin(now)
+	if tr := v.tr; tr.Enabled() {
 		tr.BeginRequest(fmt.Sprintf("write %dB", len(data)), now)
 		n, done, err := f.writeAt(now, data, off)
 		tr.EndRequest(done)
+		v.sa.Finish(done)
 		return n, done, err
 	}
-	return f.writeAt(now, data, off)
+	n, done, err := f.writeAt(now, data, off)
+	v.sa.Finish(done)
+	return n, done, err
 }
 
 func (f *File) writeAt(now sim.Time, data []byte, off int64) (int, sim.Time, error) {
@@ -48,6 +53,7 @@ func (f *File) writeAt(now sim.Time, data []byte, off int64) (int, sim.Time, err
 		v.tr.Span(telemetry.TrackVFS, "syscall", now, now+v.cfg.SyscallOverhead)
 	}
 	now += v.cfg.SyscallOverhead
+	v.sa.Mark(telemetry.StageSyscall, now)
 	ps := int64(v.fs.PageSize())
 	first := uint64(off / ps)
 	last := uint64((off + int64(len(data)) - 1) / ps)
@@ -125,12 +131,15 @@ func pageTrim(page []byte, f *File, p uint64, pageSize int) []byte {
 }
 
 // Sync flushes this file's dirty pages to the device, chaining write
-// completions in virtual time — fsync(2).
+// completions in virtual time — fsync(2). The whole flush chain is
+// attributed to the writeback stage: fsync is, by definition, time spent
+// blocked on dirty-page persistence.
 func (f *File) Sync(now sim.Time) (sim.Time, error) {
 	v := f.v
 	if f.closed {
 		return now, ErrClosed
 	}
+	v.sa.Begin(now)
 	done := now
 	err := v.cache.FlushDirtySelect(
 		func(k pagecache.Key) bool { return k.File == f.inode.Ino },
@@ -143,11 +152,15 @@ func (f *File) Sync(now sim.Time) (sim.Time, error) {
 			done = t
 			return nil
 		})
+	v.sa.Reattribute(now, telemetry.StageWriteback)
+	v.sa.Mark(telemetry.StageWriteback, done)
+	v.sa.Finish(done)
 	return done, err
 }
 
 // SyncAll flushes every dirty page of every file — syncfs(2).
 func (v *VFS) SyncAll(now sim.Time) (sim.Time, error) {
+	v.sa.Begin(now)
 	done := now
 	err := v.cache.FlushDirty(func(k pagecache.Key, data []byte) error {
 		t, err := v.writebackPage(done, k, data)
@@ -158,6 +171,9 @@ func (v *VFS) SyncAll(now sim.Time) (sim.Time, error) {
 		done = t
 		return nil
 	})
+	v.sa.Reattribute(now, telemetry.StageWriteback)
+	v.sa.Mark(telemetry.StageWriteback, done)
+	v.sa.Finish(done)
 	return done, err
 }
 
@@ -196,6 +212,12 @@ func (v *VFS) writebackPage(now sim.Time, key pagecache.Key, data []byte) (sim.T
 // (delaying later foreground I/O through contention), but the calling
 // request does not block on the program latency.
 func (v *VFS) drainWriteback(now sim.Time) (sim.Time, error) {
+	// The drained commands cost the foreground request no virtual time;
+	// suspend stage attribution so their completion marks don't leak into
+	// the request's account (their device occupancy still lands on the
+	// resource timelines).
+	v.sa.Suspend()
+	defer v.sa.Resume()
 	for len(v.pendingWB) > 0 {
 		pending := v.pendingWB
 		v.pendingWB = nil

@@ -32,6 +32,7 @@ import (
 	"pipette/internal/kv"
 	"pipette/internal/metrics"
 	"pipette/internal/nvme"
+	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/ssd"
 	"pipette/internal/telemetry"
@@ -89,6 +90,8 @@ type System struct {
 	core *core.Pipette
 	inj  *fault.Injector // nil unless Options.FaultProfile armed one
 	kvs  []*kv.Store     // stores compacted by MaintenanceTick
+	sa   *telemetry.StageAccount
+	res  *resource.Tracker
 }
 
 // New assembles a system.
@@ -141,7 +144,17 @@ func New(opts Options) (*System, error) {
 	if opts.DisableFineCache {
 		p.DisableCache()
 	}
-	s := &System{ctrl: ctrl, drv: drv, blk: blk, v: v, core: p}
+	s := &System{ctrl: ctrl, drv: drv, blk: blk, v: v, core: p,
+		sa: telemetry.NewStageAccount(), res: resource.NewTracker()}
+	// Stage attribution and resource occupancy thread through every layer;
+	// registration order (dma, nand, ring) is the export row order.
+	v.SetStages(s.sa)
+	blk.SetStages(s.sa)
+	drv.SetStages(s.sa)
+	ctrl.SetStages(s.sa)
+	p.SetStages(s.sa)
+	ctrl.SetResources(s.res)
+	drv.SetRingTimeline(s.res.Register("nvme.ring"))
 	if opts.FaultProfile != "" {
 		prof, err := fault.ParseProfile(opts.FaultProfile)
 		if err != nil {
@@ -349,6 +362,32 @@ func (s *System) RegisterMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("pipette_cache_resident_bytes", "cache memory in use",
 		lockedF(func() float64 { return float64(s.core.MemoryBytes()) }),
 		telemetry.L("cache", "fine"))
+
+	// Per-request stage attribution (atomic mirrors, scraped lock-free) and
+	// per-resource occupancy (scrape-time reads under the system lock).
+	s.sa.BindRegistry(reg)
+	for i := 0; i < s.res.Len(); i++ {
+		tl := s.res.At(i)
+		reg.GaugeFunc("pipette_resource_utilization",
+			"busy fraction of elapsed virtual time per hardware resource",
+			lockedF(func() float64 { return tl.Utilization(s.clock.Now()) }),
+			telemetry.L("resource", tl.Name()))
+		reg.CounterFunc("pipette_resource_busy_ns_total",
+			"cumulative busy virtual time per hardware resource, in nanoseconds",
+			lockedU(func() uint64 { return uint64(tl.Busy()) }),
+			telemetry.L("resource", tl.Name()))
+	}
+}
+
+// Stages exposes the per-request stage account. Readers must not race
+// in-flight I/O: snapshot between requests or under an idle system.
+func (s *System) Stages() *telemetry.StageAccount {
+	return s.sa
+}
+
+// Resources exposes the resource-occupancy tracker, same caveat as Stages.
+func (s *System) Resources() *resource.Tracker {
+	return s.res
 }
 
 // CreateFile makes a fixed-size file. preload fills it with deterministic
@@ -494,6 +533,13 @@ type Report struct {
 	// Faults is the injection/recovery ledger, nil when no fault profile is
 	// armed — so the rendered report is unchanged for fault-free systems.
 	Faults *fault.Report
+
+	// Stages is the per-request time attribution accumulated across the
+	// run; its waterfall table is the conservation invariant made visible.
+	Stages telemetry.StageSnapshot
+	// Resources is the per-resource occupancy snapshot (NAND channels and
+	// dies, PCIe DMA link, NVMe ring).
+	Resources *resource.Snapshot
 }
 
 // Report gathers a snapshot.
@@ -514,6 +560,8 @@ func (s *System) Report() Report {
 	r.PageCache = metrics.Cache{Hits: hits, Accesses: accesses, Insertions: ins, Evictions: evs}
 	r.PageCacheMemoryBytes = s.v.PageCache().MemoryBytes()
 	r.FineCacheMemoryBytes = s.core.MemoryBytes()
+	r.Stages = s.sa.Snapshot()
+	r.Resources = s.res.Snapshot(s.clock.Now())
 	if s.inj != nil {
 		f := s.faults()
 		r.Faults = &f
@@ -558,6 +606,12 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "\nfaults            %d injected: %d ECC retries, %d uncorrectable, %d ring + %d DMA fallbacks, %d program + %d writeback retries",
 			f.Injected, f.ECCRetries, f.Uncorrectable,
 			f.RingFallbacks, f.DMAFallbacks, f.ProgramRetries, f.WritebackRetries)
+	}
+	if r.Stages.Requests > 0 {
+		fmt.Fprintf(&b, "\n\nstage waterfall\n%s", r.Stages.Waterfall().Render())
+	}
+	if r.Resources != nil && len(r.Resources.Resources) > 0 {
+		fmt.Fprintf(&b, "\nresource utilization\n%s", r.Resources.Table(false).Render())
 	}
 	return b.String()
 }
