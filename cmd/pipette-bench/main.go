@@ -7,6 +7,8 @@
 //	pipette-bench -exp all -scale quick
 //	pipette-bench -exp fig6               # or table2, fig8, apps, ...
 //	pipette-bench -exp phases,kv,faults   # comma-separated selection
+//	pipette-bench -exp qdepth             # open-loop saturation sweep
+//	pipette-bench -exp qdepth -export-out qd.json  # curves for pipette-report
 //	pipette-bench -exp apps -scale full   # paper-scale (slow)
 //	pipette-bench -exp all -j 8           # parallel cells, identical output
 //	pipette-bench -exp all -json BENCH_quick.json
@@ -215,6 +217,9 @@ func runExperiments(sel string, scale bench.Scale, topts bench.TelemetryOpts, po
 		if exp.ID == "phases" {
 			// The phases experiment honours the export flags.
 			err = bench.WritePhaseBreakdown(os.Stdout, scale, topts, pool)
+		} else if exp.ID == "qdepth" {
+			// The qdepth experiment honours -export-out.
+			err = bench.WriteQDepth(os.Stdout, scale, topts, pool)
 		} else {
 			err = exp.Run(os.Stdout, scale, pool)
 		}

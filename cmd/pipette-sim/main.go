@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"pipette"
+	"pipette/internal/baseline"
 	"pipette/internal/bench"
 	"pipette/internal/buildinfo"
 	"pipette/internal/fault"
@@ -89,6 +90,12 @@ func main() {
 		flightOut = flag.String("flight-dump", "", "arm the flight recorder; the first uncorrectable read, fatal error, or panic dumps the recent-event ring to this file as JSON")
 		faultProf = flag.String("fault-profile", "", "arm fault injection: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
 		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
+		arrivals  = flag.String("arrivals", "closed", "request arrival process: closed (next issues on completion), poisson, or bursty")
+		rate      = flag.Float64("rate", 200_000, "open loop: offered arrival rate (requests per second of virtual time)")
+		qd        = flag.Int("qd", 32, "open loop: in-flight request bound; arrivals past it queue for admission")
+		burst     = flag.Int("burst", 64, "bursty arrivals: requests per burst")
+		peak      = flag.Float64("peak", 8, "bursty arrivals: in-burst rate as a multiple of -rate")
+		arrSeed   = flag.Uint64("arrival-seed", 0xa221, "open loop: arrival process seed")
 	)
 	flag.Parse()
 	if *version {
@@ -97,6 +104,17 @@ func main() {
 	}
 	if _, err := fault.ParseProfile(*faultProf); err != nil {
 		fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
+		os.Exit(2)
+	}
+	switch *arrivals {
+	case "closed", "poisson", "bursty":
+	default:
+		fmt.Fprintf(os.Stderr, "pipette-sim: unknown -arrivals %q (closed|poisson|bursty)\n", *arrivals)
+		os.Exit(2)
+	}
+	ol := openLoop{mode: *arrivals, rate: *rate, depth: *qd, burst: *burst, peak: *peak, seed: *arrSeed}
+	if ol.mode != "closed" && (*traceOut != "" || *statsOut != "" || *flightOut != "" || *listen != "") {
+		fmt.Fprintln(os.Stderr, "pipette-sim: open-loop arrivals do not support -trace-out/-stats-out/-flight-dump/-listen")
 		os.Exit(2)
 	}
 
@@ -141,7 +159,7 @@ func main() {
 			defer srv.Close()
 			fmt.Fprintf(os.Stderr, "pipette-sim: serving /metrics /healthz /progress on http://%s\n", srv.Addr())
 		}
-		if err := run(os.Stdout, wls[0], *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, topts, &runs[0]); err != nil {
+		if err := run(os.Stdout, wls[0], *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, ol, topts, &runs[0]); err != nil {
 			fmt.Fprintf(os.Stderr, "pipette-sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -161,7 +179,7 @@ func main() {
 		cells = append(cells, bench.Cell{
 			Label: "sim/" + name,
 			Run: func() (*bench.Result, error) {
-				return nil, run(&bufs[i], name, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, telemetryOpts{}, &runs[i])
+				return nil, run(&bufs[i], name, *dist, *requests, *fileMB, *pcMB, *fgMB, *fine, *seed, *faultProf, *faultSeed, ol, telemetryOpts{}, &runs[i])
 			},
 		})
 	}
@@ -183,10 +201,24 @@ func main() {
 	}
 }
 
-func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, faultProf string, faultSeed uint64, topts telemetryOpts, expRun *report.Run) (err error) {
+// openLoop is the parsed open-loop arrival configuration; mode "closed"
+// selects the default synchronous replay.
+type openLoop struct {
+	mode  string
+	rate  float64
+	depth int
+	burst int
+	peak  float64
+	seed  uint64
+}
+
+func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB int, fine bool, seed uint64, faultProf string, faultSeed uint64, ol openLoop, topts telemetryOpts, expRun *report.Run) (err error) {
 	gen, err := makeGenerator(wl, dist, fileMB<<20, seed)
 	if err != nil {
 		return err
+	}
+	if ol.mode != "closed" {
+		return runOpenLoop(w, wl, gen, requests, pcMB, fgMB, fine, faultProf, faultSeed, ol, expRun)
 	}
 
 	sys, err := pipette.New(pipette.Options{
@@ -365,6 +397,81 @@ func run(w io.Writer, wl, dist string, requests int, fileMB, pcMB int64, fgMB in
 	if flight != nil && !dumped {
 		dumpFlight("end of run (no anomaly)")
 	}
+	return nil
+}
+
+// runOpenLoop replays the workload open-loop against the full Pipette
+// stack: requests arrive on the configured schedule, up to -qd run
+// concurrently over the contended device model, and latency is measured
+// arrival to completion. Device-side contention (PCIe link, NVMe fetch
+// arbitration) is on, matching pipette-bench's qdepth experiment.
+func runOpenLoop(w io.Writer, wl string, gen workload.Generator, requests int, pcMB int64, fgMB int, fine bool, faultProf string, faultSeed uint64, ol openLoop, expRun *report.Run) error {
+	prof, err := fault.ParseProfile(faultProf)
+	if err != nil {
+		return err
+	}
+	cfg := baseline.DefaultStackConfig(gen.FileSize())
+	cfg.VFS.PageCachePages = int(pcMB << 20 / 4096)
+	cfg.Core.HMB.DataBytes = fgMB << 20
+	cfg.Core.OverflowMaxBytes = fgMB << 20
+	cfg.Core.PageCacheFloorPages = cfg.VFS.PageCachePages / 8
+	cfg.FaultProfile = prof
+	cfg.FaultSeed = faultSeed
+	cfg.SSD.LinkArbitration = true
+	cfg.NVMe.Arbitration = 100 * sim.Nanosecond
+
+	var e baseline.Engine
+	if fine {
+		e, err = baseline.NewPipette(cfg)
+	} else {
+		e, err = baseline.NewPipetteNoCache(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	var arr workload.Arrivals
+	if ol.mode == "bursty" {
+		arr, err = workload.NewBursty(ol.rate, ol.burst, ol.peak, ol.seed)
+	} else {
+		arr, err = workload.NewPoisson(ol.rate, ol.seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "workload %s over %.1f MiB, %d requests, open loop (%s arrivals, %.0f ops/s offered, qd %d, fine cache: %v)\n\n",
+		gen.Name(), float64(gen.FileSize())/(1<<20), requests, arr.Name(), ol.rate, ol.depth, fine)
+
+	res, err := bench.RunOpenLoop(e, gen, requests, bench.OpenLoopOpts{
+		Arrivals: arr, Depth: ol.depth, Offered: ol.rate,
+		// Match the closed-loop path: under an armed fault profile,
+		// uncorrectable media errors are expected outcomes, not failures.
+		TolerateMediaErrors: !prof.Empty(),
+	})
+	if err != nil {
+		return err
+	}
+	if expRun != nil {
+		*expRun = bench.ExportRun(wl, fmt.Sprintf("%s-qd%d-%s@%.0f", wl, res.Depth, res.Arrivals, ol.rate), res)
+	}
+
+	var queueUs float64
+	if res.Stages.Requests > 0 {
+		queueUs = (sim.Time(int64(res.Stages.Totals[telemetry.StageQueue])) /
+			sim.Time(int64(res.Stages.Requests))).Micros()
+	}
+	fmt.Fprintf(w, "offered           %.0f ops/s\n", ol.rate)
+	fmt.Fprintf(w, "achieved          %.0f ops/s (virtual)\n", res.Snapshot.ThroughputOpsPerSec())
+	if res.Lost > 0 {
+		fmt.Fprintf(w, "uncorrectable     %d of %d requests lost to media errors\n", res.Lost, requests)
+	}
+	fmt.Fprintf(w, "latency (arrival to completion)\n")
+	fmt.Fprintf(w, "  mean            %.2f µs\n", res.Hist.Mean().Micros())
+	fmt.Fprintf(w, "  p50             %.2f µs\n", res.Hist.Quantile(0.50).Micros())
+	fmt.Fprintf(w, "  p99             %.2f µs\n", res.Hist.Quantile(0.99).Micros())
+	fmt.Fprintf(w, "  max             %.2f µs\n", res.Hist.Max().Micros())
+	fmt.Fprintf(w, "mean queue wait   %.2f µs\n", queueUs)
 	return nil
 }
 

@@ -56,14 +56,15 @@ type Engine interface {
 
 // StackConfig assembles one engine's private system.
 type StackConfig struct {
-	SSD      ssd.Config
-	VFS      vfs.Config
-	Block    blockdev.Config
-	Core     core.Config
-	NVMe     nvme.Costs
-	Depth    int // queue depth
-	FileName string
-	FileSize int64
+	SSD        ssd.Config
+	VFS        vfs.Config
+	Block      blockdev.Config
+	Core       core.Config
+	NVMe       nvme.Costs
+	Depth      int // per-pair queue depth
+	QueuePairs int // NVMe SQ/CQ pairs (0 = default 4)
+	FileName   string
+	FileSize   int64
 
 	// TwoBSSD costs: the per-access critical-path setup the paper charges
 	// 2B-SSD with (§2.2): a page fault before MMIO access, or a DMA
@@ -97,16 +98,17 @@ func DefaultStackConfig(fileSize int64) StackConfig {
 	}
 	scfg.NAND.BlocksPerPlane = perPlane
 	return StackConfig{
-		SSD:       scfg,
-		VFS:       vfs.DefaultConfig(),
-		Block:     blockdev.DefaultConfig(),
-		Core:      core.DefaultConfig(),
-		NVMe:      nvme.DefaultCosts(),
-		Depth:     256,
-		FileName:  "workload.dat",
-		FileSize:  fileSize,
-		PageFault: 3 * sim.Microsecond,
-		DMAMap:    23 * sim.Microsecond,
+		SSD:        scfg,
+		VFS:        vfs.DefaultConfig(),
+		Block:      blockdev.DefaultConfig(),
+		Core:       core.DefaultConfig(),
+		NVMe:       nvme.DefaultCosts(),
+		Depth:      256,
+		QueuePairs: 4,
+		FileName:   "workload.dat",
+		FileSize:   fileSize,
+		PageFault:  3 * sim.Microsecond,
+		DMAMap:     23 * sim.Microsecond,
 	}
 }
 
@@ -134,7 +136,11 @@ func newStack(cfg StackConfig, flags vfs.OpenFlag) (*stack, error) {
 		return nil, fmt.Errorf("baseline: file %d B exceeds device capacity %d pages",
 			cfg.FileSize, ctrl.LogicalPages())
 	}
-	drv := nvme.NewDriver(ctrl, cfg.Depth, cfg.NVMe)
+	pairs := cfg.QueuePairs
+	if pairs <= 0 {
+		pairs = 4
+	}
+	drv := nvme.NewDriverQueues(ctrl, pairs, cfg.Depth, cfg.NVMe)
 	blk, err := blockdev.New(drv, ctrl.PageSize(), cfg.Block)
 	if err != nil {
 		return nil, err

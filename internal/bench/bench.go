@@ -11,11 +11,13 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"pipette/internal/baseline"
 	"pipette/internal/fault"
 	"pipette/internal/metrics"
+	"pipette/internal/nvme"
 	"pipette/internal/report"
 	"pipette/internal/resource"
 	"pipette/internal/sim"
@@ -55,6 +57,15 @@ type Scale struct {
 	KVRecords  uint64
 	KVRequests int
 
+	// qdepth experiment: the open-loop saturation sweep. QDepths are the
+	// admission queue-depth bounds (max in-flight requests), QDepthRates
+	// the offered Poisson arrival rates in ops/s (ascending, so the knee
+	// search walks the curve left to right), QDepthRequests the requests
+	// per cell.
+	QDepths        []int
+	QDepthRates    []float64
+	QDepthRequests int
+
 	// Fault injection: Fault is empty by default (the Nop injector, zero
 	// overhead, byte-identical output); the faults experiment overrides it
 	// per sweep level. FaultSeed drives the deterministic decision streams.
@@ -80,6 +91,9 @@ func FullScale() Scale {
 		LatencyWarmup:    200_000,
 		KVRecords:        1_000_000,
 		KVRequests:       1_000_000,
+		QDepths:          []int{1, 8, 64, 256},
+		QDepthRates:      []float64{25_000, 100_000, 400_000, 1_600_000, 6_400_000},
+		QDepthRequests:   200_000,
 		FaultSeed:        0x5eed,
 	}
 }
@@ -102,6 +116,9 @@ func QuickScale() Scale {
 		LatencyWarmup:    10_000,
 		KVRecords:        60_000,
 		KVRequests:       60_000,
+		QDepths:          []int{1, 8, 64},
+		QDepthRates:      []float64{25_000, 100_000, 400_000, 1_600_000, 6_400_000},
+		QDepthRequests:   20_000,
 		FaultSeed:        0x5eed,
 	}
 }
@@ -124,6 +141,9 @@ func TinyScale() Scale {
 		LatencyWarmup:    1_200,
 		KVRecords:        4_000,
 		KVRequests:       3_000,
+		QDepths:          []int{1, 16},
+		QDepthRates:      []float64{50_000, 400_000, 3_200_000, 12_800_000},
+		QDepthRequests:   2_500,
 		FaultSeed:        0x5eed,
 	}
 }
@@ -186,6 +206,10 @@ type RunOpts struct {
 	// Sampler, when set, is ticked with the virtual completion time after
 	// every measured request, producing the time-series CSV.
 	Sampler *telemetry.Sampler
+	// TolerateMediaErrors counts uncorrectable media errors as lost
+	// requests and keeps replaying instead of failing the run — the right
+	// semantics when a fault profile is armed. Off, any error is fatal.
+	TolerateMediaErrors bool
 }
 
 // Result is one engine × workload measurement.
@@ -200,6 +224,18 @@ type Result struct {
 	// Resources is the engine's per-resource occupancy (NAND channels and
 	// dies, PCIe DMA link, NVMe ring) over the replay.
 	Resources *resource.Snapshot
+
+	// Open-loop replay metadata, zero/empty for closed-loop runs: the
+	// offered arrival rate (ops/s), the admission queue-depth bound, and
+	// the arrival process name.
+	Offered  float64
+	Depth    int
+	Arrivals string
+
+	// Lost counts requests that failed with uncorrectable media errors
+	// under TolerateMediaErrors; the snapshot's Ops is goodput (requests
+	// minus Lost), and lost requests do not enter the latency histogram.
+	Lost uint64
 }
 
 // Run replays requests from gen against e and measures the paper's
@@ -236,6 +272,9 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 			now, err = e.ReadAt(now, buf[:req.Size], req.Off)
 		}
 		if err != nil {
+			if opts.TolerateMediaErrors && errors.Is(err, nvme.ErrUncorrectable) {
+				continue
+			}
 			return nil, fmt.Errorf("bench: warmup request %d: %w", i, err)
 		}
 	}
@@ -264,6 +303,10 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 			}
 		}
 		if err != nil {
+			if opts.TolerateMediaErrors && errors.Is(err, nvme.ErrUncorrectable) {
+				res.Lost++ // the failed request still consumed virtual time
+				continue
+			}
 			return nil, fmt.Errorf("bench: request %d (%+v): %w", i, req, err)
 		}
 		res.Hist.Observe(now - before)
@@ -278,7 +321,7 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 	subIO(&snap.IO, base.IO)
 	subCache(&snap.PageCache, base.PageCache)
 	subCache(&snap.FineCache, base.FineCache)
-	snap.Ops = uint64(requests)
+	snap.Ops = uint64(requests) - res.Lost
 	snap.Elapsed = now - start
 	snap.MeanLat = res.Hist.Mean()
 	snap.P99Lat = res.Hist.Quantile(0.99)
@@ -301,6 +344,11 @@ func ExportRun(name, wl string, r *Result) report.Run {
 		StageNs:   int64(r.Stages.Sum()),
 		Stages:    report.StageRows(&r.Stages),
 		Resources: r.Resources,
+
+		OfferedOpsPerSec: r.Offered,
+		QueueDepth:       r.Depth,
+		Arrivals:         r.Arrivals,
+		Lost:             r.Lost,
 	}
 }
 

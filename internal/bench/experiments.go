@@ -83,6 +83,14 @@ func Experiments() []Experiment {
 			Title:     "Fault injection: RBER x workload sweep, goodput and recovery (beyond the paper)",
 			Run:       writeFaults,
 		},
+		{
+			ID:        "qdepth",
+			Artifacts: []string{"saturation"},
+			Title:     "Open-loop saturation: arrival rate x queue depth x engine (beyond the paper)",
+			Run: func(w io.Writer, s Scale, p *Pool) error {
+				return WriteQDepth(w, s, TelemetryOpts{}, p)
+			},
+		},
 	}
 }
 

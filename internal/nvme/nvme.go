@@ -176,11 +176,26 @@ func (q *SQ) Len() int { return int(q.tail - q.head) }
 // full/empty, as in real ring protocols).
 func (q *SQ) Cap() int { return len(q.entries) - 1 }
 
+// normalize reduces both counters by the largest multiple of the ring
+// size at or below head. Slot indices (counter % size) and Len
+// (tail - head) are unchanged, and head lands below size, so the
+// free-running counters never reach the uint32 overflow — where a size
+// that does not divide 2^32 would corrupt the slot sequence.
+func (q *SQ) normalize() {
+	n := uint32(len(q.entries))
+	if q.head >= n {
+		k := q.head - q.head%n
+		q.head -= k
+		q.tail -= k
+	}
+}
+
 // Push enqueues a command.
 func (q *SQ) Push(c Command) error {
 	if q.Len() >= q.Cap() {
 		return ErrQueueFull
 	}
+	q.normalize()
 	q.entries[q.tail%uint32(len(q.entries))] = c
 	q.tail++
 	return nil
@@ -191,6 +206,7 @@ func (q *SQ) Pop() (Command, error) {
 	if q.Len() == 0 {
 		return Command{}, ErrQueueEmpty
 	}
+	q.normalize()
 	c := q.entries[q.head%uint32(len(q.entries))]
 	q.head++
 	return c, nil
@@ -217,11 +233,22 @@ func (q *CQ) Len() int { return int(q.tail - q.head) }
 // Cap reports usable capacity.
 func (q *CQ) Cap() int { return len(q.entries) - 1 }
 
+// normalize: see SQ.normalize.
+func (q *CQ) normalize() {
+	n := uint32(len(q.entries))
+	if q.head >= n {
+		k := q.head - q.head%n
+		q.head -= k
+		q.tail -= k
+	}
+}
+
 // Push posts a completion.
 func (q *CQ) Push(c Completion) error {
 	if q.Len() >= q.Cap() {
 		return ErrQueueFull
 	}
+	q.normalize()
 	q.entries[q.tail%uint32(len(q.entries))] = c
 	q.tail++
 	return nil
@@ -232,6 +259,7 @@ func (q *CQ) Pop() (Completion, error) {
 	if q.Len() == 0 {
 		return Completion{}, ErrQueueEmpty
 	}
+	q.normalize()
 	c := q.entries[q.head%uint32(len(q.entries))]
 	q.head++
 	return c, nil
@@ -242,6 +270,15 @@ type Costs struct {
 	Doorbell   sim.Time // host MMIO doorbell write
 	Fetch      sim.Time // device SQ entry fetch over PCIe
 	Completion sim.Time // CQ post + interrupt/polling pickup
+
+	// Arbitration, when positive, turns on serialized SQ-fetch arbitration:
+	// the controller's single fetch engine round-robins over the submission
+	// queues, occupying it for Fetch+Arbitration per command, so concurrent
+	// submissions queue behind each other before execution even starts.
+	// Zero (the default) models infinite fetch bandwidth — every fetch
+	// completes Doorbell+Fetch after submission regardless of load, which
+	// is the closed-loop model every existing experiment was calibrated on.
+	Arbitration sim.Time
 }
 
 // DefaultCosts reflects measured NVMe small-command overheads.
@@ -254,7 +291,9 @@ func DefaultCosts() Costs {
 }
 
 // Total is the fixed per-command transport cost.
-func (c Costs) Total() sim.Time { return c.Doorbell + c.Fetch + c.Completion }
+func (c Costs) Total() sim.Time {
+	return c.Doorbell + c.Fetch + c.Arbitration + c.Completion
+}
 
 // Device is the controller side: it executes one fetched command and
 // returns its completion. now is the time the device begins executing.
@@ -262,84 +301,286 @@ type Device interface {
 	Execute(now sim.Time, cmd *Command) Completion
 }
 
-// Driver is the host-side queue pair bound to a device. Submit is
-// synchronous: it pushes, rings the doorbell, lets the device fetch and
-// execute, and reaps the completion, accumulating the transport costs on
-// the returned timestamp.
-type Driver struct {
-	sq    *SQ
-	cq    *CQ
+// queuePair is one SQ/CQ pair of a multi-queue transport.
+type queuePair struct {
+	sq *SQ
+	cq *CQ
+}
+
+// inflight is the per-command state of one asynchronously submitted
+// command. Instances are pooled on a free list with their event callbacks
+// pre-bound, so the steady-state submit path allocates nothing.
+type inflight struct {
+	m        *MultiQueue
+	pair     *queuePair
+	submitAt sim.Time
+	fetchEnd sim.Time
+	op       Opcode
+	comp     Completion
+	complete func(Completion)
+
+	fetchFn func(sim.Time)
+	reapFn  func(sim.Time)
+	next    *inflight
+}
+
+// MultiQueue is the asynchronous host↔device transport: N SQ/CQ pairs of
+// configurable depth over one device, driven by a discrete-event engine.
+// Submit pushes the command on the next pair round-robin and returns
+// immediately (ErrQueueFull when that pair's ring is at capacity — the
+// transport's backpressure signal); the fetch, execution, and completion
+// happen as events, and the caller's callback fires at the completion's
+// virtual timestamp. With Costs.Arbitration > 0 a shared fetch-engine
+// resource serializes SQ fetches, so deep queues see real arbitration
+// delay before execution even begins.
+//
+// Event callbacks use the timestamps captured at scheduling, so results
+// are independent of how the engine interleaves unrelated chains; ordering
+// at equal times follows submission order through the engine's (time, seq)
+// tiebreak. Like every sim type, a MultiQueue belongs to one
+// single-threaded simulated system.
+type MultiQueue struct {
+	pairs []queuePair
 	dev   Device
 	costs Costs
+	eng   *sim.Engine
+
+	fetchArb sim.Resource // shared fetch engine (used when Arbitration > 0)
 
 	nextID    uint16
+	rr        int // round-robin pair cursor
 	submitted uint64
 	completed uint64
-	tr        telemetry.Tracer
-	sa        *telemetry.StageAccount
-	ringRes   *resource.Timeline // ring-protocol occupancy (nil = off)
+	inFlight  int
+	err       error
+
+	tr      telemetry.Tracer
+	sa      *telemetry.StageAccount
+	ringRes *resource.Timeline // ring-protocol occupancy (nil = off)
+
+	free *inflight
 }
 
-// NewDriver builds a queue pair of the given depth over a device.
-func NewDriver(dev Device, queueDepth int, costs Costs) *Driver {
-	return &Driver{
-		sq:    NewSQ(queueDepth),
-		cq:    NewCQ(queueDepth),
+// NewMultiQueue builds pairs SQ/CQ pairs of the given depth over dev,
+// scheduling on eng.
+func NewMultiQueue(dev Device, pairs, depth int, costs Costs, eng *sim.Engine) *MultiQueue {
+	if pairs < 1 {
+		pairs = 1
+	}
+	m := &MultiQueue{
+		pairs: make([]queuePair, pairs),
 		dev:   dev,
 		costs: costs,
+		eng:   eng,
 		tr:    telemetry.Nop(),
 	}
+	for i := range m.pairs {
+		m.pairs[i] = queuePair{sq: NewSQ(depth), cq: NewCQ(depth)}
+	}
+	return m
 }
+
+// Pairs reports the number of SQ/CQ pairs.
+func (m *MultiQueue) Pairs() int { return len(m.pairs) }
+
+// Depth reports the usable per-pair queue depth.
+func (m *MultiQueue) Depth() int { return m.pairs[0].sq.Cap() }
+
+// InFlight reports commands submitted but not yet completed.
+func (m *MultiQueue) InFlight() int { return m.inFlight }
 
 // SetTracer installs a tracer; each submitted command becomes one span on
 // the nvme track, covering doorbell to completion reap.
-func (d *Driver) SetTracer(tr telemetry.Tracer) { d.tr = telemetry.OrNop(tr) }
+func (m *MultiQueue) SetTracer(tr telemetry.Tracer) { m.tr = telemetry.OrNop(tr) }
 
-// SetStages installs the per-request stage account; the driver attributes
-// the ring-protocol costs (doorbell, fetch, completion).
-func (d *Driver) SetStages(sa *telemetry.StageAccount) { d.sa = sa }
+// SetStages installs the per-request stage account; the transport
+// attributes the ring-protocol costs (doorbell, fetch, completion).
+func (m *MultiQueue) SetStages(sa *telemetry.StageAccount) { m.sa = sa }
 
 // SetRingTimeline records the ring protocol's occupancy windows on a
 // resource timeline (nil turns recording off).
-func (d *Driver) SetRingTimeline(tl *resource.Timeline) { d.ringRes = tl }
+func (m *MultiQueue) SetRingTimeline(tl *resource.Timeline) { m.ringRes = tl }
 
 // Stats reports commands submitted and completed.
-func (d *Driver) Stats() (submitted, completed uint64) {
-	return d.submitted, d.completed
+func (m *MultiQueue) Stats() (submitted, completed uint64) {
+	return m.submitted, m.completed
 }
+
+// Err reports the first ring-protocol failure observed on the event path
+// (nil in any healthy run; a non-nil value means a callback could not
+// surface an error to its submitter).
+func (m *MultiQueue) Err() error { return m.err }
+
+func (m *MultiQueue) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+func (m *MultiQueue) get() *inflight {
+	ic := m.free
+	if ic == nil {
+		ic = &inflight{m: m}
+		ic.fetchFn = func(sim.Time) { ic.m.fetch(ic) }
+		ic.reapFn = func(sim.Time) { ic.m.reap(ic) }
+	} else {
+		m.free = ic.next
+		ic.next = nil
+	}
+	return ic
+}
+
+func (m *MultiQueue) put(ic *inflight) {
+	ic.pair = nil
+	ic.complete = nil
+	ic.comp = Completion{}
+	ic.next = m.free
+	m.free = ic
+}
+
+// Submit enqueues one command on the next pair round-robin. complete fires
+// when the completion is reaped, carrying the completion with its virtual
+// Done timestamp; commands submitted while that pair's SQ is at capacity
+// are rejected with ErrQueueFull (the caller's backpressure signal).
+// Events run when the engine does — callers drive eng.Run or Step.
+func (m *MultiQueue) Submit(now sim.Time, cmd Command, complete func(Completion)) error {
+	pair := &m.pairs[m.rr]
+	cmd.ID = m.nextID
+	if err := pair.sq.Push(cmd); err != nil {
+		return err
+	}
+	m.nextID++
+	m.rr = (m.rr + 1) % len(m.pairs)
+	m.submitted++
+	m.inFlight++
+
+	// Doorbell, then the SQ fetch. With arbitration on, the shared fetch
+	// engine serializes fetches (FIFO in submit order); otherwise the fetch
+	// completes a fixed Doorbell+Fetch after submission, load-independent.
+	var fetchEnd sim.Time
+	if m.costs.Arbitration > 0 {
+		_, fetchEnd = m.fetchArb.Acquire(now+m.costs.Doorbell, m.costs.Fetch+m.costs.Arbitration)
+	} else {
+		fetchEnd = now + m.costs.Doorbell + m.costs.Fetch
+	}
+	m.sa.Mark(telemetry.StageRing, fetchEnd)
+	m.ringRes.Add(now, fetchEnd)
+
+	ic := m.get()
+	ic.pair = pair
+	ic.submitAt = now
+	ic.fetchEnd = fetchEnd
+	ic.complete = complete
+	m.eng.At(fetchEnd, ic.fetchFn)
+	return nil
+}
+
+// fetch is the device-side SQ fetch event: pop the entry, execute it, and
+// schedule the completion.
+func (m *MultiQueue) fetch(ic *inflight) {
+	fetched, err := ic.pair.sq.Pop()
+	if err != nil {
+		m.fail(fmt.Errorf("nvme: device fetch: %w", err))
+		m.inFlight--
+		m.put(ic)
+		return
+	}
+	ic.op = fetched.Op
+	comp := m.dev.Execute(ic.fetchEnd, &fetched)
+	comp.ID = fetched.ID
+	execDone := comp.Done
+	comp.Done += m.costs.Completion
+	m.sa.Mark(telemetry.StageRing, comp.Done)
+	m.ringRes.Add(execDone, comp.Done)
+	ic.comp = comp
+	m.eng.At(comp.Done, ic.reapFn)
+}
+
+// reap is the host-side completion event: post to the CQ, reap it, and
+// fire the submitter's callback.
+func (m *MultiQueue) reap(ic *inflight) {
+	if err := ic.pair.cq.Push(ic.comp); err != nil {
+		m.fail(fmt.Errorf("nvme: completion post: %w", err))
+		m.inFlight--
+		m.put(ic)
+		return
+	}
+	reaped, err := ic.pair.cq.Pop()
+	if err != nil {
+		m.fail(fmt.Errorf("nvme: completion reap: %w", err))
+		m.inFlight--
+		m.put(ic)
+		return
+	}
+	m.completed++
+	m.inFlight--
+	if m.tr.Enabled() {
+		m.tr.Span(telemetry.TrackNVMe, ic.op.String(), ic.submitAt, reaped.Done)
+	}
+	cb := ic.complete
+	m.put(ic)
+	cb(reaped)
+}
+
+// Driver is the synchronous host-side view of the transport that the
+// blocking POSIX stack submits through: a MultiQueue over a private event
+// engine that Submit drains before returning, so one command runs to
+// completion in virtual time per call. Contended state (the fetch
+// arbiter, and everything inside the device) persists across calls, so
+// callers that submit at overlapping virtual times still see queueing —
+// that is how the open-loop harness models outstanding requests over a
+// synchronous stack.
+type Driver struct {
+	mq  *MultiQueue
+	eng *sim.Engine
+}
+
+// NewDriver builds a single queue pair of the given depth over a device.
+func NewDriver(dev Device, queueDepth int, costs Costs) *Driver {
+	return NewDriverQueues(dev, 1, queueDepth, costs)
+}
+
+// NewDriverQueues builds a driver over pairs SQ/CQ pairs of the given
+// depth; submissions round-robin across the pairs.
+func NewDriverQueues(dev Device, pairs, queueDepth int, costs Costs) *Driver {
+	eng := sim.NewEngine()
+	return &Driver{mq: NewMultiQueue(dev, pairs, queueDepth, costs, eng), eng: eng}
+}
+
+// Queues exposes the underlying multi-queue transport.
+func (d *Driver) Queues() *MultiQueue { return d.mq }
+
+// SetTracer installs a tracer; each submitted command becomes one span on
+// the nvme track, covering doorbell to completion reap.
+func (d *Driver) SetTracer(tr telemetry.Tracer) { d.mq.SetTracer(tr) }
+
+// SetStages installs the per-request stage account; the driver attributes
+// the ring-protocol costs (doorbell, fetch, completion).
+func (d *Driver) SetStages(sa *telemetry.StageAccount) { d.mq.SetStages(sa) }
+
+// SetRingTimeline records the ring protocol's occupancy windows on a
+// resource timeline (nil turns recording off).
+func (d *Driver) SetRingTimeline(tl *resource.Timeline) { d.mq.SetRingTimeline(tl) }
+
+// Stats reports commands submitted and completed.
+func (d *Driver) Stats() (submitted, completed uint64) { return d.mq.Stats() }
 
 // Submit runs one command to completion in virtual time.
 func (d *Driver) Submit(now sim.Time, cmd Command) (Completion, error) {
-	cmd.ID = d.nextID
-	d.nextID++
-	if err := d.sq.Push(cmd); err != nil {
+	var out Completion
+	done := false
+	if err := d.mq.Submit(now, cmd, func(c Completion) {
+		out = c
+		done = true
+	}); err != nil {
 		return Completion{}, err
 	}
-	d.submitted++
-
-	fetchAt := now + d.costs.Doorbell + d.costs.Fetch
-	d.sa.Mark(telemetry.StageRing, fetchAt)
-	d.ringRes.Add(now, fetchAt)
-	fetched, err := d.sq.Pop()
-	if err != nil {
-		return Completion{}, fmt.Errorf("nvme: device fetch: %w", err)
+	d.eng.Run()
+	if err := d.mq.Err(); err != nil {
+		return Completion{}, err
 	}
-	comp := d.dev.Execute(fetchAt, &fetched)
-	comp.ID = fetched.ID
-	execDone := comp.Done
-	comp.Done += d.costs.Completion
-	d.sa.Mark(telemetry.StageRing, comp.Done)
-	d.ringRes.Add(execDone, comp.Done)
-	if err := d.cq.Push(comp); err != nil {
-		return Completion{}, fmt.Errorf("nvme: completion post: %w", err)
+	if !done {
+		return Completion{}, errors.New("nvme: command never completed")
 	}
-	reaped, err := d.cq.Pop()
-	if err != nil {
-		return Completion{}, fmt.Errorf("nvme: completion reap: %w", err)
-	}
-	d.completed++
-	if d.tr.Enabled() {
-		d.tr.Span(telemetry.TrackNVMe, fetched.Op.String(), now, reaped.Done)
-	}
-	return reaped, nil
+	return out, nil
 }

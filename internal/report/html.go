@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"html"
 	"io"
+	"math"
 	"strings"
 
 	"pipette/internal/resource"
@@ -76,6 +77,7 @@ func WriteHTML(w io.Writer, title string, exports []*Export) error {
 		}
 		fmt.Fprintf(&b, "<h2>%s</h2>\n", esc(hdr))
 		writeLatencyTable(&b, e.Runs)
+		writeSaturation(&b, e.Runs)
 		for i := range e.Runs {
 			writeRun(&b, &e.Runs[i])
 		}
@@ -101,6 +103,144 @@ func writeLatencyTable(b *strings.Builder, runs []Run) {
 	b.WriteString("</table>\n")
 }
 
+// curvePalette colors the throughput-vs-latency curves, cycling when an
+// export has more groups than colors.
+var curvePalette = []string{
+	"#4e79a7", "#e15759", "#59a14f", "#f28e2b", "#b07aa1",
+	"#76b7b2", "#edc948", "#9c755f", "#ff9da7", "#bab0ac",
+}
+
+// satGroup is one throughput-vs-latency curve: the Poisson rate sweep of
+// one (engine, queue depth) configuration, in export order.
+type satGroup struct {
+	name  string
+	depth int
+	runs  []*Run
+}
+
+// writeSaturation renders the open-loop runs — those with an offered
+// arrival rate — as throughput-vs-latency curves: an SVG chart of achieved
+// throughput against mean latency (log scale), one curve per (run name,
+// queue depth) over its Poisson rate sweep, plus the numeric table
+// including the bursty points. Closed-loop runs are skipped.
+func writeSaturation(b *strings.Builder, runs []Run) {
+	var groups []*satGroup
+	var open []*Run
+	for i := range runs {
+		r := &runs[i]
+		if r.OfferedOpsPerSec <= 0 {
+			continue
+		}
+		open = append(open, r)
+		if r.Arrivals != "poisson" {
+			continue
+		}
+		var g *satGroup
+		for _, cand := range groups {
+			if cand.name == r.Name && cand.depth == r.QueueDepth {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &satGroup{name: r.Name, depth: r.QueueDepth}
+			groups = append(groups, g)
+		}
+		g.runs = append(g.runs, r)
+	}
+	if len(open) == 0 {
+		return
+	}
+
+	b.WriteString("<h3>Throughput vs latency (open loop)</h3>\n")
+	writeSaturationChart(b, groups)
+	b.WriteString("<table>\n<tr><th>run</th><th>qd</th><th>arrivals</th><th>offered/s</th><th>achieved/s</th><th>mean (µs)</th><th>p99 (µs)</th></tr>\n")
+	for _, r := range open {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%.0f</td><td>%.0f</td><td>%.2f</td><td>%.2f</td></tr>\n",
+			html.EscapeString(r.Name), r.QueueDepth, html.EscapeString(r.Arrivals),
+			r.OfferedOpsPerSec, r.OpsPerSec, r.Latency.MeanUs, r.Latency.P99Us)
+	}
+	b.WriteString("</table>\n")
+}
+
+// writeSaturationChart draws the curves: x is achieved throughput
+// (linear), y is mean latency (log10). The hockey-stick bend of each curve
+// is the configuration's saturation knee.
+func writeSaturationChart(b *strings.Builder, groups []*satGroup) {
+	if len(groups) == 0 {
+		return
+	}
+	var maxX, minY, maxY float64
+	first := true
+	for _, g := range groups {
+		for _, r := range g.runs {
+			if r.OpsPerSec > maxX {
+				maxX = r.OpsPerSec
+			}
+			y := r.Latency.MeanUs
+			if y <= 0 {
+				continue
+			}
+			if first || y < minY {
+				minY = y
+			}
+			if first || y > maxY {
+				maxY = y
+			}
+			first = false
+		}
+	}
+	if maxX <= 0 || first || minY == maxY {
+		return
+	}
+	const (
+		w, h                   = 640.0, 320.0
+		padL, padR, padT, padB = 70.0, 10.0, 10.0, 40.0
+	)
+	logMin, logMax := math.Log10(minY), math.Log10(maxY)
+	px := func(x float64) float64 { return padL + (w-padL-padR)*x/maxX }
+	py := func(y float64) float64 {
+		return h - padB - (h-padT-padB)*(math.Log10(y)-logMin)/(logMax-logMin)
+	}
+
+	fmt.Fprintf(b, "<svg width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\" style=\"font:11px sans-serif\">\n", w, h, w, h)
+	fmt.Fprintf(b, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" stroke=\"#ccc\"/>\n",
+		padL, padT, w-padL-padR, h-padT-padB)
+	// Decade gridlines on the log-latency axis.
+	for d := math.Ceil(logMin); d <= math.Floor(logMax); d++ {
+		y := py(math.Pow(10, d))
+		fmt.Fprintf(b, "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#eee\"/>\n", padL, y, w-padR, y)
+		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">%.0f µs</text>\n", padL-6, y+4, math.Pow(10, d))
+	}
+	for i := 1; i <= 4; i++ {
+		x := px(maxX * float64(i) / 4)
+		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">%.0fk/s</text>\n",
+			x, h-padB+16, maxX*float64(i)/4/1e3)
+	}
+	for gi, g := range groups {
+		color := curvePalette[gi%len(curvePalette)]
+		var pts []string
+		for _, r := range g.runs {
+			if r.Latency.MeanUs <= 0 {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(r.OpsPerSec), py(r.Latency.MeanUs)))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\"/>\n",
+			strings.Join(pts, " "), color)
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(b, "<circle cx=\"%s\" cy=\"%s\" r=\"2.5\" fill=\"%s\"/>\n", xy[0], xy[1], color)
+		}
+		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%.1f\" fill=\"%s\">%s qd=%d</text>\n",
+			padL+8, padT+14+float64(gi)*14, color, html.EscapeString(g.name), g.depth)
+	}
+	b.WriteString("</svg>\n")
+}
+
 func runLabel(r *Run) string {
 	if r.Workload != "" && r.Workload != r.Name {
 		return r.Name + " / " + r.Workload
@@ -113,6 +253,10 @@ func writeRun(b *strings.Builder, r *Run) {
 	fmt.Fprintf(b, "<h3>%s</h3>\n", esc(runLabel(r)))
 	fmt.Fprintf(b, "<p class=\"meta\">%d requests in %.3f ms virtual time, %.0f ops/s",
 		r.Requests, float64(r.ElapsedNs)/1e6, r.OpsPerSec)
+	if r.OfferedOpsPerSec > 0 {
+		fmt.Fprintf(b, " (open loop: %s arrivals offering %.0f ops/s, queue depth %d)",
+			html.EscapeString(r.Arrivals), r.OfferedOpsPerSec, r.QueueDepth)
+	}
 	if r.ReadAmp > 0 {
 		fmt.Fprintf(b, ", read amplification %.2f", r.ReadAmp)
 	}

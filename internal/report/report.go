@@ -90,6 +90,18 @@ type Run struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	ReadAmp   float64 `json:"read_amp,omitempty"`
 
+	// Open-loop runs only: the offered arrival rate (OpsPerSec above is
+	// the achieved throughput), the admission queue-depth bound, and the
+	// arrival process ("poisson", "bursty"). All zero/empty for
+	// closed-loop runs.
+	OfferedOpsPerSec float64 `json:"offered_ops_per_sec,omitempty"`
+	QueueDepth       int     `json:"queue_depth,omitempty"`
+	Arrivals         string  `json:"arrivals,omitempty"`
+
+	// Lost counts requests that failed with uncorrectable media errors
+	// under an armed fault profile (Requests is goodput).
+	Lost uint64 `json:"lost,omitempty"`
+
 	Latency Percentiles `json:"latency"`
 
 	// StageNs is the conservation sum: total time attributed across all

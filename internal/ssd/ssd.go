@@ -91,6 +91,13 @@ type Config struct {
 	// ECCUncorrectableFrac is the fraction of the injected-severity
 	// spectrum that exhausts the whole ladder and still fails.
 	ECCUncorrectableFrac float64
+
+	// LinkArbitration models the PCIe link as a serially occupied
+	// resource: DMA bursts and MMIO transactions queue FIFO behind
+	// in-flight transfers, so overlapping commands see real link
+	// contention. Off (the default), bursts overlap freely — the additive
+	// model every closed-loop experiment was calibrated on.
+	LinkArbitration bool
 }
 
 // DefaultConfig mirrors the paper's platform.
@@ -158,7 +165,22 @@ type Controller struct {
 	tr     telemetry.Tracer
 	sa     *telemetry.StageAccount
 	dmaRes *resource.Timeline // PCIe link occupancy (nil = off)
+	link   sim.Resource       // contended link state (LinkArbitration)
 }
+
+// linkSpan schedules a link transfer of duration dur requested at time at,
+// returning its [start, end] window. With LinkArbitration the transfer
+// queues behind in-flight link work; otherwise it starts immediately.
+func (c *Controller) linkSpan(at, dur sim.Time) (start, end sim.Time) {
+	if c.cfg.LinkArbitration {
+		return c.link.Acquire(at, dur)
+	}
+	return at, at + dur
+}
+
+// LinkWaitTime reports the cumulative time transfers queued for the link
+// (always zero unless LinkArbitration is on).
+func (c *Controller) LinkWaitTime() sim.Time { return c.link.WaitTime() }
 
 // New builds the full device stack: NAND array, FTL, controller.
 func New(cfg Config) (*Controller, error) {
@@ -337,14 +359,14 @@ func (c *Controller) execBlockRead(now sim.Time, cmd *nvme.Command) nvme.Complet
 		}
 	}
 	moved = uint64(cmd.Pages * ps)
-	done := maxDone + c.cfg.PCIe.dmaTime(int(moved))
+	dmaStart, done := c.linkSpan(maxDone, c.cfg.PCIe.dmaTime(int(moved)))
 	c.sa.Mark(telemetry.StageDMA, done)
-	c.dmaRes.Add(maxDone, done)
+	c.dmaRes.Add(dmaStart, done)
 	c.stats.BytesToHost += moved
 	if c.tr.Enabled() {
 		c.tr.Span(telemetry.TrackSSD, "read.firmware", now, start)
 		c.tr.Span(telemetry.TrackSSD, "read.nand", start, maxDone)
-		c.tr.Span(telemetry.TrackSSD, "read.dma", maxDone, done)
+		c.tr.Span(telemetry.TrackSSD, "read.dma", dmaStart, done)
 	}
 	return nvme.Completion{Status: nvme.StatusOK, Done: done, BytesMoved: moved}
 }
@@ -358,10 +380,10 @@ func (c *Controller) execWrite(now sim.Time, cmd *nvme.Command) nvme.Completion 
 	}
 	c.stats.WriteCmds++
 	fwDone := now + c.cfg.FirmwareBlockOverhead
-	hostDone := fwDone + c.cfg.PCIe.dmaTime(len(cmd.Data))
+	dmaStart, hostDone := c.linkSpan(fwDone, c.cfg.PCIe.dmaTime(len(cmd.Data)))
 	c.sa.Mark(telemetry.StageFirmware, fwDone)
 	c.sa.Mark(telemetry.StageDMA, hostDone)
-	c.dmaRes.Add(fwDone, hostDone)
+	c.dmaRes.Add(dmaStart, hostDone)
 	t := hostDone
 	c.stats.BytesFromHost += uint64(len(cmd.Data))
 	for i := 0; i < cmd.Pages; i++ {
@@ -469,9 +491,9 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 		c.fltDMACorrupt.Inc()
 		c.corruptHMB(rec.Dest, rec.ByteLen, out.Sev)
 	}
-	done := maxDone + c.cfg.ExtractOverhead + c.cfg.PCIe.dmaTime(rec.ByteLen)
+	dmaStart, done := c.linkSpan(maxDone+c.cfg.ExtractOverhead, c.cfg.PCIe.dmaTime(rec.ByteLen))
 	c.sa.Mark(telemetry.StageDMA, done)
-	c.dmaRes.Add(maxDone+c.cfg.ExtractOverhead, done)
+	c.dmaRes.Add(dmaStart, done)
 	c.stats.RangesExtract++
 	c.stats.BytesToHost += uint64(rec.ByteLen)
 	if c.tr.Enabled() {
@@ -529,9 +551,9 @@ func (c *Controller) MMIORead(now sim.Time, slot, off int, buf []byte) (sim.Time
 	copy(buf, c.cmb[base+off:])
 	c.stats.MMIOBytesRead += uint64(len(buf))
 	c.stats.BytesToHost += uint64(len(buf))
-	done := now + c.cfg.PCIe.mmioTime(len(buf))
+	mmioStart, done := c.linkSpan(now, c.cfg.PCIe.mmioTime(len(buf)))
 	c.sa.Mark(telemetry.StageDMA, done)
-	c.dmaRes.Add(now, done)
+	c.dmaRes.Add(mmioStart, done)
 	return done, nil
 }
 
@@ -545,9 +567,9 @@ func (c *Controller) DMAReadFromCMB(now sim.Time, slot, off int, buf []byte) (si
 	base := slot * c.cfg.NAND.PageSize
 	copy(buf, c.cmb[base+off:])
 	c.stats.BytesToHost += uint64(len(buf))
-	done := now + c.cfg.PCIe.dmaTime(len(buf))
+	dmaStart, done := c.linkSpan(now, c.cfg.PCIe.dmaTime(len(buf)))
 	c.sa.Mark(telemetry.StageDMA, done)
-	c.dmaRes.Add(now, done)
+	c.dmaRes.Add(dmaStart, done)
 	return done, nil
 }
 

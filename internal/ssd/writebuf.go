@@ -91,7 +91,7 @@ func (c *Controller) execBufferedWrite(now sim.Time, cmd *nvme.Command) nvme.Com
 		return nvme.Completion{Status: nvme.StatusInvalidCommand, Done: now}
 	}
 	c.stats.WriteCmds++
-	t := now + c.cfg.FirmwareBlockOverhead + c.cfg.PCIe.dmaTime(len(cmd.Data))
+	_, t := c.linkSpan(now+c.cfg.FirmwareBlockOverhead, c.cfg.PCIe.dmaTime(len(cmd.Data)))
 	c.stats.BytesFromHost += uint64(len(cmd.Data))
 	for i := 0; i < cmd.Pages; i++ {
 		lba := cmd.LBA + uint64(i)

@@ -18,8 +18,10 @@ const (
 	// StageCache is time serving a request from a host-side cache (page
 	// cache or the fine-grained read cache) without touching the device.
 	StageCache
-	// StageQueue is block-layer software time: request setup, merge, and
-	// per-command submission overhead.
+	// StageQueue is queueing time: admission delay a request spent waiting
+	// to be dispatched (open-loop runs, armed via PreQueue) plus
+	// block-layer software time — request setup, merge, and per-command
+	// submission overhead.
 	StageQueue
 	// StageConstruct is fine-path host work: the constructor/requester
 	// building the fine command and its HMB info-ring record.
@@ -92,11 +94,13 @@ type StageSeg struct {
 // nil check per mark site. Like the Recorder, a StageAccount belongs to
 // one single-threaded simulated system.
 type StageAccount struct {
-	active    bool
-	suspended int
-	start     sim.Time
-	cursor    sim.Time
-	segs      []StageSeg
+	active     bool
+	suspended  int
+	start      sim.Time
+	cursor     sim.Time
+	segs       []StageSeg
+	preArmed   bool
+	preArrival sim.Time
 
 	requests uint64
 	elapsed  sim.Time // sum of finished requests' end-to-end latencies
@@ -127,6 +131,22 @@ func (a *StageAccount) SetOnFinish(fn func(segs []StageSeg, start, end sim.Time)
 	}
 }
 
+// PreQueue arms the next Begin with the request's true arrival time: if
+// the request then enters the stack at a later dispatch time, the span
+// [arrival, dispatch) is attributed to StageQueue and the request's
+// end-to-end latency is measured from arrival. This is how the open-loop
+// harness makes admission-queueing delay a first-class stage while the
+// conservation invariant keeps holding — the queue segment is part of the
+// request's contiguous timeline, not a side channel. The arming applies
+// to exactly one Begin; closed-loop callers that never arm see no change.
+func (a *StageAccount) PreQueue(arrival sim.Time) {
+	if a == nil {
+		return
+	}
+	a.preArmed = true
+	a.preArrival = arrival
+}
+
 // Begin opens a request at virtual time now. A request already open is
 // discarded — the stack opens exactly one account scope per host request.
 func (a *StageAccount) Begin(now sim.Time) {
@@ -138,6 +158,13 @@ func (a *StageAccount) Begin(now sim.Time) {
 	a.start = now
 	a.cursor = now
 	a.segs = a.segs[:0]
+	if a.preArmed {
+		a.preArmed = false
+		if a.preArrival < now {
+			a.start = a.preArrival
+			a.segs = append(a.segs, StageSeg{Stage: StageQueue, Start: a.preArrival, End: now})
+		}
+	}
 }
 
 // Suspend pauses attribution until the matching Resume: marks and

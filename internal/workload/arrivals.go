@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"pipette/internal/sim"
+)
+
+// Arrivals generates the interarrival gaps of an open-loop request stream:
+// requests arrive on their own schedule whether or not earlier ones have
+// completed, which is what exposes queueing delay and saturation. (The
+// closed-loop mode — next request issues when the previous completes — is
+// a runner mode, not an Arrivals implementation.)
+//
+// All implementations are deterministic given their seed.
+type Arrivals interface {
+	Name() string
+	// Next returns the gap between the previous arrival and the next.
+	Next() sim.Time
+}
+
+// Poisson produces memoryless arrivals: exponential interarrival gaps with
+// the configured mean rate, the standard open-system load model.
+type Poisson struct {
+	meanNs float64
+	rng    *sim.RNG
+}
+
+// NewPoisson builds a Poisson arrival process offering ratePerSec requests
+// per second of virtual time.
+func NewPoisson(ratePerSec float64, seed uint64) (*Poisson, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %g must be positive", ratePerSec)
+	}
+	return &Poisson{meanNs: 1e9 / ratePerSec, rng: sim.NewRNG(seed)}, nil
+}
+
+// Name identifies the process.
+func (p *Poisson) Name() string { return "poisson" }
+
+// Next draws one exponential gap.
+func (p *Poisson) Next() sim.Time {
+	u := p.rng.Float64()
+	return sim.Time(-math.Log(1-u) * p.meanNs)
+}
+
+// Bursty produces on/off arrivals: bursts of Burst requests whose gaps run
+// Peak times faster than the long-run average, separated by idle gaps
+// sized so the overall offered rate still averages ratePerSec. The same
+// average load as Poisson, delivered in clumps — the tail-latency stress
+// pattern.
+type Bursty struct {
+	burst     int
+	peakGapNs float64 // mean gap within a burst
+	idleGapNs float64 // mean gap between bursts
+	rng       *sim.RNG
+	pos       int
+}
+
+// NewBursty builds a bursty arrival process: bursts of burst requests at
+// peak times the average rate, idling in between. peak must be > 1 and
+// burst >= 2.
+func NewBursty(ratePerSec float64, burst int, peak float64, seed uint64) (*Bursty, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %g must be positive", ratePerSec)
+	}
+	if burst < 2 {
+		return nil, fmt.Errorf("workload: burst size %d must be >= 2", burst)
+	}
+	if peak <= 1 {
+		return nil, fmt.Errorf("workload: peak factor %g must be > 1", peak)
+	}
+	meanNs := 1e9 / ratePerSec
+	// One cycle is burst-1 in-burst gaps plus one idle gap and must span
+	// burst mean gaps on average to preserve the offered rate.
+	idle := meanNs * (float64(burst) - float64(burst-1)/peak)
+	return &Bursty{
+		burst:     burst,
+		peakGapNs: meanNs / peak,
+		idleGapNs: idle,
+		rng:       sim.NewRNG(seed),
+	}, nil
+}
+
+// Name identifies the process.
+func (b *Bursty) Name() string { return "bursty" }
+
+// Next draws one gap: exponential at the peak rate within a burst, one
+// long exponential idle gap between bursts.
+func (b *Bursty) Next() sim.Time {
+	b.pos++
+	mean := b.peakGapNs
+	if b.pos%b.burst == 0 {
+		mean = b.idleGapNs
+	}
+	u := b.rng.Float64()
+	return sim.Time(-math.Log(1-u) * mean)
+}

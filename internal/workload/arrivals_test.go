@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pipette/internal/sim"
+)
+
+// Both arrival processes must offer their configured average rate: over
+// many draws the mean gap converges to 1/rate.
+func TestArrivalsPreserveOfferedRate(t *testing.T) {
+	const rate = 250_000.0 // 4 µs mean gap
+	poisson, err := NewPoisson(rate, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := NewBursty(rate, 64, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		arr  Arrivals
+	}{{"poisson", poisson}, {"bursty", bursty}} {
+		const n = 200_000
+		var total sim.Time
+		for i := 0; i < n; i++ {
+			gap := tc.arr.Next()
+			if gap < 0 {
+				t.Fatalf("%s: negative gap %v", tc.name, gap)
+			}
+			total += gap
+		}
+		mean := float64(total) / n
+		want := 1e9 / rate
+		if math.Abs(mean-want)/want > 0.03 {
+			t.Errorf("%s: mean gap %.0f ns, want %.0f ns ±3%%", tc.name, mean, want)
+		}
+	}
+}
+
+// Bursty must actually clump: in-burst gaps run at peak× the average
+// rate, with the idle gap between bursts making up the difference.
+func TestBurstyShape(t *testing.T) {
+	const rate, burst, peak = 100_000.0, 32, 4.0
+	b, err := NewBursty(rate, burst, peak, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inBurst, idle sim.Time
+	var nIn, nIdle int
+	for i := 0; i < 64_000; i++ {
+		gap := b.Next()
+		if b.pos%burst == 0 {
+			idle += gap
+			nIdle++
+		} else {
+			inBurst += gap
+			nIn++
+		}
+	}
+	meanIn := float64(inBurst) / float64(nIn)
+	meanIdle := float64(idle) / float64(nIdle)
+	wantIn := 1e9 / rate / peak
+	if math.Abs(meanIn-wantIn)/wantIn > 0.05 {
+		t.Errorf("in-burst mean gap %.0f ns, want %.0f ns", meanIn, wantIn)
+	}
+	if meanIdle < 10*meanIn {
+		t.Errorf("idle gap %.0f ns not clearly longer than in-burst %.0f ns", meanIdle, meanIn)
+	}
+}
+
+// The processes are deterministic: the same seed replays the same gaps.
+func TestArrivalsDeterministicBySeed(t *testing.T) {
+	a, _ := NewPoisson(1e6, 42)
+	b, _ := NewPoisson(1e6, 42)
+	c, _ := NewBursty(1e6, 8, 2, 42)
+	d, _ := NewBursty(1e6, 8, 2, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("poisson diverged with identical seeds")
+		}
+		if c.Next() != d.Next() {
+			t.Fatal("bursty diverged with identical seeds")
+		}
+	}
+}
+
+// Invalid parameters are rejected.
+func TestArrivalsValidation(t *testing.T) {
+	if _, err := NewPoisson(0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewBursty(-1, 4, 2, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewBursty(1e6, 1, 2, 1); err == nil {
+		t.Error("burst of 1 accepted")
+	}
+	if _, err := NewBursty(1e6, 4, 1, 1); err == nil {
+		t.Error("peak of 1 accepted")
+	}
+}
