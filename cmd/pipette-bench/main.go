@@ -9,6 +9,8 @@
 //	pipette-bench -exp phases,kv,faults   # comma-separated selection
 //	pipette-bench -exp qdepth             # open-loop saturation sweep
 //	pipette-bench -exp qdepth -export-out qd.json  # curves for pipette-report
+//	pipette-bench -exp cluster            # sharded serving tier sweep
+//	pipette-bench -exp cluster -shards 8 -replicas 1,3 -tenants 4 -skew 0,0.99
 //	pipette-bench -exp apps -scale full   # paper-scale (slow)
 //	pipette-bench -exp all -j 8           # parallel cells, identical output
 //	pipette-bench -exp all -json BENCH_quick.json
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,6 +56,10 @@ func main() {
 		statsInt  = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
 		faultProf = flag.String("fault-profile", "", "arm fault injection on every engine: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
 		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
+		shards    = flag.Int("shards", 0, "cluster experiment: shard count (0 = scale default)")
+		replicas  = flag.String("replicas", "", "cluster experiment: replication factors to sweep, comma-separated (empty = scale default)")
+		tenants   = flag.Int("tenants", 0, "cluster experiment: tenant count (0 = scale default)")
+		skew      = flag.String("skew", "", "cluster experiment: tenant Zipf thetas to sweep, comma-separated, 0 = uniform (empty = scale default)")
 	)
 	flag.Parse()
 
@@ -86,6 +93,28 @@ func main() {
 	} else {
 		scale.Fault = prof
 		scale.FaultSeed = *faultSeed
+	}
+	if *shards > 0 {
+		scale.ClusterShards = *shards
+	}
+	if *tenants > 0 {
+		scale.ClusterTenants = *tenants
+	}
+	if *replicas != "" {
+		rs, err := parseIntList(*replicas)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-bench: -replicas: %v\n", err)
+			os.Exit(2)
+		}
+		scale.ClusterReplicas = rs
+	}
+	if *skew != "" {
+		sk, err := parseFloatList(*skew)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-bench: -skew: %v\n", err)
+			os.Exit(2)
+		}
+		scale.ClusterSkews = sk
 	}
 	if *compare && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "pipette-bench: -compare needs -baseline")
@@ -191,6 +220,30 @@ func main() {
 	}
 }
 
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // runExperiments executes a comma-separated experiment selection against
 // one shared pool, so the perf summary covers every cell.
 func runExperiments(sel string, scale bench.Scale, topts bench.TelemetryOpts, pool *bench.Pool) error {
@@ -220,6 +273,9 @@ func runExperiments(sel string, scale bench.Scale, topts bench.TelemetryOpts, po
 		} else if exp.ID == "qdepth" {
 			// The qdepth experiment honours -export-out.
 			err = bench.WriteQDepth(os.Stdout, scale, topts, pool)
+		} else if exp.ID == "cluster" {
+			// The cluster experiment honours -export-out.
+			err = bench.WriteCluster(os.Stdout, scale, topts, pool)
 		} else {
 			err = exp.Run(os.Stdout, scale, pool)
 		}

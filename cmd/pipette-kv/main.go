@@ -12,6 +12,14 @@
 //	pipette-kv -records 50000 -values 64 -seed 7
 //	pipette-kv -listen :9102                  # live /metrics while replaying
 //	pipette-kv -fault-profile nand.read:rber*20,hmb.ring:0.01
+//
+// With -shards > 0 the command serves the keyspace from a sharded
+// multi-SSD tier instead of one device: consistent-hash routing,
+// R-way replication, per-tenant namespaces and QoS. A fault profile then
+// degrades member 0 only — the tier, not the experiment, absorbs it.
+//
+//	pipette-kv -shards 4 -replicas 2 -tenants 2 -skew 0.99 -records 4096 -ops 20000
+//	pipette-kv -shards 4 -replicas 2 -fault-profile nand.read:0.6 -listen :9102
 package main
 
 import (
@@ -24,7 +32,9 @@ import (
 
 	"pipette"
 	"pipette/internal/buildinfo"
+	"pipette/internal/cluster"
 	"pipette/internal/fault"
+	"pipette/internal/kv"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 	"pipette/internal/workload"
@@ -45,6 +55,13 @@ func main() {
 		listen   = flag.String("listen", "", "serve live /metrics, /healthz, and /progress on this address (e.g. :9102)")
 		faultProf = flag.String("fault-profile", "", "arm fault injection: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
 		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
+
+		shards     = flag.Int("shards", 0, "serve from a sharded multi-SSD tier with this many members (0 = single device)")
+		replicas   = flag.Int("replicas", 1, "cluster mode: copies per key")
+		tenants    = flag.Int("tenants", 1, "cluster mode: tenant namespaces")
+		skew       = flag.Float64("skew", 0, "cluster mode: per-tenant Zipf theta in [0,1), 0 = uniform keys")
+		rate       = flag.Float64("rate", 60_000, "cluster mode: offered Poisson arrival rate (ops/s)")
+		tenantRate = flag.Float64("tenant-rate", 0, "cluster mode: per-tenant token-bucket rate (ops/s, 0 = no limit)")
 	)
 	flag.Parse()
 	if *version {
@@ -53,6 +70,25 @@ func main() {
 	}
 	if _, err := fault.ParseProfile(*faultProf); err != nil {
 		log.Fatalf("pipette-kv: %v", err)
+	}
+
+	if *shards > 0 {
+		if err := runCluster(clusterOpts{
+			shards:     *shards,
+			replicas:   *replicas,
+			tenants:    *tenants,
+			skew:       *skew,
+			rate:       *rate,
+			tenantRate: *tenantRate,
+			records:    *records,
+			ops:        *ops,
+			listen:     *listen,
+			faultProf:  *faultProf,
+			faultSeed:  *faultSeed,
+		}); err != nil {
+			log.Fatalf("pipette-kv: %v", err)
+		}
+		return
 	}
 
 	sys, err := pipette.New(pipette.Options{
@@ -90,6 +126,141 @@ func main() {
 
 	fmt.Println("system report:")
 	fmt.Println(sys.Report())
+}
+
+// clusterOpts carries the cluster-mode flag values.
+type clusterOpts struct {
+	shards, replicas, tenants int
+	skew, rate, tenantRate    float64
+	records                   uint64
+	ops                       int
+	listen, faultProf         string
+	faultSeed                 uint64
+}
+
+// runCluster serves the keyspace from the sharded tier: load every
+// tenant's records onto their replica sets, seal (arming member 0's fault
+// profile, if any), replay a multi-tenant open-loop stream, and print the
+// tier's ledger. With -listen, one /metrics scrape covers every member via
+// per-shard labels.
+func runCluster(o clusterOpts) error {
+	cfg := cluster.Config{
+		Shards:     o.shards,
+		Replicas:   o.replicas,
+		Tenants:    o.tenants,
+		Depth:      16,
+		MaxQueue:   64,
+		TenantRate: o.tenantRate,
+	}
+	if o.replicas > 1 {
+		cfg.ReadPolicy = cluster.ReadHedged
+		cfg.HedgeDelay = 50 * sim.Microsecond
+	}
+	prof, err := fault.ParseProfile(o.faultProf)
+	if err != nil {
+		return err
+	}
+	// Size each member for its slice of the replicated keyspace (values
+	// average ~290 B; x3 slack covers log churn and placement imbalance).
+	perShard := int64(o.records) * int64(o.tenants) * int64(o.replicas) * 290 * 3 / int64(o.shards)
+	if perShard < 4<<20 {
+		perShard = 4 << 20
+	}
+	c, err := cluster.New(cfg, func(id int) cluster.ShardConfig {
+		sc := cluster.ShardConfig{DatasetBytes: perShard, FineReads: true}
+		if id == 0 && !prof.Empty() {
+			sc.Fault = prof
+			sc.FaultSeed = o.faultSeed
+			sc.ECCUncorrectableFrac = 0.5
+		}
+		return sc
+	})
+	if err != nil {
+		return err
+	}
+
+	if o.listen != "" {
+		reg := telemetry.NewRegistry(telemetry.L("job", "pipette-kv"))
+		buildinfo.Register(reg, "pipette-kv")
+		c.RegisterMetrics(reg)
+		srv, err := telemetry.Serve(o.listen, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pipette-kv: serving /metrics and /healthz on http://%s\n", srv.Addr())
+	}
+
+	key := func(k uint64) string { return fmt.Sprintf("user%010d", k) }
+	var buf []byte
+	for t := 0; t < o.tenants; t++ {
+		for k := uint64(0); k < o.records; k++ {
+			buf = value(buf, k^uint64(t)<<48, 0, 0)
+			if err := c.Load(kv.NamespaceKey(t, key(k)), buf); err != nil {
+				return err
+			}
+		}
+	}
+	start, err := c.SealLoad()
+	if err != nil {
+		return err
+	}
+
+	tcfgs := make([]workload.TenantConfig, o.tenants)
+	for t := range tcfgs {
+		tcfgs[t] = workload.TenantConfig{Weight: 1, Theta: o.skew, ReadFraction: 0.9}
+	}
+	mt, err := workload.NewMultiTenant(o.records, tcfgs, 42)
+	if err != nil {
+		return err
+	}
+	arr, err := workload.NewPoisson(o.rate, 99)
+	if err != nil {
+		return err
+	}
+	var reqBuf []byte
+	next := func() cluster.Request {
+		r := mt.Next()
+		req := cluster.Request{Tenant: r.Tenant, Write: r.Write,
+			Key: kv.NamespaceKey(r.Tenant, key(r.Record))}
+		if r.Write {
+			reqBuf = value(reqBuf, r.Record^uint64(r.Tenant)<<48, 1, 0)
+			req.Val = reqBuf
+		}
+		return req
+	}
+	res, err := c.Replay(next, o.ops, cluster.ReplayOpts{
+		Arrivals:            arr,
+		Start:               start,
+		TickEvery:           256,
+		TolerateMediaErrors: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cluster: %d shards, R=%d, %d tenants, zipf %.2f; %d records/tenant loaded in %v\n",
+		o.shards, cfg.Replicas, o.tenants, o.skew, o.records, start)
+	fmt.Printf("  %d offered in %v: %d ok (%.0f ops/s goodput), %d rejected, %d throttled, %d lost\n",
+		res.Arrived, res.Elapsed, res.Hist.Count(), res.Goodput(),
+		res.Rejected, res.Throttled, res.Lost)
+	fmt.Printf("  latency: mean %.2f us, p50 %.2f us, p99 %.2f us\n",
+		res.Hist.Mean().Micros(), res.Hist.Quantile(0.50).Micros(), res.Hist.Quantile(0.99).Micros())
+	for _, ts := range res.Tenants {
+		fmt.Printf("  tenant %d: %d arrived, %d throttled, %d rejected, %d lost, p99 %.2f us\n",
+			ts.Tenant, ts.Arrived, ts.Throttled, ts.Rejected, ts.Lost,
+			ts.Hist.Quantile(0.99).Micros())
+	}
+	for _, ss := range res.Shards {
+		mark := ""
+		if ss.Faulted {
+			mark = " (fault profile armed)"
+		}
+		fmt.Printf("  shard %d: %d primary, %d execs, %d repl.writes, %d hedges, %d failovers, %d rejected, %d media errors%s\n",
+			ss.Shard, ss.Primary, ss.Executions, ss.ReplicaWrites,
+			ss.Hedges, ss.Failovers, ss.Rejected, ss.MediaErrors, mark)
+	}
+	return nil
 }
 
 func value(buf []byte, key uint64, ver uint32, fixed int) []byte {

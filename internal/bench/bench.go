@@ -66,6 +66,27 @@ type Scale struct {
 	QDepthRates    []float64
 	QDepthRequests int
 
+	// cluster experiment: the sharded serving tier. ClusterShards members,
+	// each a private SSD stack sized for ClusterShardBytes of live records;
+	// ClusterReplicas are the replication factors swept, ClusterSkews the
+	// hot tenant's Zipf thetas (0 = uniform), ClusterTenants the tenant
+	// count, ClusterRecords the records preloaded per tenant,
+	// ClusterRequests the replay length per cell, ClusterRate the offered
+	// Poisson arrival rate in ops/s, ClusterDepth/ClusterQueue the
+	// per-shard in-flight and FIFO bounds, and ClusterTenantRate the
+	// per-tenant token-bucket rate (ops/s).
+	ClusterShards     int
+	ClusterReplicas   []int
+	ClusterSkews      []float64
+	ClusterTenants    int
+	ClusterRecords    uint64
+	ClusterRequests   int
+	ClusterRate       float64
+	ClusterDepth      int
+	ClusterQueue      int
+	ClusterTenantRate float64
+	ClusterShardBytes int64
+
 	// Fault injection: Fault is empty by default (the Nop injector, zero
 	// overhead, byte-identical output); the faults experiment overrides it
 	// per sweep level. FaultSeed drives the deterministic decision streams.
@@ -76,75 +97,108 @@ type Scale struct {
 // FullScale mirrors the paper.
 func FullScale() Scale {
 	return Scale{
-		Name:             "full",
-		Requests:         2_500_000,
-		FilePages:        761_242,
-		PageCachePages:   256 << 10, // 1 GiB
-		FGRCDataBytes:    256 << 20,
-		RecTableBytes:    4 << 30,
-		GraphNodes:       24 << 20,
-		AppRequests:      2_500_000,
-		LatencySizes:     []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
-		LatencyFilePages: 12 << 10,
-		LatencyPCPages:   1 << 10,
-		LatencyRequests:  100_000,
-		LatencyWarmup:    200_000,
-		KVRecords:        1_000_000,
-		KVRequests:       1_000_000,
-		QDepths:          []int{1, 8, 64, 256},
-		QDepthRates:      []float64{25_000, 100_000, 400_000, 1_600_000, 6_400_000},
-		QDepthRequests:   200_000,
-		FaultSeed:        0x5eed,
+		Name:              "full",
+		Requests:          2_500_000,
+		FilePages:         761_242,
+		PageCachePages:    256 << 10, // 1 GiB
+		FGRCDataBytes:     256 << 20,
+		RecTableBytes:     4 << 30,
+		GraphNodes:        24 << 20,
+		AppRequests:       2_500_000,
+		LatencySizes:      []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
+		LatencyFilePages:  12 << 10,
+		LatencyPCPages:    1 << 10,
+		LatencyRequests:   100_000,
+		LatencyWarmup:     200_000,
+		KVRecords:         1_000_000,
+		KVRequests:        1_000_000,
+		QDepths:           []int{1, 8, 64, 256},
+		QDepthRates:       []float64{25_000, 100_000, 400_000, 1_600_000, 6_400_000},
+		QDepthRequests:    200_000,
+		ClusterShards:     16,
+		ClusterReplicas:   []int{1, 2, 3},
+		ClusterSkews:      []float64{0, 0.99},
+		ClusterTenants:    8,
+		ClusterRecords:    65_536,
+		ClusterRequests:   200_000,
+		ClusterRate:       150_000,
+		ClusterDepth:      32,
+		ClusterQueue:      128,
+		ClusterTenantRate: 40_000,
+		ClusterShardBytes: 32 << 20,
+		FaultSeed:         0x5eed,
 	}
 }
 
 // QuickScale is the default: ~1/24 of the paper with ratios preserved.
 func QuickScale() Scale {
 	return Scale{
-		Name:             "quick",
-		Requests:         104_000,
-		FilePages:        31_718,
-		PageCachePages:   10 << 10, // 40 MiB
-		FGRCDataBytes:    12 << 20,
-		RecTableBytes:    768 << 20,
-		GraphNodes:       2 << 20,
-		AppRequests:      180_000,
-		LatencySizes:     []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
-		LatencyFilePages: 768,
-		LatencyPCPages:   96,
-		LatencyRequests:  5_000,
-		LatencyWarmup:    10_000,
-		KVRecords:        60_000,
-		KVRequests:       60_000,
-		QDepths:          []int{1, 8, 64},
-		QDepthRates:      []float64{25_000, 100_000, 400_000, 1_600_000, 6_400_000},
-		QDepthRequests:   20_000,
-		FaultSeed:        0x5eed,
+		Name:              "quick",
+		Requests:          104_000,
+		FilePages:         31_718,
+		PageCachePages:    10 << 10, // 40 MiB
+		FGRCDataBytes:     12 << 20,
+		RecTableBytes:     768 << 20,
+		GraphNodes:        2 << 20,
+		AppRequests:       180_000,
+		LatencySizes:      []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
+		LatencyFilePages:  768,
+		LatencyPCPages:    96,
+		LatencyRequests:   5_000,
+		LatencyWarmup:     10_000,
+		KVRecords:         60_000,
+		KVRequests:        60_000,
+		QDepths:           []int{1, 8, 64},
+		QDepthRates:       []float64{25_000, 100_000, 400_000, 1_600_000, 6_400_000},
+		QDepthRequests:    20_000,
+		ClusterShards:     8,
+		ClusterReplicas:   []int{1, 2, 3},
+		ClusterSkews:      []float64{0, 0.99},
+		ClusterTenants:    4,
+		ClusterRecords:    8_192,
+		ClusterRequests:   20_000,
+		ClusterRate:       60_000,
+		ClusterDepth:      16,
+		ClusterQueue:      64,
+		ClusterTenantRate: 20_000,
+		ClusterShardBytes: 8 << 20,
+		FaultSeed:         0x5eed,
 	}
 }
 
 // TinyScale is for tests of the harness itself.
 func TinyScale() Scale {
 	return Scale{
-		Name:             "tiny",
-		Requests:         6_000,
-		FilePages:        1_830,
-		PageCachePages:   600,
-		FGRCDataBytes:    1 << 20,
-		RecTableBytes:    48 << 20,
-		GraphNodes:       160 << 10,
-		AppRequests:      12_000,
-		LatencySizes:     []int{8, 128, 1024, 4096},
-		LatencyFilePages: 48,
-		LatencyPCPages:   8,
-		LatencyRequests:  400,
-		LatencyWarmup:    1_200,
-		KVRecords:        4_000,
-		KVRequests:       3_000,
-		QDepths:          []int{1, 16},
-		QDepthRates:      []float64{50_000, 400_000, 3_200_000, 12_800_000},
-		QDepthRequests:   2_500,
-		FaultSeed:        0x5eed,
+		Name:              "tiny",
+		Requests:          6_000,
+		FilePages:         1_830,
+		PageCachePages:    600,
+		FGRCDataBytes:     1 << 20,
+		RecTableBytes:     48 << 20,
+		GraphNodes:        160 << 10,
+		AppRequests:       12_000,
+		LatencySizes:      []int{8, 128, 1024, 4096},
+		LatencyFilePages:  48,
+		LatencyPCPages:    8,
+		LatencyRequests:   400,
+		LatencyWarmup:     1_200,
+		KVRecords:         4_000,
+		KVRequests:        3_000,
+		QDepths:           []int{1, 16},
+		QDepthRates:       []float64{50_000, 400_000, 3_200_000, 12_800_000},
+		QDepthRequests:    2_500,
+		ClusterShards:     4,
+		ClusterReplicas:   []int{1, 2},
+		ClusterSkews:      []float64{0, 0.99},
+		ClusterTenants:    2,
+		ClusterRecords:    2_048,
+		ClusterRequests:   1_500,
+		ClusterRate:       30_000,
+		ClusterDepth:      8,
+		ClusterQueue:      16,
+		ClusterTenantRate: 6_000,
+		ClusterShardBytes: 4 << 20,
+		FaultSeed:         0x5eed,
 	}
 }
 
@@ -236,6 +290,10 @@ type Result struct {
 	// under TolerateMediaErrors; the snapshot's Ops is goodput (requests
 	// minus Lost), and lost requests do not enter the latency histogram.
 	Lost uint64
+	// Rejected counts open-loop arrivals bounced off a full admission FIFO
+	// (OpenLoopOpts.MaxQueue). Rejected requests never dispatch: they are
+	// excluded from goodput and from the latency histogram.
+	Rejected uint64
 }
 
 // Run replays requests from gen against e and measures the paper's
@@ -349,7 +407,25 @@ func ExportRun(name, wl string, r *Result) report.Run {
 		QueueDepth:       r.Depth,
 		Arrivals:         r.Arrivals,
 		Lost:             r.Lost,
+		Rejected:         r.Rejected,
 	}
+}
+
+func addIO(a *metrics.IO, b metrics.IO) {
+	a.BytesRequested += b.BytesRequested
+	a.BytesTransferred += b.BytesTransferred
+	a.BytesWritten += b.BytesWritten
+	a.BlockReads += b.BlockReads
+	a.FineReads += b.FineReads
+	a.Writes += b.Writes
+}
+
+func addCache(a *metrics.Cache, b metrics.Cache) {
+	a.Hits += b.Hits
+	a.Accesses += b.Accesses
+	a.Insertions += b.Insertions
+	a.Evictions += b.Evictions
+	a.Bypasses += b.Bypasses
 }
 
 func subIO(a *metrics.IO, b metrics.IO) {

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pipette/internal/report"
+)
+
+// clusterTestScale shrinks the sweep so the grid (2 replication factors x
+// 1 skew x healthy/degraded = 4 cells) runs in test time while still
+// exercising replication, hedging, QoS throttling, and the degraded
+// member's failover path.
+func clusterTestScale() Scale {
+	s := TinyScale()
+	s.ClusterShards = 3
+	s.ClusterReplicas = []int{1, 2}
+	s.ClusterSkews = []float64{0.99}
+	s.ClusterTenants = 2
+	s.ClusterRecords = 512
+	s.ClusterRequests = 500
+	s.ClusterRate = 30_000
+	s.ClusterDepth = 4
+	s.ClusterQueue = 8
+	s.ClusterTenantRate = 2_000 // low enough to beat the bucket's burst in a short run
+	s.ClusterShardBytes = 4 << 20
+	return s
+}
+
+// TestClusterDeterministicAcrossWorkers runs the cluster experiment at
+// -j 1 and -j 8 and requires the stdout tables, the export bundle, and the
+// rendered report HTML to be byte-identical — including the degraded-mode
+// cells, where the faulted member's injection stream must not leak
+// host-scheduling order into the shared-nothing cells.
+func TestClusterDeterministicAcrossWorkers(t *testing.T) {
+	s := clusterTestScale()
+	dir := t.TempDir()
+	outs := make([]bytes.Buffer, 2)
+	exports := make([][]byte, 2)
+	htmls := make([][]byte, 2)
+	for i, workers := range []int{1, 8} {
+		path := filepath.Join(dir, "cluster.json")
+		if err := WriteCluster(&outs[i], s, TelemetryOpts{ExportOut: path}, NewPool(workers)); err != nil {
+			t.Fatalf("-j %d: %v", workers, err)
+		}
+		var err error
+		if exports[i], err = os.ReadFile(path); err != nil {
+			t.Fatal(err)
+		}
+		exp, err := report.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h bytes.Buffer
+		if err := report.WriteHTML(&h, "cluster", []*report.Export{exp}); err != nil {
+			t.Fatal(err)
+		}
+		htmls[i] = h.Bytes()
+	}
+	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
+		t.Error("cluster stdout differs between -j 1 and -j 8")
+	}
+	if !bytes.Equal(exports[0], exports[1]) {
+		t.Error("export bundle differs between -j 1 and -j 8")
+	}
+	if !bytes.Equal(htmls[0], htmls[1]) {
+		t.Error("rendered HTML differs between -j 1 and -j 8")
+	}
+
+	out := outs[0].String()
+	for _, want := range []string{"per-shard ledger", "degraded", "hedged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster stdout misses %q", want)
+		}
+	}
+	for _, want := range []string{"Cluster summary", "Per-shard utilization"} {
+		if !strings.Contains(string(htmls[0]), want) {
+			t.Errorf("cluster report HTML misses %q", want)
+		}
+	}
+}
+
+// TestClusterCellMeasuresTier runs one degraded, replicated cell directly
+// and checks the measurement invariants the sweep's tables rely on: the
+// ledger conserves arrivals, the QoS limiter throttles the heavy tenant,
+// the faulted member records media errors that surviving replicas absorb,
+// and the snapshot's goodput matches the histogram.
+func TestClusterCellMeasuresTier(t *testing.T) {
+	s := clusterTestScale()
+	slot, err := runClusterCell(s, clusterPoint{replicas: 2, skew: 0.99, degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres := slot.cres
+	if cres.Arrived != uint64(s.ClusterRequests) {
+		t.Fatalf("arrived %d, want %d", cres.Arrived, s.ClusterRequests)
+	}
+	if cres.Admitted+cres.Rejected+cres.Throttled != cres.Arrived {
+		t.Fatalf("ledger does not conserve: %+v", cres)
+	}
+	if cres.Throttled == 0 {
+		t.Error("per-tenant QoS never throttled the heavy tenant")
+	}
+	var media uint64
+	for _, ss := range cres.Shards {
+		media += ss.MediaErrors
+	}
+	if media == 0 {
+		t.Error("degraded member recorded no media errors")
+	}
+	if cres.Lost*10 > cres.Admitted {
+		t.Errorf("replication failed to absorb the faults: %d/%d lost", cres.Lost, cres.Admitted)
+	}
+	if slot.res.Snapshot.Ops != cres.Hist.Count() {
+		t.Errorf("snapshot ops %d != histogram count %d", slot.res.Snapshot.Ops, cres.Hist.Count())
+	}
+	if len(slot.shards) != s.ClusterShards {
+		t.Fatalf("shard summaries: got %d, want %d", len(slot.shards), s.ClusterShards)
+	}
+	if !slot.shards[0].Faulted {
+		t.Error("shard 0 not marked faulted in the summary")
+	}
+	var util float64
+	for _, ss := range slot.shards {
+		if ss.Utilization > util {
+			util = ss.Utilization
+		}
+	}
+	if util <= 0 {
+		t.Error("no shard recorded replay utilization")
+	}
+}

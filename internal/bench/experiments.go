@@ -91,6 +91,14 @@ func Experiments() []Experiment {
 				return WriteQDepth(w, s, TelemetryOpts{}, p)
 			},
 		},
+		{
+			ID:        "cluster",
+			Artifacts: []string{"tier"},
+			Title:     "Sharded serving tier: replication x skew, per-tenant QoS, degraded mode (beyond the paper)",
+			Run: func(w io.Writer, s Scale, p *Pool) error {
+				return WriteCluster(w, s, TelemetryOpts{}, p)
+			},
+		},
 	}
 }
 

@@ -22,6 +22,10 @@ type OpenLoopOpts struct {
 	// admission FIFO, and that wait is attributed to the queue stage.
 	// Values < 1 clamp to 1.
 	Depth int
+	// MaxQueue bounds the admission FIFO itself: an arrival that would
+	// have to wait behind MaxQueue queued requests is rejected with
+	// backpressure and counted on Result.Rejected. 0 = unbounded.
+	MaxQueue int
 	// Offered is the nominal arrival rate in ops/s, recorded on the
 	// result for reporting (the achieved rate comes from the snapshot).
 	Offered float64
@@ -138,11 +142,16 @@ func RunOpenLoop(e baseline.Engine, gen workload.Generator, requests int, opts O
 	}
 	var arrive func(now sim.Time)
 	arrive = func(now sim.Time) {
-		queue = append(queue, pending{arrival: now, req: gen.Next()})
+		req := gen.Next()
 		arrived++
 		if arrived < requests {
 			eng.At(now+opts.Arrivals.Next(), arrive)
 		}
+		if opts.MaxQueue > 0 && inFlight >= depth && len(queue)-head >= opts.MaxQueue {
+			res.Rejected++ // backpressure: the FIFO is full, drop at arrival
+			return
+		}
+		queue = append(queue, pending{arrival: now, req: req})
 		admit(now)
 	}
 	eng.At(opts.Arrivals.Next(), arrive)
@@ -157,7 +166,7 @@ func RunOpenLoop(e baseline.Engine, gen workload.Generator, requests int, opts O
 	subIO(&snap.IO, base.IO)
 	subCache(&snap.PageCache, base.PageCache)
 	subCache(&snap.FineCache, base.FineCache)
-	snap.Ops = uint64(requests) - res.Lost
+	snap.Ops = uint64(requests) - res.Lost - res.Rejected
 	snap.Elapsed = lastDone
 	snap.MeanLat = res.Hist.Mean()
 	snap.P99Lat = res.Hist.Quantile(0.99)
@@ -343,7 +352,7 @@ func WriteQDepth(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err error) 
 func renderQDepthTable(w io.Writer, points []qdepthPoint, slots []*Result) {
 	t := &simpleTable{header: []string{
 		"engine", "qd", "arrivals", "offered/s", "achieved/s",
-		"mean(us)", "p50(us)", "p99(us)", "queue(us)"}}
+		"mean(us)", "p50(us)", "p99(us)", "queue(us)", "rejected"}}
 	for i, pt := range points {
 		r := slots[i]
 		if r == nil {
@@ -372,6 +381,7 @@ func renderQDepthTable(w io.Writer, points []qdepthPoint, slots []*Result) {
 			fmt.Sprintf("%.2f", r.Hist.Quantile(0.50).Micros()),
 			fmt.Sprintf("%.2f", r.Hist.Quantile(0.99).Micros()),
 			fmt.Sprintf("%.2f", queueUs),
+			fmt.Sprintf("%d", r.Rejected),
 		)
 	}
 	io.WriteString(w, t.render())

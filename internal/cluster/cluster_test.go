@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pipette/internal/fault"
+	"pipette/internal/kv"
+	"pipette/internal/sim"
+	"pipette/internal/workload"
+)
+
+// testVal derives a deterministic payload for (tenant, record).
+func testVal(tenant int, rec uint64) []byte {
+	h := sim.Mix64(uint64(tenant)<<40 ^ rec ^ 0xc1a5)
+	n := 64 + int(h%448)
+	out := make([]byte, n)
+	for i := range out {
+		h = sim.Mix64(h + uint64(i))
+		out[i] = byte(h)
+	}
+	return out
+}
+
+func testKey(tenant int, rec uint64) string {
+	return kv.NamespaceKey(tenant, fmt.Sprintf("user%08d", rec))
+}
+
+type testClusterOpts struct {
+	cfg     Config
+	records uint64 // per tenant
+	fault   string // profile armed on shard 0
+}
+
+func buildTestCluster(t *testing.T, o testClusterOpts) (*Cluster, sim.Time) {
+	t.Helper()
+	var prof fault.Profile
+	if o.fault != "" {
+		p, err := fault.ParseProfile(o.fault)
+		if err != nil {
+			t.Fatalf("parse profile: %v", err)
+		}
+		prof = p
+	}
+	c, err := New(o.cfg, func(id int) ShardConfig {
+		// Caches are budgeted at 1/8 of DatasetBytes; tests that need media
+		// traffic (queueing, hedging, fault injection) pass enough records
+		// to spill them.
+		sc := ShardConfig{DatasetBytes: 4 << 20, FineReads: true}
+		if id == 0 && o.fault != "" {
+			sc.Fault, sc.FaultSeed = prof, 7
+			sc.ECCUncorrectableFrac = 0.5 // a dying member, not a flaky one
+		}
+		return sc
+	})
+	if err != nil {
+		t.Fatalf("new cluster: %v", err)
+	}
+	for tn := 0; tn < o.cfg.Tenants; tn++ {
+		for rec := uint64(0); rec < o.records; rec++ {
+			if err := c.Load(testKey(tn, rec), testVal(tn, rec)); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+		}
+	}
+	start, err := c.SealLoad()
+	if err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	return c, start
+}
+
+func testReplay(t *testing.T, c *Cluster, start sim.Time, records uint64, requests int) *Result {
+	t.Helper()
+	mt, err := workload.NewMultiTenant(records, []workload.TenantConfig{
+		{Weight: 3, Theta: 0.99, ReadFraction: 0.9},
+		{Weight: 1, Theta: 0, ReadFraction: 0.7},
+	}, 42)
+	if err != nil {
+		t.Fatalf("multitenant: %v", err)
+	}
+	arr, err := workload.NewPoisson(30000, 99)
+	if err != nil {
+		t.Fatalf("poisson: %v", err)
+	}
+	res, err := c.Replay(func() Request {
+		r := mt.Next()
+		req := Request{Tenant: r.Tenant, Write: r.Write, Key: testKey(r.Tenant, r.Record)}
+		if r.Write {
+			req.Val = testVal(r.Tenant, r.Record)
+		}
+		return req
+	}, requests, ReplayOpts{Arrivals: arr, Start: start, TickEvery: 64, TolerateMediaErrors: true})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return res
+}
+
+// Every loaded record must be readable from every replica with identical
+// bytes — replication actually placed R copies.
+func TestClusterReadBackAllReplicas(t *testing.T) {
+	t.Parallel()
+	c, start := buildTestCluster(t, testClusterOpts{
+		cfg:     Config{Shards: 4, Replicas: 2, Tenants: 2},
+		records: 64,
+	})
+	now := start
+	var reps []int
+	for tn := 0; tn < 2; tn++ {
+		for rec := uint64(0); rec < 64; rec++ {
+			key := testKey(tn, rec)
+			reps = c.Route(key, reps)
+			if len(reps) != 2 {
+				t.Fatalf("key %q: %d replicas, want 2", key, len(reps))
+			}
+			for _, r := range reps {
+				got, done, err := c.Shard(r).Store.Get(now, key, nil)
+				if err != nil {
+					t.Fatalf("key %q shard %d: %v", key, r, err)
+				}
+				if !bytes.Equal(got, testVal(tn, rec)) {
+					t.Fatalf("key %q shard %d: payload mismatch", key, r)
+				}
+				if done > now {
+					now = done
+				}
+			}
+		}
+	}
+}
+
+// The whole-cluster replay must be a pure function of its inputs: two
+// identical clusters replaying the same stream produce deeply equal
+// results, including per-shard and per-tenant ledgers.
+func TestClusterReplayDeterministic(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"primary", Config{Shards: 4, Replicas: 2, Tenants: 2, Depth: 8, MaxQueue: 32}},
+		{"fanout", Config{Shards: 4, Replicas: 3, Tenants: 2, ReadPolicy: ReadFanout}},
+		{"hedged", Config{Shards: 4, Replicas: 2, Tenants: 2, ReadPolicy: ReadHedged, HedgeDelay: 50_000}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			run := func() *Result {
+				c, start := buildTestCluster(t, testClusterOpts{cfg: tc.cfg, records: 512})
+				return testReplay(t, c, start, 512, 400)
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("replays diverge:\n%+v\nvs\n%+v", a, b)
+			}
+			if a.Hist.Count() == 0 {
+				t.Fatal("no successful requests")
+			}
+			if a.Arrived != a.Admitted+a.Rejected+a.Throttled {
+				t.Fatalf("arrival conservation broken: %d != %d+%d+%d", a.Arrived, a.Admitted, a.Rejected, a.Throttled)
+			}
+			if a.Admitted != a.Hist.Count()+a.Lost {
+				t.Fatalf("admission conservation broken: %d != %d+%d", a.Admitted, a.Hist.Count(), a.Lost)
+			}
+			var tenantArrived uint64
+			for _, ts := range a.Tenants {
+				tenantArrived += ts.Arrived
+			}
+			if tenantArrived != a.Arrived {
+				t.Fatalf("tenant ledgers cover %d arrivals, want %d", tenantArrived, a.Arrived)
+			}
+		})
+	}
+}
+
+// A faulted member with R=2 must fail over instead of losing requests:
+// degraded mode serves reads from the surviving replica.
+func TestClusterDegradedFailover(t *testing.T) {
+	t.Parallel()
+	c, start := buildTestCluster(t, testClusterOpts{
+		cfg:     Config{Shards: 4, Replicas: 2, Tenants: 2},
+		records: 4096,
+		fault:   "nand.read:0.8",
+	})
+	res := testReplay(t, c, start, 4096, 600)
+	var failovers uint64
+	for _, ss := range res.Shards {
+		failovers += ss.Failovers
+	}
+	if !res.Shards[0].Faulted {
+		t.Fatal("shard 0 should report its armed fault profile")
+	}
+	if res.Shards[0].MediaErrors == 0 {
+		t.Fatal("faulted shard shows no media errors — profile not biting")
+	}
+	if failovers == 0 {
+		t.Fatal("no failovers despite a faulted primary")
+	}
+	if res.Lost*10 > res.Admitted {
+		t.Fatalf("degraded mode lost %d of %d admitted — failover not absorbing faults", res.Lost, res.Admitted)
+	}
+	// And the degraded replay is reproducible too.
+	c2, start2 := buildTestCluster(t, testClusterOpts{
+		cfg:     Config{Shards: 4, Replicas: 2, Tenants: 2},
+		records: 4096,
+		fault:   "nand.read:0.8",
+	})
+	res2 := testReplay(t, c2, start2, 4096, 600)
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("degraded replay not deterministic")
+	}
+}
+
+// Fan-out reads must mask a faulted replica entirely (no failover hops,
+// minimal loss) and never complete later than the primary alone would.
+func TestClusterFanoutMasksFaults(t *testing.T) {
+	t.Parallel()
+	c, start := buildTestCluster(t, testClusterOpts{
+		cfg:     Config{Shards: 4, Replicas: 2, Tenants: 2, ReadPolicy: ReadFanout},
+		records: 4096,
+		fault:   "nand.read:0.8",
+	})
+	res := testReplay(t, c, start, 4096, 600)
+	var fanouts uint64
+	for _, ss := range res.Shards {
+		fanouts += ss.Fanouts
+	}
+	if fanouts == 0 {
+		t.Fatal("fan-out policy issued no fan-out reads")
+	}
+	if res.Lost*20 > res.Admitted {
+		t.Fatalf("fan-out lost %d of %d admitted", res.Lost, res.Admitted)
+	}
+}
+
+// A tiny depth and FIFO bound under a hot keyspace must reject with
+// backpressure, and a tight token bucket must throttle — and both must
+// keep the arrival ledger exact.
+func TestClusterBackpressureAndThrottle(t *testing.T) {
+	t.Parallel()
+	c, start := buildTestCluster(t, testClusterOpts{
+		cfg: Config{
+			Shards: 2, Replicas: 1, Tenants: 2,
+			Depth: 1, MaxQueue: 2,
+			TenantRate: 8000, TenantBurst: 64,
+		},
+		records: 8192,
+	})
+	res := testReplay(t, c, start, 8192, 500)
+	if res.Rejected == 0 {
+		t.Fatal("no FIFO rejects despite depth 1, queue 2")
+	}
+	if res.Throttled == 0 {
+		t.Fatal("no throttles despite an 8k ops/s tenant bucket under a 30k ops/s offered load")
+	}
+	if res.Arrived != res.Admitted+res.Rejected+res.Throttled {
+		t.Fatalf("arrival conservation broken: %d != %d+%d+%d", res.Arrived, res.Admitted, res.Rejected, res.Throttled)
+	}
+	var rej, thr uint64
+	for _, ts := range res.Tenants {
+		rej += ts.Rejected
+		thr += ts.Throttled
+	}
+	if rej != res.Rejected || thr != res.Throttled {
+		t.Fatalf("tenant ledgers (%d rej, %d thr) disagree with totals (%d, %d)", rej, thr, res.Rejected, res.Throttled)
+	}
+}
+
+// Hedged reads fire only when the primary is slow, and wins show up as a
+// latency improvement over never hedging under a hot shard.
+func TestClusterHedgedReads(t *testing.T) {
+	t.Parallel()
+	run := func(policy ReadPolicy, delay sim.Time) *Result {
+		c, start := buildTestCluster(t, testClusterOpts{
+			cfg:     Config{Shards: 4, Replicas: 2, Tenants: 2, Depth: 4, ReadPolicy: policy, HedgeDelay: delay},
+			records: 4096,
+		})
+		return testReplay(t, c, start, 4096, 600)
+	}
+	hedged := run(ReadHedged, 30_000)
+	var hedges uint64
+	for _, ss := range hedged.Shards {
+		hedges += ss.Hedges
+	}
+	if hedges == 0 {
+		t.Fatal("hedged policy with a 30µs trigger issued no hedges")
+	}
+	plain := run(ReadPrimary, 0)
+	if hedged.Hist.Count() == 0 || plain.Hist.Count() == 0 {
+		t.Fatal("empty replay")
+	}
+	if hq, pq := hedged.Hist.Quantile(0.99), plain.Hist.Quantile(0.99); hq > pq {
+		t.Logf("note: hedged p99 %v > primary p99 %v (hedges add load; not a failure)", hq, pq)
+	}
+}

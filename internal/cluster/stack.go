@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+
+	"pipette/internal/baseline"
+	"pipette/internal/blockdev"
+	"pipette/internal/core"
+	"pipette/internal/extfs"
+	"pipette/internal/fault"
+	"pipette/internal/kv"
+	"pipette/internal/metrics"
+	"pipette/internal/nvme"
+	"pipette/internal/resource"
+	"pipette/internal/sim"
+	"pipette/internal/ssd"
+	"pipette/internal/telemetry"
+	"pipette/internal/vfs"
+)
+
+// ShardConfig sizes one shard's private system. The flash is provisioned
+// for DatasetBytes of live KV records (log churn headroom included) and
+// the caches are budgeted at an eighth of the dataset — the miss-heavy
+// regime where the read path's granularity matters, mirroring the kv
+// experiment.
+type ShardConfig struct {
+	// DatasetBytes is the live record volume this shard must hold.
+	DatasetBytes int64
+	// FineReads serves Gets through the fine-grained read path.
+	FineReads bool
+	// SegmentBytes is the KV store's segment size (0 = kv default).
+	SegmentBytes int64
+	// Fault arms deterministic fault injection on this shard's stack; the
+	// empty profile is the zero-cost default. FaultSeed drives the per-site
+	// decision streams.
+	Fault     fault.Profile
+	FaultSeed uint64
+	// ECCUncorrectableFrac overrides the controller's default fraction of
+	// injected read errors that defeat the whole retry ladder (0 keeps the
+	// stack default). A dying member models as a high fraction.
+	ECCUncorrectableFrac float64
+}
+
+// Shard is one member of the cluster: a complete simulated SSD system with
+// a log-structured KV store on top, plus the stage account and resource
+// tracker every stack in this repo carries.
+type Shard struct {
+	ID    int
+	Store *kv.Store
+	SA    *telemetry.StageAccount
+	Res   *resource.Tracker
+
+	ctrl *ssd.Controller
+	v    *vfs.VFS
+	pip  *core.Pipette // nil for block-read shards
+	inj  *fault.Injector
+	cfg  ShardConfig
+
+	readBuf []byte // Get scratch, reused across executions
+
+	// loadClock is the shard's virtual-time frontier during Load; replay
+	// events always run at or after it, keeping per-shard time monotone.
+	loadClock sim.Time
+}
+
+// Faulted reports whether this shard carries a fault profile. The profile
+// arms at SealLoad — the device degrades in service, after its dataset is
+// in place — so preload is always clean.
+func (sh *Shard) Faulted() bool { return !sh.cfg.Fault.Empty() }
+
+// arm installs the shard's fault injector; a no-op without a profile.
+func (sh *Shard) arm() {
+	if sh.cfg.Fault.Empty() || sh.inj != nil {
+		return
+	}
+	inj := sh.cfg.Fault.NewInjector(sh.cfg.FaultSeed)
+	sh.inj = inj
+	sh.ctrl.SetInjector(inj)
+	sh.v.SetInjector(inj)
+}
+
+// Faults aggregates the shard's injection/recovery counters.
+func (sh *Shard) Faults() fault.Report {
+	var r fault.Report
+	if sh.inj == nil {
+		return r
+	}
+	f := sh.ctrl.Faults()
+	r = fault.Report{
+		Injected:         sh.inj.TotalInjected(),
+		ECCRetries:       f.ECCRetries,
+		Uncorrectable:    f.Uncorrectable,
+		RingCorruptions:  f.RingCorruptions,
+		DMACorruptions:   f.DMACorruptions,
+		ProgramRetries:   f.ProgramRetries,
+		WritebackRetries: sh.v.WritebackRetries(),
+	}
+	if sh.pip != nil {
+		r.RingFallbacks = sh.pip.RingFallbacks()
+		r.DMAFallbacks = sh.pip.DMAFallbacks()
+	}
+	return r
+}
+
+// Snapshot reports the shard stack's traffic and cache statistics, the
+// same accounting the baseline engines use so read amplification is
+// comparable across the tier.
+func (sh *Shard) Snapshot() metrics.Snapshot {
+	snap := metrics.Snapshot{Name: fmt.Sprintf("shard%d", sh.ID)}
+	snap.IO = sh.v.IO()
+	hits, accesses, ins, evs := sh.v.PageCache().Stats()
+	snap.PageCache = metrics.Cache{Hits: hits, Accesses: accesses, Insertions: ins, Evictions: evs}
+	if sh.pip != nil {
+		fio := sh.pip.IO()
+		snap.IO.BytesTransferred += fio.BytesTransferred
+		snap.IO.FineReads = fio.FineReads
+		snap.FineCache = sh.pip.CacheStats()
+	}
+	return snap
+}
+
+// NewShard assembles one shard: controller, driver, block layer, VFS,
+// optional fine-read core, and the KV store, with stage attribution and
+// resource occupancy threaded through every layer exactly like the
+// single-device stacks.
+func NewShard(id int, cfg ShardConfig) (*Shard, error) {
+	if cfg.DatasetBytes <= 0 {
+		return nil, fmt.Errorf("cluster: shard %d needs DatasetBytes > 0", id)
+	}
+	scfg := baseline.DefaultStackConfig(cfg.DatasetBytes * 3) // live + dead + headroom
+	cachePages := int(cfg.DatasetBytes / 4096 / 8)
+	if cachePages < 64 {
+		cachePages = 64
+	}
+	scfg.VFS.PageCachePages = cachePages
+	hmbBytes := int(cfg.DatasetBytes / 8)
+	if min := 2 * scfg.Core.SlabSize; hmbBytes < min {
+		hmbBytes = min // the slab arena needs room for at least two slabs
+	}
+	scfg.Core.HMB.DataBytes = hmbBytes
+	scfg.Core.OverflowMaxBytes = hmbBytes
+	scfg.Core.PageCacheFloorPages = cachePages / 8
+	if cfg.ECCUncorrectableFrac > 0 {
+		scfg.SSD.ECCUncorrectableFrac = cfg.ECCUncorrectableFrac
+	}
+
+	ctrl, err := ssd.New(scfg.SSD)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d: %w", id, err)
+	}
+	drv := nvme.NewDriver(ctrl, scfg.Depth, scfg.NVMe)
+	blk, err := blockdev.New(drv, ctrl.PageSize(), scfg.Block)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d: %w", id, err)
+	}
+	fs := extfs.New(ctrl)
+	v, err := vfs.New(fs, blk, scfg.VFS)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d: %w", id, err)
+	}
+	sh := &Shard{ID: id, SA: telemetry.NewStageAccount(), Res: resource.NewTracker(),
+		ctrl: ctrl, v: v, cfg: cfg}
+	v.SetStages(sh.SA)
+	blk.SetStages(sh.SA)
+	drv.SetStages(sh.SA)
+	ctrl.SetStages(sh.SA)
+	ctrl.SetResources(sh.Res)
+	drv.SetRingTimeline(sh.Res.Register("nvme.ring"))
+	if cfg.FineReads {
+		p, err := core.New(v, drv, scfg.Core)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", id, err)
+		}
+		sh.pip = p
+	}
+	store, ready, err := kv.Open(0, kv.VFSBackend{V: v}, kv.Config{
+		NamePrefix:   fmt.Sprintf("shard%d/seg-", id),
+		SegmentBytes: cfg.SegmentBytes,
+		FineReads:    cfg.FineReads,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d: %w", id, err)
+	}
+	sh.Store = store
+	sh.loadClock = ready // shard time must stay monotone past open
+	return sh, nil
+}

@@ -1,0 +1,30 @@
+package kv
+
+import "testing"
+
+func TestNamespaceKeyRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		tenant int
+		key    string
+	}{
+		{0, "user42"},
+		{17, ""},
+		{3, "a/b/c"}, // keys may contain separators of their own
+	} {
+		nk := NamespaceKey(tc.tenant, tc.key)
+		tenant, key, ok := SplitNamespace(nk)
+		if !ok || tenant != tc.tenant || key != tc.key {
+			t.Fatalf("round trip %q: got (%d, %q, %v), want (%d, %q, true)", nk, tenant, key, ok, tc.tenant, tc.key)
+		}
+	}
+}
+
+func TestSplitNamespaceRejects(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []string{"", "user42", "t/x", "tx/y", "t-1/x", "t12", "x3/y"} {
+		if _, _, ok := SplitNamespace(bad); ok {
+			t.Fatalf("%q accepted as namespaced", bad)
+		}
+	}
+}

@@ -52,6 +52,8 @@ th{background:#f4f4f4}
 .heat{border-collapse:collapse}
 .heat td{border:none;padding:0;width:4px;height:14px;min-width:2px}
 .heat td.rn{width:auto;padding:0 .6em 0 0;font-size:.85em;text-align:right;white-space:nowrap}
+.ubar{display:inline-block;width:6em;height:.8em;border:1px solid #ccc;border-radius:2px;overflow:hidden;vertical-align:-.08em;background:#fafafa}
+.ubar span{display:block;height:100%;background:#4e79a7}
 .meta{color:#555;font-size:.9em}
 details{margin:.6em 0}
 summary{cursor:pointer;color:#555}
@@ -78,6 +80,7 @@ func WriteHTML(w io.Writer, title string, exports []*Export) error {
 		fmt.Fprintf(&b, "<h2>%s</h2>\n", esc(hdr))
 		writeLatencyTable(&b, e.Runs)
 		writeSaturation(&b, e.Runs)
+		writeClusterSummary(&b, e.Runs)
 		for i := range e.Runs {
 			writeRun(&b, &e.Runs[i])
 		}
@@ -241,6 +244,84 @@ func writeSaturationChart(b *strings.Builder, groups []*satGroup) {
 	b.WriteString("</svg>\n")
 }
 
+// hotShardShare reports the largest single-shard fraction of primary
+// routing for a cluster run (1/shards is balanced, 1.0 is one hot shard).
+func hotShardShare(shards []ShardSummary) float64 {
+	var max, total uint64
+	for i := range shards {
+		total += shards[i].Primary
+		if shards[i].Primary > max {
+			max = shards[i].Primary
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / float64(total)
+}
+
+// writeClusterSummary renders the cluster runs — those carrying per-shard
+// summaries — side by side: goodput, admission-control counters, and
+// hot-shard concentration, the replication-vs-skew trade-off at a glance.
+func writeClusterSummary(b *strings.Builder, runs []Run) {
+	var cl []*Run
+	for i := range runs {
+		if len(runs[i].Shards) > 0 {
+			cl = append(cl, &runs[i])
+		}
+	}
+	if len(cl) == 0 {
+		return
+	}
+	b.WriteString("<h3>Cluster summary</h3>\n<table>\n<tr><th>run</th><th>shards</th><th>goodput/s</th><th>hot shard %</th><th>rejected</th><th>throttled</th><th>lost</th><th>hedges</th><th>failovers</th></tr>\n")
+	for _, r := range cl {
+		var hedges, failovers uint64
+		for i := range r.Shards {
+			hedges += r.Shards[i].Hedges
+			failovers += r.Shards[i].Failovers
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%.0f</td><td>%.1f</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+			html.EscapeString(runLabel(r)), len(r.Shards), r.OpsPerSec,
+			100*hotShardShare(r.Shards), r.Rejected, r.Throttled, r.Lost,
+			hedges, failovers)
+	}
+	b.WriteString("</table>\n")
+}
+
+// writeShards renders one cluster run's per-shard section: the routing and
+// replica-work ledger plus a utilization bar per member (the busiest
+// resource's busy fraction over the replay).
+func writeShards(b *strings.Builder, r *Run) {
+	if len(r.Shards) == 0 {
+		return
+	}
+	var total uint64
+	for i := range r.Shards {
+		total += r.Shards[i].Primary
+	}
+	b.WriteString("<h4>Per-shard utilization</h4>\n<table>\n<tr><th>shard</th><th>primary</th><th>share %</th><th>execs</th><th>repl. writes</th><th>fanouts</th><th>hedges</th><th>failovers</th><th>rejected</th><th>media err</th><th>util %</th><th>util</th></tr>\n")
+	for i := range r.Shards {
+		ss := &r.Shards[i]
+		name := fmt.Sprintf("%d", ss.Shard)
+		if ss.Faulted {
+			name += " (faulted)"
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(ss.Primary) / float64(total)
+		}
+		width := 100 * ss.Utilization
+		if width > 100 {
+			width = 100
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%.1f</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.1f</td><td><div class=\"ubar\"><span style=\"width:%.1f%%\"></span></div></td></tr>\n",
+			html.EscapeString(name), ss.Primary, share, ss.Executions,
+			ss.ReplicaWrites, ss.Fanouts, ss.Hedges, ss.Failovers,
+			ss.Rejected, ss.MediaErrors, 100*ss.Utilization, width)
+	}
+	b.WriteString("</table>\n")
+}
+
 func runLabel(r *Run) string {
 	if r.Workload != "" && r.Workload != r.Name {
 		return r.Name + " / " + r.Workload
@@ -260,8 +341,12 @@ func writeRun(b *strings.Builder, r *Run) {
 	if r.ReadAmp > 0 {
 		fmt.Fprintf(b, ", read amplification %.2f", r.ReadAmp)
 	}
+	if r.Rejected > 0 || r.Throttled > 0 || r.Lost > 0 {
+		fmt.Fprintf(b, "; %d rejected, %d throttled, %d lost", r.Rejected, r.Throttled, r.Lost)
+	}
 	b.WriteString("</p>\n")
 
+	writeShards(b, r)
 	writeWaterfall(b, r)
 	writeResources(b, r.Resources)
 }

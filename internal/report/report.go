@@ -101,8 +101,18 @@ type Run struct {
 	// Lost counts requests that failed with uncorrectable media errors
 	// under an armed fault profile (Requests is goodput).
 	Lost uint64 `json:"lost,omitempty"`
+	// Rejected counts open-loop arrivals bounced off a full admission
+	// FIFO; Throttled counts arrivals bounced by a tenant rate limiter.
+	// Both are zero outside backpressure/QoS runs.
+	Rejected  uint64 `json:"rejected,omitempty"`
+	Throttled uint64 `json:"throttled,omitempty"`
 
 	Latency Percentiles `json:"latency"`
+
+	// Shards describes the members of a cluster run (empty for
+	// single-device runs): the per-shard routing, replication, and
+	// admission ledger the cluster summary section renders.
+	Shards []ShardSummary `json:"shards,omitempty"`
 
 	// StageNs is the conservation sum: total time attributed across all
 	// stages, equal to the summed end-to-end latencies of every request
@@ -111,6 +121,24 @@ type Run struct {
 	Stages  []StageRow `json:"stages"`
 
 	Resources *resource.Snapshot `json:"resources,omitempty"`
+}
+
+// ShardSummary is one cluster member's ledger in a cluster run: how much
+// primary traffic the consistent-hash ring routed to it, the replica work
+// it absorbed (replicated writes, fan-out/hedge/failover reads), what its
+// admission FIFO rejected, and how busy its device stayed.
+type ShardSummary struct {
+	Shard         int     `json:"shard"`
+	Primary       uint64  `json:"primary"`
+	Executions    uint64  `json:"executions"`
+	ReplicaWrites uint64  `json:"replica_writes,omitempty"`
+	Fanouts       uint64  `json:"fanouts,omitempty"`
+	Hedges        uint64  `json:"hedges,omitempty"`
+	Failovers     uint64  `json:"failovers,omitempty"`
+	Rejected      uint64  `json:"rejected,omitempty"`
+	MediaErrors   uint64  `json:"media_errors,omitempty"`
+	Faulted       bool    `json:"faulted,omitempty"`
+	Utilization   float64 `json:"utilization"` // busiest resource's busy fraction
 }
 
 // Export is one run bundle: what a tool invocation measured.

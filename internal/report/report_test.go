@@ -52,6 +52,35 @@ func sampleExport() *Export {
 	}
 }
 
+// clusterExport builds an export with one cluster run (per-shard rows).
+func clusterExport() *Export {
+	var h metrics.Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Time(i) * sim.Microsecond)
+	}
+	return &Export{
+		Tool:  "test cluster",
+		Scale: "tiny",
+		Runs: []Run{{
+			Name:      "cluster",
+			Workload:  "multitenant-zipf0.99-r2-degraded",
+			Requests:  100,
+			ElapsedNs: 5_000_000,
+			OpsPerSec: 20_000,
+			Rejected:  7,
+			Throttled: 12,
+			Lost:      3,
+			Latency:   PercentilesOf(&h),
+			Shards: []ShardSummary{
+				{Shard: 0, Primary: 60, Executions: 80, ReplicaWrites: 5,
+					MediaErrors: 4, Faulted: true, Utilization: 0.42},
+				{Shard: 1, Primary: 40, Executions: 55, Hedges: 9,
+					Failovers: 4, Rejected: 2, Utilization: 0.18},
+			},
+		}},
+	}
+}
+
 func TestExportRoundTrip(t *testing.T) {
 	exp := sampleExport()
 	path := filepath.Join(t.TempDir(), "run.json")
@@ -118,6 +147,52 @@ func TestWriteHTMLSectionsAndEscaping(t *testing.T) {
 		if strings.Contains(out, banned) {
 			t.Errorf("HTML contains %q; report must be self-contained", banned)
 		}
+	}
+}
+
+// TestClusterExportRoundTripAndHTML checks the cluster run record: the
+// per-shard summaries survive the JSON round trip, and the renderer emits
+// the cluster summary table and the per-shard utilization section.
+func TestClusterExportRoundTripAndHTML(t *testing.T) {
+	exp := clusterExport()
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := exp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 1 || len(got.Runs[0].Shards) != 2 {
+		t.Fatalf("round trip lost shard rows: %+v", got.Runs)
+	}
+	if s0 := got.Runs[0].Shards[0]; !s0.Faulted || s0.MediaErrors != 4 || s0.Utilization != 0.42 {
+		t.Fatalf("shard 0 fields lost in round trip: %+v", s0)
+	}
+	if got.Runs[0].Throttled != 12 || got.Runs[0].Rejected != 7 {
+		t.Fatalf("QoS counters lost in round trip: %+v", got.Runs[0])
+	}
+
+	var b bytes.Buffer
+	if err := WriteHTML(&b, "cluster", []*Export{got}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Cluster summary",
+		"Per-shard utilization",
+		"hot shard %",
+		"(faulted)",
+		"12 throttled",
+		"ubar",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster HTML misses %q", want)
+		}
+	}
+	// Hot shard share: 60/100.
+	if !strings.Contains(out, "<td>60.0</td>") {
+		t.Error("cluster summary misses the 60.0% hot-shard share")
 	}
 }
 

@@ -431,19 +431,22 @@ var stageBoundsUs = []float64{
 // (microseconds) observed at each Finish, cumulative per-stage time, and
 // the request count — so the conservation sum is visible on /metrics. The
 // mirrored series are atomic live values; a concurrent scraper never
-// touches the account's own state.
-func (a *StageAccount) BindRegistry(reg *Registry) {
+// touches the account's own state. Extra labels are appended to every
+// series, letting multi-device systems (one account per cluster shard)
+// share the families without colliding.
+func (a *StageAccount) BindRegistry(reg *Registry, extra ...Label) {
 	if a == nil || reg == nil {
 		return
 	}
+	labels := func(l Label) []Label { return append([]Label{l}, extra...) }
 	for s := Stage(0); s < NumStages; s++ {
 		a.live[s] = reg.Histogram("pipette_stage_us",
 			"Per-request time attributed to each request stage, in microseconds.",
-			stageBoundsUs, L("stage", s.String()))
+			stageBoundsUs, labels(L("stage", s.String()))...)
 		a.liveTotal[s] = reg.Counter("pipette_stage_ns_total",
 			"Cumulative virtual time attributed to each request stage, in nanoseconds.",
-			L("stage", s.String()))
+			labels(L("stage", s.String()))...)
 	}
 	a.liveReqs = reg.Counter("pipette_stage_requests_total",
-		"Requests finished by the stage account.")
+		"Requests finished by the stage account.", extra...)
 }

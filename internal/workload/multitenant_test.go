@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestMultiTenantDeterministic(t *testing.T) {
+	t.Parallel()
+	mk := func() *MultiTenant {
+		m, err := NewMultiTenant(1000, []TenantConfig{
+			{Weight: 3, Theta: 0.99, ReadFraction: 0.9},
+			{Weight: 1, ReadFraction: 0.5},
+		}, 7)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		return m
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 5000; i++ {
+		if ra, rb := a.Next(), b.Next(); ra != rb {
+			t.Fatalf("draw %d diverges: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestMultiTenantShares(t *testing.T) {
+	t.Parallel()
+	m, err := NewMultiTenant(1000, []TenantConfig{
+		{Weight: 3, Theta: 0.99, ReadFraction: 0.9},
+		{Weight: 1, ReadFraction: 0.5},
+	}, 7)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	const n = 20000
+	var counts [2]int
+	var writes [2]int
+	for i := 0; i < n; i++ {
+		r := m.Next()
+		counts[r.Tenant]++
+		if r.Write {
+			writes[r.Tenant]++
+		}
+		if r.Record >= 1000 {
+			t.Fatalf("record %d outside keyspace", r.Record)
+		}
+	}
+	if f := float64(counts[0]) / n; f < 0.70 || f > 0.80 {
+		t.Fatalf("tenant 0 drew %.3f of requests, want ~0.75", f)
+	}
+	if f := float64(writes[0]) / float64(counts[0]); f < 0.07 || f > 0.13 {
+		t.Fatalf("tenant 0 wrote %.3f of its requests, want ~0.10", f)
+	}
+	if f := float64(writes[1]) / float64(counts[1]); f < 0.45 || f > 0.55 {
+		t.Fatalf("tenant 1 wrote %.3f of its requests, want ~0.50", f)
+	}
+}
+
+// Changing one tenant's skew must not perturb another tenant's key
+// sequence — each chooser owns a private RNG.
+func TestMultiTenantStreamIsolation(t *testing.T) {
+	t.Parallel()
+	draw := func(theta1 float64) []uint64 {
+		m, err := NewMultiTenant(1000, []TenantConfig{
+			{Weight: 1, Theta: 0.99, ReadFraction: 1},
+			{Weight: 1, Theta: theta1, ReadFraction: 1},
+		}, 7)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		var t0 []uint64
+		for i := 0; i < 4000; i++ {
+			if r := m.Next(); r.Tenant == 0 {
+				t0 = append(t0, r.Record)
+			}
+		}
+		return t0
+	}
+	a, b := draw(0), draw(0.8)
+	if len(a) != len(b) {
+		t.Fatalf("tenant-0 draw counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tenant 0 key %d diverges when tenant 1's theta changes", i)
+		}
+	}
+}
+
+func TestMultiTenantRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	if _, err := NewMultiTenant(0, []TenantConfig{{Weight: 1}}, 1); err == nil {
+		t.Fatal("zero records accepted")
+	}
+	if _, err := NewMultiTenant(10, nil, 1); err == nil {
+		t.Fatal("no tenants accepted")
+	}
+	if _, err := NewMultiTenant(10, []TenantConfig{{Weight: 0}}, 1); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := NewMultiTenant(10, []TenantConfig{{Weight: 1, ReadFraction: 1.5}}, 1); err == nil {
+		t.Fatal("read fraction > 1 accepted")
+	}
+}
