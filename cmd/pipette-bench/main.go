@@ -276,6 +276,9 @@ func runExperiments(sel string, scale bench.Scale, topts bench.TelemetryOpts, po
 		} else if exp.ID == "cluster" {
 			// The cluster experiment honours -export-out.
 			err = bench.WriteCluster(os.Stdout, scale, topts, pool)
+		} else if exp.ID == "kv" {
+			// The kv matrix honours -export-out.
+			err = bench.WriteKV(os.Stdout, scale, topts, pool)
 		} else {
 			err = exp.Run(os.Stdout, scale, pool)
 		}

@@ -46,6 +46,7 @@ func main() {
 		ops      = flag.Int("ops", 100_000, "operations replayed per workload")
 		wls      = flag.String("workload", "A,C", "comma-separated YCSB workloads (A-F)")
 		fine     = flag.Bool("fine", true, "serve Gets through the fine-grained read path")
+		indexEng = flag.String("index", "hash", "index engine: hash, btree, or lsm")
 		valBytes = flag.Int("values", 0, "fixed value size in bytes (0 = mixed 64..512)")
 		capMB    = flag.Int64("capacity", 2048, "flash capacity (MiB)")
 		pcMB     = flag.Int64("pagecache", 16, "page cache budget (MiB)")
@@ -119,7 +120,7 @@ func main() {
 		if wl == "" {
 			continue
 		}
-		if err := runWorkload(sys, wl, *records, *ops, *valBytes, *seed, *fine); err != nil {
+		if err := runWorkload(sys, wl, *records, *ops, *valBytes, *seed, *fine, *indexEng); err != nil {
 			log.Fatalf("workload %s: %v", wl, err)
 		}
 	}
@@ -279,7 +280,7 @@ func value(buf []byte, key uint64, ver uint32, fixed int) []byte {
 	return buf
 }
 
-func runWorkload(sys *pipette.System, wl string, records uint64, ops, valBytes int, seed uint64, fine bool) error {
+func runWorkload(sys *pipette.System, wl string, records uint64, ops, valBytes int, seed uint64, fine bool, indexEng string) error {
 	cfg, err := workload.StandardYCSB(wl, records, seed)
 	if err != nil {
 		return err
@@ -293,6 +294,7 @@ func runWorkload(sys *pipette.System, wl string, records uint64, ops, valBytes i
 	kv, err := sys.OpenKV(pipette.KVOptions{
 		NamePrefix: "ycsb-" + wl + "/seg-",
 		BlockReads: !fine,
+		Index:      indexEng,
 	})
 	if err != nil {
 		return err
@@ -373,6 +375,17 @@ func runWorkload(sys *pipette.System, wl string, records uint64, ops, valBytes i
 	fmt.Printf("  log:   %.1f MB written, %.1f MB read, %d rotations, %d compactions (%.1f MB reclaimed)\n",
 		float64(st.BytesWritten)/(1<<20), float64(st.BytesRead)/(1<<20),
 		st.Rotations, st.Compactions, float64(st.ReclaimedBytes)/(1<<20))
+	ix := kv.IndexStats()
+	switch kv.IndexKind() {
+	case "btree":
+		fmt.Printf("  index: btree height %d, %d nodes, %.2f node reads/lookup, %d splits, %d merges, %.1f MB idx read\n",
+			ix.Height, ix.Nodes, ix.NodeReadsPerLookup(), ix.Splits, ix.Merges, float64(ix.BytesRead)/(1<<20))
+	case "lsm":
+		fmt.Printf("  index: lsm %d runs, %d flushes, %d merges, bloom FP %.3f, cache hit %.2f, %.1f MB idx read\n",
+			ix.Runs, ix.Flushes, ix.Compactions, ix.BloomFPRate(), ix.CacheHitRate(), float64(ix.BytesRead)/(1<<20))
+	default:
+		fmt.Printf("  index: hash (in-memory, no index I/O)\n")
+	}
 	if lost > 0 {
 		fmt.Printf("  faults: %d operations lost to uncorrectable media errors\n", lost)
 	}

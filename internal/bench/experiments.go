@@ -74,8 +74,10 @@ func Experiments() []Experiment {
 		{
 			ID:        "kv",
 			Artifacts: []string{"ycsb"},
-			Title:     "Log-structured KV store: YCSB A-F, block I/O vs Pipette (beyond the paper)",
-			Run:       writeKV,
+			Title:     "Log-structured KV store: YCSB x engine x index matrix (beyond the paper)",
+			Run: func(w io.Writer, s Scale, p *Pool) error {
+				return WriteKV(w, s, TelemetryOpts{}, p)
+			},
 		},
 		{
 			ID:        "faults",

@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strings"
 
 	"pipette/internal/baseline"
 	"pipette/internal/blockdev"
 	"pipette/internal/core"
 	"pipette/internal/extfs"
+	"pipette/internal/index"
 	"pipette/internal/kv"
 	"pipette/internal/metrics"
 	"pipette/internal/nvme"
+	"pipette/internal/report"
 	"pipette/internal/resource"
 	"pipette/internal/sim"
 	"pipette/internal/ssd"
@@ -21,17 +24,25 @@ import (
 )
 
 // The kv experiment runs a real application — the log-structured KV store —
-// end-to-end over two read engines: plain block I/O and Pipette. Every Get
-// asks for exactly the value's bytes, so the gap between the engines is the
-// paper's core claim measured through a full storage application rather than
-// a synthetic request stream.
+// end-to-end over a read engine × index engine matrix: plain block I/O and
+// Pipette, each over the in-memory hash index, the paged B+-tree, and the
+// bloom-filtered LSM. Every Get asks for exactly the value's bytes, and the
+// on-disk indexes add sub-page node/block reads to every lookup, so the gap
+// between the read engines is the paper's core claim measured through a full
+// storage application — including the index traversals real stores pay.
 
 // kvEngines are the two ends of the comparison (the intermediate engines
 // need raw device access the store does not model).
 var kvEngines = []string{"Block I/O", "Pipette"}
 
-// kvWorkloads are the YCSB core workloads the experiment replays.
-var kvWorkloads = []string{"A", "B", "C", "D", "E", "F"}
+// kvIndexKinds is the index-engine axis of the matrix, in canonical order.
+var kvIndexKinds = index.Kinds()
+
+// kvWorkloads is the YCSB subset the matrix replays: A (update-heavy),
+// B (read-mostly), C (read-only), and E (scan-heavy, which exercises the
+// ordered engines' range iterators). D and F repeat A/B's index access
+// patterns and would push the matrix from 24 to 36 cells for no new shape.
+var kvWorkloads = []string{"A", "B", "C", "E"}
 
 const (
 	kvAvgRecordBytes = 320 // header + "user%010d" key + 64..512 B value
@@ -39,6 +50,10 @@ const (
 	kvMinValueBytes  = 64
 	kvTickEvery      = 256 // ops between maintenance (compaction) ticks
 	kvSeed           = 0x5eed1e
+	// kvNegProbes absent-key Gets run after the measured workload: the
+	// negative-lookup regime where the LSM's bloom filters prune run reads
+	// and the B+-tree still pays a full root-to-leaf traversal.
+	kvNegProbes = 512
 )
 
 // kvValueSize derives a deterministic 64..512 B value size from the key —
@@ -68,6 +83,14 @@ func kvValue(dst []byte, key uint64, ver uint32) []byte {
 
 func kvKey(k uint64) string { return fmt.Sprintf("user%010d", k) }
 
+// kvNegKey names the i'th absent-key probe: a live key plus a suffix, so it
+// sorts between two real records. Spreading the probes uniformly through the
+// key range makes them real negative lookups — every B+-tree probe descends
+// a different path, and LSM bloom false positives pay an actual block read.
+func kvNegKey(i int, records uint64) string {
+	return kvKey(sim.Mix64(uint64(i)*0x9e3779b97f4a7c15^0xab5e17)%records) + "x"
+}
+
 // kvStack is the raw private system one cell runs over; unlike the baseline
 // engines there is no preloaded workload file — the store creates its own
 // segment files.
@@ -81,17 +104,26 @@ type kvStack struct {
 
 // newKVStack assembles a stack sized for datasetBytes of live records, with
 // caches budgeted at an eighth of the dataset so both engines miss — the
-// regime where the read path's granularity shows.
+// regime where the read path's granularity shows. Capacity is 4x the live
+// set: segments churn (live + dead + headroom) and the on-disk index
+// engines add arena and run files of their own.
 func newKVStack(s Scale, fine bool) (*kvStack, error) {
 	datasetBytes := int64(s.KVRecords) * kvAvgRecordBytes
-	cfg := baseline.DefaultStackConfig(datasetBytes * 3) // segments churn: live + dead + headroom
+	cfg := baseline.DefaultStackConfig(datasetBytes * 4)
 	cachePages := int(datasetBytes / 4096 / 8)
 	if cachePages < 64 {
 		cachePages = 64
 	}
 	cfg.VFS.PageCachePages = cachePages
-	cfg.Core.HMB.DataBytes = int(datasetBytes / 8)
-	cfg.Core.OverflowMaxBytes = int(datasetBytes / 8)
+	// The fine cache gets the same floor the page cache floor implies, so
+	// tiny scales compare equal memory budgets rather than a 256 KiB page
+	// cache against an 80 KiB fine cache.
+	fineBytes := int(datasetBytes / 8)
+	if fineBytes < cachePages*4096 {
+		fineBytes = cachePages * 4096
+	}
+	cfg.Core.HMB.DataBytes = fineBytes
+	cfg.Core.OverflowMaxBytes = fineBytes
 	cfg.Core.PageCacheFloorPages = cachePages / 8
 
 	ctrl, err := ssd.New(cfg.SSD)
@@ -159,7 +191,19 @@ func kvSegmentBytes(s Scale) int64 {
 	return seg
 }
 
-// kvCellResult is one (workload, engine) measurement.
+// kvIndexConfig tunes the index engine for the scale: the memtable flushes
+// several runs over the load so leveled merges actually happen; everything
+// else keeps the engine defaults (512 B nodes and blocks — the sub-page
+// reads the fine path is built for).
+func kvIndexConfig(s Scale, kind index.Kind) index.Config {
+	memtable := int(s.KVRecords / 8)
+	if memtable < 256 {
+		memtable = 256
+	}
+	return index.Config{Kind: kind, MemtableEntries: memtable}
+}
+
+// kvCellResult is one (workload, engine, index) measurement.
 type kvCellResult struct {
 	snap      metrics.Snapshot
 	hist      metrics.Histogram
@@ -168,10 +212,17 @@ type kvCellResult struct {
 	store     kv.Stats
 	segs      int
 	keys      int
+
+	kind     index.Kind
+	idx      index.Stats       // engine counters since open: load + workload + probes
+	negHist  metrics.Histogram // latency of the absent-key probes
+	negBytes uint64            // device bytes moved by the probes (read amp)
+	bres     *Result           // the cell measurement handed to the pool/export
 }
 
-// runKVCell loads the store and replays one YCSB workload over one engine.
-func runKVCell(s Scale, wl string, fine bool) (*kvCellResult, error) {
+// runKVCell loads the store and replays one YCSB workload over one
+// (read engine, index engine) pair.
+func runKVCell(s Scale, wl string, fine bool, kind index.Kind) (*kvCellResult, error) {
 	st, err := newKVStack(s, fine)
 	if err != nil {
 		return nil, err
@@ -179,6 +230,7 @@ func runKVCell(s Scale, wl string, fine bool) (*kvCellResult, error) {
 	store, now, err := kv.Open(0, kv.VFSBackend{V: st.v}, kv.Config{
 		SegmentBytes: kvSegmentBytes(s),
 		FineReads:    fine,
+		Index:        kvIndexConfig(s, kind),
 	})
 	if err != nil {
 		return nil, err
@@ -215,7 +267,7 @@ func runKVCell(s Scale, wl string, fine bool) (*kvCellResult, error) {
 	base := st.snapshot("")
 	baseKV := store.Stats()
 	start := now
-	res := &kvCellResult{}
+	res := &kvCellResult{kind: kind}
 	var got []byte
 	for i := 0; i < ops; i++ {
 		req := gen.Next()
@@ -290,34 +342,68 @@ func runKVCell(s Scale, wl string, fine bool) (*kvCellResult, error) {
 	res.store.BytesRead -= baseKV.BytesRead
 	res.segs = store.Segments()
 	res.keys = store.Len()
+
+	// Negative-lookup probes, after the measured window so they pollute
+	// neither the snapshot nor the stage waterfall: every probe must miss,
+	// and its cost is the index engine's absent-key path — bloom-pruned for
+	// the LSM, a full descent for the B+-tree, free for the hash. Device
+	// bytes moved across the probes are the read-amplification side of the
+	// comparison: a block-granular stack rounds every cold node or block up
+	// to a page, the fine path transfers what the index asked for.
+	preProbe := st.v.IO().BytesTransferred
+	if st.pip != nil {
+		preProbe += st.pip.IO().BytesTransferred
+	}
+	for i := 0; i < kvNegProbes; i++ {
+		before := now
+		_, done, err := store.Get(now, kvNegKey(i, s.KVRecords), nil)
+		if err != kv.ErrNotFound {
+			return nil, fmt.Errorf("bench: kv %s negative probe %d: %v", wl, i, err)
+		}
+		now = done
+		res.negHist.Observe(now - before)
+	}
+	postProbe := st.v.IO().BytesTransferred
+	if st.pip != nil {
+		postProbe += st.pip.IO().BytesTransferred
+	}
+	res.negBytes = postProbe - preProbe
+	res.idx = store.IndexStats()
 	return res, nil
 }
 
-// RunKV executes the workload × engine grid.
-func RunKV(s Scale, p *Pool) ([][]*kvCellResult, error) {
-	grid := make([][]*kvCellResult, len(kvWorkloads))
+// RunKV executes the workload × engine × index grid.
+func RunKV(s Scale, p *Pool) ([][][]*kvCellResult, error) {
+	grid := make([][][]*kvCellResult, len(kvWorkloads))
 	for i := range grid {
-		grid[i] = make([]*kvCellResult, len(kvEngines))
+		grid[i] = make([][]*kvCellResult, len(kvEngines))
+		for j := range grid[i] {
+			grid[i][j] = make([]*kvCellResult, len(kvIndexKinds))
+		}
 	}
 	var cells []Cell
 	for wi, wl := range kvWorkloads {
 		for ei, name := range kvEngines {
-			wi, ei, wl := wi, ei, wl
-			cells = append(cells, Cell{
-				Label: fmt.Sprintf("kv/ycsb-%s/%s", wl, name),
-				Run: func() (*Result, error) {
-					r, err := runKVCell(s, wl, ei == 1)
-					if err != nil {
-						return nil, err
-					}
-					grid[wi][ei] = r
-					p.Live().AddKV(r.store)
-					// Returning the measurement (rather than nil) feeds the
-					// cell's deterministic throughput/read-amp/latency into
-					// the -json summary and the regression gate.
-					return &Result{Snapshot: r.snap, Hist: r.hist, Stages: r.stages, Resources: r.resources}, nil
-				},
-			})
+			for ki, kind := range kvIndexKinds {
+				wi, ei, ki, wl, name, kind := wi, ei, ki, wl, name, kind
+				cells = append(cells, Cell{
+					Label: fmt.Sprintf("kv/ycsb-%s/%s/%s", wl, name, kind),
+					Run: func() (*Result, error) {
+						r, err := runKVCell(s, wl, ei == 1, kind)
+						if err != nil {
+							return nil, err
+						}
+						grid[wi][ei][ki] = r
+						p.Live().AddKV(r.store)
+						p.Live().AddIndex(r.idx)
+						// Returning the measurement (rather than nil) feeds the
+						// cell's deterministic throughput/read-amp/latency into
+						// the -json summary and the regression gate.
+						r.bres = &Result{Snapshot: r.snap, Hist: r.hist, Stages: r.stages, Resources: r.resources}
+						return r.bres, nil
+					},
+				})
+			}
 		}
 	}
 	if err := p.RunCells(cells); err != nil {
@@ -326,40 +412,153 @@ func RunKV(s Scale, p *Pool) ([][]*kvCellResult, error) {
 	return grid, nil
 }
 
-// writeKV renders the kv experiment: per-workload throughput, latency, and
-// the read-amplification comparison that is the experiment's point.
-func writeKV(w io.Writer, s Scale, p *Pool) error {
-	grid, err := RunKV(s, p)
+// kvIndexSummary flattens one cell's index counters into the export record
+// the HTML report's index section renders.
+func kvIndexSummary(r *kvCellResult) *report.IndexSummary {
+	idx := r.idx
+	return &report.IndexSummary{
+		Kind:               string(r.kind),
+		NodeReadsPerLookup: idx.NodeReadsPerLookup(),
+		Height:             idx.Height,
+		Splits:             idx.Splits,
+		Merges:             idx.Merges,
+		Runs:               idx.Runs,
+		Flushes:            idx.Flushes,
+		Compactions:        idx.Compactions,
+		BloomNegative:      idx.BloomNegative,
+		BloomFPPct:         100 * idx.BloomFPRate(),
+		CacheHitPct:        100 * idx.CacheHitRate(),
+		NegProbeMeanUs:     r.negHist.Mean().Micros(),
+		NegProbeP99Us:      r.negHist.Quantile(0.99).Micros(),
+		NegProbeReadKB:     float64(r.negBytes) / 1024,
+		ReadMB:             float64(idx.BytesRead) / (1 << 20),
+		WriteMB:            float64(idx.BytesWritten) / (1 << 20),
+	}
+}
+
+// WriteKV renders the kv experiment: the matrix table (per-workload
+// throughput, latency, and read amplification over every read × index
+// engine pair), the per-index-engine structure tables, and the log
+// maintenance summary. When opts names an export file the per-cell run
+// records — including the index summaries the HTML report renders — are
+// written there; the file is created before any cell runs (a bad path
+// fails fast) and flushed even when a cell dies mid-run.
+func WriteKV(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err error) {
+	var grid [][][]*kvCellResult // populated by RunKV below; the export closure sees it
+
+	var exports telemetry.Exports
+	defer func() {
+		if cerr := exports.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if opts.ExportOut != "" {
+		if aerr := exports.Add(opts.ExportOut, func(fw io.Writer) error {
+			exp := &report.Export{Tool: "pipette-bench kv", Scale: s.Name}
+			for wi := range grid {
+				for ki := range kvIndexKinds {
+					for ei, name := range kvEngines {
+						r := grid[wi][ei][ki]
+						if r == nil || r.bres == nil {
+							continue
+						}
+						run := ExportRun(fmt.Sprintf("%s/%s", name, kvIndexKinds[ki]),
+							"YCSB-"+kvWorkloads[wi], r.bres)
+						run.Index = kvIndexSummary(r)
+						exp.Runs = append(exp.Runs, run)
+					}
+				}
+			}
+			return exp.WriteJSON(fw)
+		}); aerr != nil {
+			return aerr
+		}
+	}
+
+	grid, err = RunKV(s, p)
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(w, "=== kv store: YCSB A-F end-to-end, exact-length Gets (scale %s, %d records, %d ops) ===\n",
-		s.Name, s.KVRecords, s.KVRequests)
+	fmt.Fprintf(w, "=== kv store: YCSB %s x engine x index matrix, exact-length Gets (scale %s, %d records, %d ops) ===\n",
+		strings.Join(kvWorkloads, "/"), s.Name, s.KVRecords, s.KVRequests)
 	t := &metrics.Table{Header: []string{
-		"Workload", "Engine", "Kops/s", "Mean us", "p99 us", "ReadAmp", "PC hit%", "Read MB", "Write MB"}}
+		"Workload", "Index", "Engine", "Kops/s", "Mean us", "p99 us", "ReadAmp", "PC hit%", "Read MB", "Write MB"}}
 	for wi, wl := range kvWorkloads {
-		for ei, name := range kvEngines {
-			r := grid[wi][ei]
-			t.AddRow(
-				"YCSB-"+wl, name,
-				fmt.Sprintf("%.1f", r.snap.ThroughputOpsPerSec()/1e3),
-				fmt.Sprintf("%.1f", r.snap.MeanLat.Micros()),
-				fmt.Sprintf("%.1f", r.snap.P99Lat.Micros()),
-				fmt.Sprintf("%.2f", r.snap.IO.ReadAmplification()),
-				fmt.Sprintf("%.1f", r.snap.PageCache.HitRatio()*100),
-				fmt.Sprintf("%.1f", r.snap.IO.TrafficMB()),
-				fmt.Sprintf("%.1f", float64(r.snap.IO.BytesWritten)/(1<<20)),
-			)
+		for ki, kind := range kvIndexKinds {
+			for ei, name := range kvEngines {
+				r := grid[wi][ei][ki]
+				t.AddRow(
+					"YCSB-"+wl, string(kind), name,
+					fmt.Sprintf("%.1f", r.snap.ThroughputOpsPerSec()/1e3),
+					fmt.Sprintf("%.1f", r.snap.MeanLat.Micros()),
+					fmt.Sprintf("%.1f", r.snap.P99Lat.Micros()),
+					fmt.Sprintf("%.2f", r.snap.IO.ReadAmplification()),
+					fmt.Sprintf("%.1f", r.snap.PageCache.HitRatio()*100),
+					fmt.Sprintf("%.1f", r.snap.IO.TrafficMB()),
+					fmt.Sprintf("%.1f", float64(r.snap.IO.BytesWritten)/(1<<20)),
+				)
+			}
 		}
 	}
 	fmt.Fprint(w, t.Render())
 
-	fmt.Fprintf(w, "\n=== kv store: log maintenance per workload (Pipette engine) ===\n")
+	// The on-disk index engines, one table per structure. The absent-key
+	// probe columns are the experiment's second claim: the B+-tree pays a
+	// root-to-leaf descent per miss (sub-page node reads the fine path
+	// serves cheaply) and the LSM prunes most run reads with its filters.
+	btIdx, lsmIdx := kindIndex(index.BTree), kindIndex(index.LSM)
+	fmt.Fprintf(w, "\n=== kv store: paged B+-tree index (load + workload + %d absent-key probes) ===\n", kvNegProbes)
+	bt := &metrics.Table{Header: []string{
+		"Workload", "Engine", "Height", "Nodes", "NodeRd/Get", "Splits", "Merges", "Neg us", "Neg p99", "Probe KB", "Idx rd MB"}}
+	for wi, wl := range kvWorkloads {
+		for ei, name := range kvEngines {
+			r := grid[wi][ei][btIdx]
+			bt.AddRow(
+				"YCSB-"+wl, name,
+				fmt.Sprintf("%d", r.idx.Height),
+				fmt.Sprintf("%d", r.idx.Nodes),
+				fmt.Sprintf("%.2f", r.idx.NodeReadsPerLookup()),
+				fmt.Sprintf("%d", r.idx.Splits),
+				fmt.Sprintf("%d", r.idx.Merges),
+				fmt.Sprintf("%.1f", r.negHist.Mean().Micros()),
+				fmt.Sprintf("%.1f", r.negHist.Quantile(0.99).Micros()),
+				fmt.Sprintf("%.1f", float64(r.negBytes)/1024),
+				fmt.Sprintf("%.1f", float64(r.idx.BytesRead)/(1<<20)),
+			)
+		}
+	}
+	fmt.Fprint(w, bt.Render())
+
+	fmt.Fprintf(w, "\n=== kv store: LSM index, bloom filters + block cache (load + workload + %d absent-key probes) ===\n", kvNegProbes)
+	lt := &metrics.Table{Header: []string{
+		"Workload", "Engine", "Runs", "Flushes", "Merges", "Bloom neg", "FP%", "Cache%", "Neg us", "Neg p99", "Probe KB", "Idx rd MB"}}
+	for wi, wl := range kvWorkloads {
+		for ei, name := range kvEngines {
+			r := grid[wi][ei][lsmIdx]
+			lt.AddRow(
+				"YCSB-"+wl, name,
+				fmt.Sprintf("%d", r.idx.Runs),
+				fmt.Sprintf("%d", r.idx.Flushes),
+				fmt.Sprintf("%d", r.idx.Compactions),
+				fmt.Sprintf("%d", r.idx.BloomNegative),
+				fmt.Sprintf("%.2f", 100*r.idx.BloomFPRate()),
+				fmt.Sprintf("%.1f", 100*r.idx.CacheHitRate()),
+				fmt.Sprintf("%.1f", r.negHist.Mean().Micros()),
+				fmt.Sprintf("%.1f", r.negHist.Quantile(0.99).Micros()),
+				fmt.Sprintf("%.1f", float64(r.negBytes)/1024),
+				fmt.Sprintf("%.1f", float64(r.idx.BytesRead)/(1<<20)),
+			)
+		}
+	}
+	fmt.Fprint(w, lt.Render())
+
+	fmt.Fprintf(w, "\n=== kv store: log maintenance per workload (Pipette engine, hash index) ===\n")
 	mt := &metrics.Table{Header: []string{
 		"Workload", "Keys", "Segments", "Rotations", "Compactions", "Reclaimed MB", "Moved MB"}}
+	hashIdx := kindIndex(index.Hash)
 	for wi, wl := range kvWorkloads {
-		r := grid[wi][1]
+		r := grid[wi][1][hashIdx]
 		mt.AddRow(
 			"YCSB-"+wl,
 			fmt.Sprintf("%d", r.keys),
@@ -372,5 +571,22 @@ func writeKV(w io.Writer, s Scale, p *Pool) error {
 	}
 	fmt.Fprint(w, mt.Render())
 	fmt.Fprintln(w)
+	if opts.ExportOut != "" {
+		if cerr := exports.Close(); cerr != nil { // idempotent; defer no-ops
+			return cerr
+		}
+		fmt.Fprintf(w, "run export written to %s (%d runs; render with pipette-report)\n",
+			opts.ExportOut, len(kvWorkloads)*len(kvEngines)*len(kvIndexKinds))
+	}
 	return nil
+}
+
+// kindIndex locates an index kind's column in kvIndexKinds.
+func kindIndex(k index.Kind) int {
+	for i, kk := range kvIndexKinds {
+		if kk == k {
+			return i
+		}
+	}
+	return 0
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pipette/internal/fault"
+	"pipette/internal/index"
 	"pipette/internal/kv"
 	"pipette/internal/metrics"
 	"pipette/internal/resource"
@@ -33,6 +34,9 @@ type Live struct {
 	pcHits, pcAccesses, fineHits, fineAccesses              *telemetry.LiveCounter
 	kvPuts, kvGets, kvRotations, kvCompactions              *telemetry.LiveCounter
 	kvBytesWritten, kvBytesRead                             *telemetry.LiveCounter
+	idxNodeReads, idxBloomChecks, idxBloomNegative          *telemetry.LiveCounter
+	idxCacheHits, idxCacheMisses                            *telemetry.LiveCounter
+	idxBytesRead, idxBytesWritten                           *telemetry.LiveCounter
 	fInjected, fECCRetries, fUncorrectable                  *telemetry.LiveCounter
 	fRingFallbacks, fDMAFallbacks, fProgRetries, fWBRetries *telemetry.LiveCounter
 
@@ -92,6 +96,14 @@ func NewLive(reg *telemetry.Registry) *Live {
 	l.kvCompactions = reg.Counter("kv_compactions_total", "KV segments compacted")
 	l.kvBytesWritten = reg.Counter("kv_log_bytes_total", "KV value-log traffic", telemetry.L("direction", "written"))
 	l.kvBytesRead = reg.Counter("kv_log_bytes_total", "KV value-log traffic", telemetry.L("direction", "read"))
+
+	l.idxNodeReads = reg.Counter("kv_index_node_reads_total", "B+-tree node fetches paid by KV lookups")
+	l.idxBloomChecks = reg.Counter("kv_index_bloom_total", "LSM run-filter membership decisions", telemetry.L("result", "checked"))
+	l.idxBloomNegative = reg.Counter("kv_index_bloom_total", "LSM run-filter membership decisions", telemetry.L("result", "negative"))
+	l.idxCacheHits = reg.Counter("kv_index_cache_total", "LSM block-cache outcomes", telemetry.L("result", "hit"))
+	l.idxCacheMisses = reg.Counter("kv_index_cache_total", "LSM block-cache outcomes", telemetry.L("result", "miss"))
+	l.idxBytesRead = reg.Counter("kv_index_bytes_total", "KV index-file traffic", telemetry.L("direction", "read"))
+	l.idxBytesWritten = reg.Counter("kv_index_bytes_total", "KV index-file traffic", telemetry.L("direction", "written"))
 
 	l.fInjected = reg.Counter("fault_injected_total", "fault decisions drawn across all sites")
 	l.fECCRetries = reg.Counter("fault_ecc_retries_total", "NAND read-retry steps charged by the ECC ladder")
@@ -169,6 +181,21 @@ func (l *Live) AddKV(st kv.Stats) {
 	l.kvCompactions.Add(st.Compactions)
 	l.kvBytesWritten.Add(st.BytesWritten)
 	l.kvBytesRead.Add(st.BytesRead)
+}
+
+// AddIndex folds one finished cell's index-engine counters into the
+// kv_index families.
+func (l *Live) AddIndex(st index.Stats) {
+	if l == nil {
+		return
+	}
+	l.idxNodeReads.Add(st.NodeReads)
+	l.idxBloomChecks.Add(st.BloomChecks)
+	l.idxBloomNegative.Add(st.BloomNegative)
+	l.idxCacheHits.Add(st.CacheHits)
+	l.idxCacheMisses.Add(st.CacheMisses)
+	l.idxBytesRead.Add(st.BytesRead)
+	l.idxBytesWritten.Add(st.BytesWritten)
 }
 
 // AddFaults folds one finished cell's injection/recovery ledger into the

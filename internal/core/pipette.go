@@ -289,6 +289,13 @@ func (p *Pipette) TryFineRead(now sim.Time, f *vfs.File, off int64, buf []byte) 
 // vendor command. dest < 0 means "use the TempBuf". The demanded bytes are
 // copied into buf from the DMA destination.
 func (p *Pipette) fetchFine(now sim.Time, f *vfs.File, off int64, buf []byte, dest int) (sim.Time, error) {
+	// The fine command reads LBAs directly, below the page cache: any dirty
+	// page evicted since the last drain — including by this very request's
+	// admission rebalancing a moment ago — must land on flash first, or the
+	// fetch returns (and the cache admits) pre-writeback content.
+	if _, err := p.v.FlushPendingWriteback(now); err != nil {
+		return now, err
+	}
 	n := len(buf)
 	lbas, err := f.Inode().AppendLBAs(p.lbaScratch[:0], off, n, p.pageSize)
 	p.lbaScratch = lbas[:0]

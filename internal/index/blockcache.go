@@ -1,0 +1,97 @@
+package index
+
+// blockCache is a small exact-LRU cache of decoded run blocks, keyed by the
+// run's global sequence number and block index. Runs are immutable, so a
+// cached block can never go stale; entries for deleted runs are dropped
+// eagerly when a merge retires their run. Its job is the LSM's second line
+// of defense after the bloom filters: repeated probes of the same hot index
+// block stop touching the device at all.
+type blockCacheKey struct {
+	seq uint64
+	blk int
+}
+
+type blockCacheEntry struct {
+	key        blockCacheKey
+	data       []byte
+	prev, next *blockCacheEntry
+}
+
+type blockCache struct {
+	cap  int
+	m    map[blockCacheKey]*blockCacheEntry
+	head *blockCacheEntry // most recent
+	tail *blockCacheEntry // eviction end
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{cap: capacity, m: make(map[blockCacheKey]*blockCacheEntry, capacity)}
+}
+
+func (c *blockCache) get(k blockCacheKey) ([]byte, bool) {
+	e, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.unlink(e)
+	c.push(e)
+	return e.data, true
+}
+
+func (c *blockCache) put(k blockCacheKey, data []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.m[k]; ok {
+		e.data = data
+		c.unlink(e)
+		c.push(e)
+		return
+	}
+	for len(c.m) >= c.cap {
+		ev := c.tail
+		c.unlink(ev)
+		delete(c.m, ev.key)
+	}
+	e := &blockCacheEntry{key: k, data: data}
+	c.m[k] = e
+	c.push(e)
+}
+
+// dropRun evicts every block of a retired run.
+func (c *blockCache) dropRun(seq uint64) {
+	for e := c.head; e != nil; {
+		next := e.next
+		if e.key.seq == seq {
+			c.unlink(e)
+			delete(c.m, e.key)
+		}
+		e = next
+	}
+}
+
+func (c *blockCache) push(e *blockCacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *blockCache) unlink(e *blockCacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

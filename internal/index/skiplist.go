@@ -1,16 +1,19 @@
-package kv
+package index
 
 import "pipette/internal/sim"
 
-// skipList is the ordered key set behind Scan: O(log n) insert, delete, and
-// seek over the live keys, so range scans (YCSB workload E) stay cheap at
-// millions of records. Level draws come from a seeded RNG, keeping the
-// structure — and therefore every simulated run — deterministic.
+// skipList is the ordered in-memory map behind the hash engine's Scan and
+// the LSM memtable: O(log n) insert, delete, and seek over keys carrying a
+// Loc payload (and, for the memtable, a tombstone flag). Level draws come
+// from a seeded RNG, keeping the structure — and therefore every simulated
+// run — deterministic.
 const skipMaxLevel = 20 // comfortable for ~10^9 keys at p = 1/4
 
 type skipNode struct {
-	key  string
-	next []*skipNode
+	key       string
+	loc       Loc
+	tombstone bool
+	next      []*skipNode
 }
 
 type skipList struct {
@@ -48,11 +51,13 @@ func (l *skipList) findPath(key string, update *[skipMaxLevel]*skipNode) *skipNo
 	return x.next[0]
 }
 
-// insert adds key; reports false if it was already present.
-func (l *skipList) insert(key string) bool {
+// set maps key to (loc, tombstone), inserting or updating in place.
+func (l *skipList) set(key string, loc Loc, tombstone bool) {
 	var update [skipMaxLevel]*skipNode
 	if n := l.findPath(key, &update); n != nil && n.key == key {
-		return false
+		n.loc = loc
+		n.tombstone = tombstone
+		return
 	}
 	lvl := l.randLevel()
 	if lvl > l.level {
@@ -61,13 +66,21 @@ func (l *skipList) insert(key string) bool {
 		}
 		l.level = lvl
 	}
-	n := &skipNode{key: key, next: make([]*skipNode, lvl)}
+	n := &skipNode{key: key, loc: loc, tombstone: tombstone, next: make([]*skipNode, lvl)}
 	for i := 0; i < lvl; i++ {
 		n.next[i] = update[i].next[i]
 		update[i].next[i] = n
 	}
 	l.length++
-	return true
+}
+
+// get returns key's entry, if present.
+func (l *skipList) get(key string) (Loc, bool, bool) {
+	n := l.seek(key)
+	if n == nil || n.key != key {
+		return Loc{}, false, false
+	}
+	return n.loc, n.tombstone, true
 }
 
 // delete removes key; reports false if it was absent.
@@ -100,5 +113,7 @@ func (l *skipList) seek(key string) *skipNode {
 	}
 	return x.next[0]
 }
+
+func (l *skipList) first() *skipNode { return l.head.next[0] }
 
 func (l *skipList) len() int { return l.length }

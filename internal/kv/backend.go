@@ -2,35 +2,20 @@ package kv
 
 import (
 	"pipette/internal/extfs"
-	"pipette/internal/sim"
+	"pipette/internal/index"
 	"pipette/internal/vfs"
 )
 
 // BackendFile is one open segment handle. All I/O threads virtual time,
-// exactly like the vfs layer underneath.
-type BackendFile interface {
-	ReadAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error)
-	WriteAt(now sim.Time, data []byte, off int64) (int, sim.Time, error)
-	Sync(now sim.Time) (sim.Time, error)
-	Close() error
-	Size() int64
-}
+// exactly like the vfs layer underneath. It is the same interface the index
+// engines use for their files — the value log and the index structures live
+// on the same filesystem.
+type BackendFile = index.File
 
-// Backend is the filesystem the store keeps its value-log segments on. The
-// production implementation is VFSBackend; tests may substitute fakes.
-type Backend interface {
-	// Create makes a fixed-size segment file and returns its write handle.
-	Create(name string, size int64) (BackendFile, error)
-	// OpenReader opens a read handle; fine requests O_FINE_GRAINED so Gets
-	// take the byte-granular read path.
-	OpenReader(name string, fine bool) (BackendFile, error)
-	// OpenWriter opens a write handle on an existing segment (recovery
-	// resumes appending into the last one).
-	OpenWriter(name string) (BackendFile, error)
-	Remove(name string) error
-	Files() []string
-	PageSize() int
-}
+// Backend is the filesystem the store keeps its value-log segments (and the
+// index engines their arenas and runs) on. The production implementation is
+// VFSBackend; tests may substitute fakes.
+type Backend = index.Backend
 
 // VFSBackend runs the store over a simulated filesystem. Segments are
 // preloaded so every page is device-mapped from creation: fine-grained

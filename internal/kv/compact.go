@@ -3,30 +3,38 @@ package kv
 import (
 	"fmt"
 
+	"pipette/internal/index"
+
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 )
 
 // MaintenanceTick runs one round of background work: if any sealed segment's
 // dead fraction has reached CompactMinDeadFrac, the worst one is compacted —
-// its live records re-appended to the active log, its file removed. Returns
-// whether a compaction ran and the simulated completion time. The owning
-// system calls this from its periodic maintenance tick, so reclamation rides
-// the same cadence as writeback and FGRC eviction.
+// its live records re-appended to the active log, its file removed. The
+// index engine then gets its own maintenance round (LSM level merges ride
+// the same cadence as log compaction). Returns whether any work ran and the
+// simulated completion time. The owning system calls this from its periodic
+// maintenance tick, so reclamation rides the same cadence as writeback and
+// FGRC eviction.
 func (s *Store) MaintenanceTick(now sim.Time) (bool, sim.Time, error) {
-	victim := s.pickVictim()
-	if victim == nil {
-		return false, now, nil
+	ran := false
+	if victim := s.pickVictim(); victim != nil {
+		start := now
+		var err error
+		if now, err = s.compact(now, victim); err != nil {
+			return false, now, err
+		}
+		if s.tr.Enabled() {
+			s.tr.Span(telemetry.TrackKV, "kv.compact", start, now)
+		}
+		ran = true
 	}
-	start := now
-	now, err := s.compact(now, victim)
+	engRan, now, err := s.eng.Tick(now)
 	if err != nil {
-		return false, now, err
+		return ran, now, err
 	}
-	if s.tr.Enabled() {
-		s.tr.Span(telemetry.TrackKV, "kv.compact", start, now)
-	}
-	return true, now, nil
+	return ran || engRan, now, nil
 }
 
 // pickVictim returns the sealed segment with the highest dead fraction at or
@@ -95,14 +103,20 @@ func (s *Store) compact(now sim.Time, sg *segment) (sim.Time, error) {
 			s.segs[id].dead += int64(len(s.scratch))
 			reclaimed -= uint64(len(s.scratch))
 		case s.isCurrent(key, sg.id, off):
-			// Live record: move the value to the active log.
+			// Live record: move the value to the active log and repoint the
+			// index engine at it (a timed engine write — compaction pays the
+			// index's update cost too).
 			s.scratch = encodeRecord(s.scratch, key, payload[h.keyLen:], false)
 			id, recOff, done, err := s.appendRecord(now, s.scratch)
 			if err != nil {
 				return done, err
 			}
 			now = done
-			s.index[key] = loc{seg: id, recOff: recOff, valLen: uint32(h.valLen)}
+			l := index.Loc{Seg: id, Off: recOff, ValLen: uint32(h.valLen)}
+			s.acct[key] = l
+			if now, err = s.eng.Insert(now, key, l); err != nil {
+				return now, err
+			}
 			s.segs[id].live += int64(len(s.scratch))
 			s.stats.MovedBytes += uint64(len(s.scratch))
 			reclaimed -= uint64(len(s.scratch))
@@ -121,7 +135,7 @@ func (s *Store) compact(now sim.Time, sg *segment) (sim.Time, error) {
 // shadows anything: the key has a live record again, or no older segment
 // could still hold a stale version of it.
 func (s *Store) tombstoneObsolete(key string, id uint32) bool {
-	if _, ok := s.index[key]; ok {
+	if _, ok := s.acct[key]; ok {
 		return true
 	}
 	// If this is the oldest remaining segment, nothing older can resurrect
@@ -132,8 +146,8 @@ func (s *Store) tombstoneObsolete(key string, id uint32) bool {
 // isCurrent reports whether the record at (id, off) is the one the index
 // points at for key.
 func (s *Store) isCurrent(key string, id uint32, off int64) bool {
-	l, ok := s.index[key]
-	return ok && l.seg == id && l.recOff == off
+	l, ok := s.acct[key]
+	return ok && l.Seg == id && l.Off == off
 }
 
 // dropSegment closes and deletes sg's file and forgets it.

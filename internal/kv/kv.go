@@ -1,7 +1,7 @@
 // Package kv is a log-structured key-value store built on the simulated
 // storage stack: an append-only value log split into fixed-size segment
-// files, an in-memory hash index mapping each key to its latest record, and
-// background merge compaction that reclaims superseded space.
+// files, a pluggable index engine mapping each key to its latest record,
+// and background merge compaction that reclaims superseded space.
 //
 // The design is the paper's motivating workload. Values are far smaller than
 // a filesystem page, so every Get wants exactly len(value) bytes at a known
@@ -9,12 +9,22 @@
 // serves without transferring the surrounding page. Running the same store
 // over a block-I/O backend and a Pipette backend turns the read-amplification
 // argument of the paper into an end-to-end measurement.
+//
+// The index is pluggable (internal/index): an in-memory hash map, a paged
+// B+-tree whose sub-page nodes live on the same filesystem, or an LSM of
+// bloom-filtered sorted runs. On-device engines add their own tiny reads to
+// every lookup — index traversal under block vs fine granularity is the
+// second axis of the same experiment. The value log stays the only
+// authoritative state: Open rebuilds whichever engine is configured from the
+// checksummed log scan, so index files are scratch, recreated per
+// incarnation.
 package kv
 
 import (
 	"errors"
 	"fmt"
 
+	"pipette/internal/index"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 )
@@ -32,6 +42,7 @@ type Config struct {
 	// FineReads opens segment read handles O_FINE_GRAINED, so Gets issue
 	// exact-length reads down the Pipette path. Off, Gets go through the
 	// ordinary block-granular path — same store, different read engine.
+	// The index engine's reads follow the same setting.
 	FineReads bool
 	// CompactMinDeadFrac is the dead-byte fraction a sealed segment must
 	// reach before MaintenanceTick rewrites it. Default 0.4.
@@ -39,6 +50,10 @@ type Config struct {
 	// MaxKeyLen bounds key size (also the recovery scan's sanity bound).
 	// Default 1024.
 	MaxKeyLen int
+	// Index configures the index engine. The store fills in NamePrefix
+	// (derived from the segment prefix), Fine (from FineReads), and Tracer;
+	// Kind and the tuning knobs are the caller's. Zero Kind selects hash.
+	Index index.Config
 	// Tracer receives kv.get / kv.put / kv.compact spans; nil for none.
 	Tracer telemetry.Tracer
 }
@@ -57,13 +72,11 @@ func (cfg *Config) setDefaults() {
 		cfg.MaxKeyLen = 1 << 10
 	}
 	cfg.Tracer = telemetry.OrNop(cfg.Tracer)
-}
-
-// loc locates a key's latest record.
-type loc struct {
-	seg    uint32
-	recOff int64
-	valLen uint32
+	if cfg.Index.NamePrefix == "" {
+		cfg.Index.NamePrefix = cfg.NamePrefix + "idx-"
+	}
+	cfg.Index.Fine = cfg.FineReads
+	cfg.Index.Tracer = cfg.Tracer
 }
 
 // Stats counts store activity since Open.
@@ -92,15 +105,20 @@ type Stats struct {
 // use — like the rest of the simulation, callers serialize on the owning
 // system's lock.
 type Store struct {
-	cfg   Config
-	be    Backend
-	segs  map[uint32]*segment
-	order []uint32 // segment ids, creation order (deterministic iteration)
+	cfg    Config
+	be     Backend
+	segs   map[uint32]*segment
+	order  []uint32 // segment ids, creation order (deterministic iteration)
 	active *segment
 	nextID uint32
 
-	index map[string]loc
-	keys  *skipList
+	// eng answers every timed Lookup and Scan — its reads are the
+	// measurement. acct shadows it untimed for the store's own bookkeeping
+	// (segment live/dead accounting, presence checks, compaction currency):
+	// the engine must not be charged device time for accounting the store
+	// does off the critical path.
+	eng  index.Engine
+	acct map[string]index.Loc
 
 	stats   Stats
 	tr      telemetry.Tracer
@@ -113,19 +131,28 @@ type Store struct {
 // or checksum mismatch) is skipped — the scan resynchronizes at the next
 // valid record and counts the damage in Stats.CorruptSkips/SkippedBytes;
 // only a tail after which no valid record remains ends a segment's replay.
-// Appends resume into the last segment. Returns the simulated completion
-// time of the recovery reads.
+// Appends resume into the last segment. Index files from a previous
+// incarnation are removed first — the engine is rebuilt from the log, so a
+// torn node write or truncated run before a crash cannot affect recovery.
+// Returns the simulated completion time of the recovery reads and writes.
 func Open(now sim.Time, be Backend, cfg Config) (*Store, sim.Time, error) {
 	cfg.setDefaults()
 	if cfg.SegmentBytes < int64(headerSize+cfg.MaxKeyLen+1) {
 		return nil, now, fmt.Errorf("kv: SegmentBytes %d cannot hold one record", cfg.SegmentBytes)
 	}
+	if err := index.RemoveFiles(be, cfg.Index.NamePrefix); err != nil {
+		return nil, now, err
+	}
+	eng, err := index.New(be, cfg.Index)
+	if err != nil {
+		return nil, now, err
+	}
 	s := &Store{
 		cfg:    cfg,
 		be:     be,
 		segs:   make(map[uint32]*segment),
-		index:  make(map[string]loc),
-		keys:   newSkipList(0x5eed),
+		eng:    eng,
+		acct:   make(map[string]index.Loc),
 		tr:     cfg.Tracer,
 		nextID: 1,
 	}
@@ -166,10 +193,16 @@ func Open(now sim.Time, be Backend, cfg Config) (*Store, sim.Time, error) {
 }
 
 // Len reports the number of live keys.
-func (s *Store) Len() int { return s.keys.len() }
+func (s *Store) Len() int { return len(s.acct) }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats { return s.stats }
+
+// IndexKind reports which index engine the store runs on.
+func (s *Store) IndexKind() index.Kind { return s.eng.Kind() }
+
+// IndexStats returns a snapshot of the index engine's counters.
+func (s *Store) IndexStats() index.Stats { return s.eng.Stats() }
 
 // Segments reports how many segment files currently exist.
 func (s *Store) Segments() int { return len(s.segs) }
@@ -188,51 +221,71 @@ func (s *Store) Put(now sim.Time, key string, val []byte) (sim.Time, error) {
 	if err != nil {
 		return done, err
 	}
+	now = done
+	l := index.Loc{Seg: id, Off: off, ValLen: uint32(len(val))}
 	s.dropIndexed(key)
-	s.index[key] = loc{seg: id, recOff: off, valLen: uint32(len(val))}
-	s.keys.insert(key)
+	s.acct[key] = l
+	if now, err = s.eng.Insert(now, key, l); err != nil {
+		return now, err
+	}
 	s.segs[id].live += int64(len(s.scratch))
 	s.stats.Puts++
 	if s.tr.Enabled() {
-		s.tr.Span(telemetry.TrackKV, "kv.put", start, done)
+		s.tr.Span(telemetry.TrackKV, "kv.put", start, now)
 	}
-	return done, nil
+	return now, nil
 }
 
 // Get reads key's value, appending it to dst (pass nil to allocate). The
-// read asks the backend for exactly the value's bytes — under a fine-grained
-// handle that is the whole device transfer.
+// index engine resolves the key first — for the on-device engines that is
+// one or more timed sub-page reads — then the read asks the backend for
+// exactly the value's bytes.
 func (s *Store) Get(now sim.Time, key string, dst []byte) ([]byte, sim.Time, error) {
 	s.stats.Gets++
-	l, ok := s.index[key]
+	start := now
+	l, ok, now, err := s.eng.Lookup(now, key)
+	if err != nil {
+		return dst, now, fmt.Errorf("kv: get %q: %w", key, err)
+	}
 	if !ok {
 		s.stats.Misses++
 		return dst, now, ErrNotFound
 	}
-	start := now
+	dst, now, err = s.readValue(now, key, l, dst)
+	if err != nil {
+		return dst, now, err
+	}
+	s.stats.Hits++
+	if s.tr.Enabled() {
+		s.tr.Span(telemetry.TrackKV, "kv.get", start, now)
+	}
+	return dst, now, nil
+}
+
+// readValue reads the value of the record l locates, appending it to dst.
+func (s *Store) readValue(now sim.Time, key string, l index.Loc, dst []byte) ([]byte, sim.Time, error) {
 	n := len(dst)
-	need := n + int(l.valLen)
+	need := n + int(l.ValLen)
 	if cap(dst) < need {
 		grown := make([]byte, need)
 		copy(grown, dst)
 		dst = grown
 	}
 	dst = dst[:need]
-	sg := s.segs[l.seg]
-	got, done, err := sg.r.ReadAt(now, dst[n:], l.recOff+valueOffset(key))
+	sg, ok := s.segs[l.Seg]
+	if !ok {
+		return dst[:n], now, fmt.Errorf("kv: get %q: stale segment %d", key, l.Seg)
+	}
+	got, done, err := sg.r.ReadAt(now, dst[n:], l.Off+valueOffset(key))
 	if err != nil {
 		// %w keeps the device's error chain intact: an uncorrectable
 		// media error stays classifiable via errors.Is at the API surface.
 		return dst[:n], done, fmt.Errorf("kv: get %q: %w", key, err)
 	}
-	if got != int(l.valLen) {
-		return dst[:n], done, fmt.Errorf("kv: short read %d of %d", got, l.valLen)
+	if got != int(l.ValLen) {
+		return dst[:n], done, fmt.Errorf("kv: short read %d of %d", got, l.ValLen)
 	}
-	s.stats.Hits++
-	s.stats.BytesRead += uint64(l.valLen)
-	if s.tr.Enabled() {
-		s.tr.Span(telemetry.TrackKV, "kv.get", start, done)
-	}
+	s.stats.BytesRead += uint64(l.ValLen)
 	return dst, done, nil
 }
 
@@ -245,7 +298,7 @@ func (s *Store) Delete(now sim.Time, key string) (sim.Time, error) {
 	if err := s.checkKey(key); err != nil {
 		return now, err
 	}
-	if _, ok := s.index[key]; !ok {
+	if _, ok := s.acct[key]; !ok {
 		s.stats.Misses++
 		return now, ErrNotFound
 	}
@@ -254,56 +307,42 @@ func (s *Store) Delete(now sim.Time, key string) (sim.Time, error) {
 	if err != nil {
 		return done, err
 	}
+	now = done
 	s.dropIndexed(key)
+	if now, err = s.eng.Delete(now, key); err != nil {
+		return now, err
+	}
 	// The tombstone itself is dead weight from birth; it exists only to
 	// shadow older records of key until they are compacted away.
 	s.segs[id].dead += int64(len(s.scratch))
 	s.stats.Deletes++
-	return done, nil
-}
-
-// Scan visits up to n keys >= start in order, reading each value and calling
-// fn. fn returning false stops the scan early.
-func (s *Store) Scan(now sim.Time, start string, n int, fn func(key string, val []byte) bool) (sim.Time, error) {
-	s.stats.Scans++
-	var buf []byte
-	for node := s.keys.seek(start); node != nil && n > 0; node = node.next[0] {
-		var err error
-		buf, now, err = s.get(now, node.key, buf[:0])
-		if err != nil {
-			return now, err
-		}
-		if !fn(node.key, buf) {
-			break
-		}
-		n--
-	}
 	return now, nil
 }
 
-// get is Get without the Gets/Hits accounting — Scan's per-key read.
-func (s *Store) get(now sim.Time, key string, dst []byte) ([]byte, sim.Time, error) {
-	l, ok := s.index[key]
-	if !ok {
-		return dst, now, ErrNotFound
+// Scan visits up to n keys >= start in order, reading each value and calling
+// fn. fn returning false stops the scan early. Key order comes from the
+// index engine — its own reads (leaf chains, run merges) are timed along
+// with the value reads.
+func (s *Store) Scan(now sim.Time, start string, n int, fn func(key string, val []byte) bool) (sim.Time, error) {
+	s.stats.Scans++
+	if n <= 0 {
+		return now, nil
 	}
-	n := len(dst)
-	need := n + int(l.valLen)
-	if cap(dst) < need {
-		grown := make([]byte, need)
-		copy(grown, dst)
-		dst = grown
+	var buf []byte
+	var rerr error
+	now, err := s.eng.Scan(now, start, func(now sim.Time, key string, l index.Loc) (sim.Time, bool) {
+		var done sim.Time
+		buf, done, rerr = s.readValue(now, key, l, buf[:0])
+		if rerr != nil {
+			return done, false
+		}
+		n--
+		return done, fn(key, buf) && n > 0
+	})
+	if rerr != nil {
+		return now, rerr
 	}
-	dst = dst[:need]
-	got, done, err := s.segs[l.seg].r.ReadAt(now, dst[n:], l.recOff+valueOffset(key))
-	if err != nil {
-		return dst[:n], done, fmt.Errorf("kv: get %q: %w", key, err)
-	}
-	if got != int(l.valLen) {
-		return dst[:n], done, fmt.Errorf("kv: short read %d of %d", got, l.valLen)
-	}
-	s.stats.BytesRead += uint64(l.valLen)
-	return dst, done, nil
+	return now, err
 }
 
 // Sync flushes the active segment.
@@ -311,8 +350,9 @@ func (s *Store) Sync(now sim.Time) (sim.Time, error) {
 	return s.active.w.Sync(now)
 }
 
-// Close syncs the active segment and releases every file handle. The store
-// must not be used afterwards; Open recovers the same state.
+// Close syncs the active segment and releases every file handle, including
+// the index engine's. The store must not be used afterwards; Open recovers
+// the same state from the log alone.
 func (s *Store) Close(now sim.Time) (sim.Time, error) {
 	done, err := s.active.w.Sync(now)
 	if err != nil {
@@ -329,6 +369,10 @@ func (s *Store) Close(now sim.Time) (sim.Time, error) {
 		if cerr := sg.r.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
+	}
+	done, cerr := s.eng.Close(done)
+	if cerr != nil && err == nil {
+		err = cerr
 	}
 	return done, err
 }

@@ -310,31 +310,3 @@ func TestRejectsBadInputs(t *testing.T) {
 		t.Fatal("value larger than a segment accepted")
 	}
 }
-
-func TestSkipList(t *testing.T) {
-	t.Parallel()
-	l := newSkipList(42)
-	keys := []string{"m", "c", "x", "a", "t", "c"} // one duplicate
-	inserted := 0
-	for _, k := range keys {
-		if l.insert(k) {
-			inserted++
-		}
-	}
-	if inserted != 5 || l.len() != 5 {
-		t.Fatalf("inserted=%d len=%d, want 5/5", inserted, l.len())
-	}
-	var walk []string
-	for n := l.seek(""); n != nil; n = n.next[0] {
-		walk = append(walk, n.key)
-	}
-	if fmt.Sprint(walk) != fmt.Sprint([]string{"a", "c", "m", "t", "x"}) {
-		t.Fatalf("walk = %v", walk)
-	}
-	if !l.delete("m") || l.delete("m") {
-		t.Fatal("delete semantics broken")
-	}
-	if n := l.seek("d"); n == nil || n.key != "t" {
-		t.Fatalf("seek(d) = %v, want t", n)
-	}
-}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"pipette/internal/index"
 	"pipette/internal/sim"
 )
 
@@ -273,13 +274,13 @@ func (s *Store) scanForward(now sim.Time, sg *segment, from int64, hdr []byte, p
 	return 0, now, false
 }
 
-// recoverSegment replays one segment's records into the index. A record
-// that fails validation mid-segment (a bit flip in any field) is skipped:
-// the scan resynchronizes at the next decodable record, the damaged bytes
-// are charged as dead space, and recovery continues — only when no valid
-// record remains does the segment end (the torn-tail case, which is not
-// counted as corruption). Reads are timed — recovery cost is part of the
-// simulation.
+// recoverSegment replays one segment's records into the index engine. A
+// record that fails validation mid-segment (a bit flip in any field) is
+// skipped: the scan resynchronizes at the next decodable record, the
+// damaged bytes are charged as dead space, and recovery continues — only
+// when no valid record remains does the segment end (the torn-tail case,
+// which is not counted as corruption). Reads — and the engine's own writes
+// while it rebuilds — are timed: recovery cost is part of the simulation.
 func (s *Store) recoverSegment(now sim.Time, sg *segment) (sim.Time, error) {
 	hdr := make([]byte, headerSize)
 	var payload []byte
@@ -302,13 +303,20 @@ func (s *Store) recoverSegment(now sim.Time, sg *segment) (sim.Time, error) {
 		}
 		key := string(p[:h.keyLen])
 		sz := recordSize(h.keyLen, h.valLen)
+		var err error
 		if h.tombstone {
 			s.dropIndexed(key)
+			if now, err = s.eng.Delete(now, key); err != nil {
+				return now, err
+			}
 			sg.dead += sz
 		} else {
 			s.dropIndexed(key)
-			s.index[key] = loc{seg: sg.id, recOff: off, valLen: uint32(h.valLen)}
-			s.keys.insert(key)
+			l := index.Loc{Seg: sg.id, Off: off, ValLen: uint32(h.valLen)}
+			s.acct[key] = l
+			if now, err = s.eng.Insert(now, key, l); err != nil {
+				return now, err
+			}
 			sg.live += sz
 		}
 		s.stats.Recovered++
@@ -320,17 +328,17 @@ func (s *Store) recoverSegment(now sim.Time, sg *segment) (sim.Time, error) {
 }
 
 // dropIndexed retires the current record of key, if any: its bytes become
-// dead in whatever segment holds them and the key leaves the ordered set.
+// dead in whatever segment holds them. Pure accounting — the engine's own
+// state changes ride the caller's timed Insert or Delete.
 func (s *Store) dropIndexed(key string) {
-	l, ok := s.index[key]
+	l, ok := s.acct[key]
 	if !ok {
 		return
 	}
-	sz := recordSize(len(key), int(l.valLen))
-	if sg, ok := s.segs[l.seg]; ok {
+	sz := recordSize(len(key), int(l.ValLen))
+	if sg, ok := s.segs[l.Seg]; ok {
 		sg.live -= sz
 		sg.dead += sz
 	}
-	delete(s.index, key)
-	s.keys.delete(key)
+	delete(s.acct, key)
 }

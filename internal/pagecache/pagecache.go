@@ -205,6 +205,13 @@ func (c *Cache) Contains(key Key) bool {
 	return ok
 }
 
+// ContainsDirty checks for a resident dirty copy without counting an
+// access or touching LRU.
+func (c *Cache) ContainsDirty(key Key) bool {
+	e, ok := c.get(key)
+	return ok && e.dirty
+}
+
 // Insert makes a page resident. data must be nil for clean pages and the
 // page's bytes for dirty ones (the cache takes ownership of the slice).
 // Inserting over an existing entry replaces its state. Eviction keeps

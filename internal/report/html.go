@@ -81,6 +81,7 @@ func WriteHTML(w io.Writer, title string, exports []*Export) error {
 		writeLatencyTable(&b, e.Runs)
 		writeSaturation(&b, e.Runs)
 		writeClusterSummary(&b, e.Runs)
+		writeIndexSummary(&b, e.Runs)
 		for i := range e.Runs {
 			writeRun(&b, &e.Runs[i])
 		}
@@ -284,6 +285,32 @@ func writeClusterSummary(b *strings.Builder, runs []Run) {
 			html.EscapeString(runLabel(r)), len(r.Shards), r.OpsPerSec,
 			100*hotShardShare(r.Shards), r.Rejected, r.Throttled, r.Lost,
 			hedges, failovers)
+	}
+	b.WriteString("</table>\n")
+}
+
+// writeIndexSummary renders the KV index-engine runs — those carrying an
+// index ledger — side by side: structure shape (tree height and node reads
+// per lookup, LSM runs), filter and cache effectiveness, and the absent-key
+// probe latencies, where the fine-read path's sub-page index reads show.
+func writeIndexSummary(b *strings.Builder, runs []Run) {
+	var ix []*Run
+	for i := range runs {
+		if runs[i].Index != nil {
+			ix = append(ix, &runs[i])
+		}
+	}
+	if len(ix) == 0 {
+		return
+	}
+	b.WriteString("<h3>KV index engines</h3>\n<table>\n<tr><th>run</th><th>index</th><th>height</th><th>node rd/get</th><th>runs</th><th>bloom neg</th><th>bloom FP %</th><th>cache hit %</th><th>neg probe mean (µs)</th><th>neg probe p99 (µs)</th><th>probe read KB</th><th>idx read MB</th></tr>\n")
+	for _, r := range ix {
+		s := r.Index
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%.2f</td><td>%d</td><td>%d</td><td>%.2f</td><td>%.1f</td><td>%.2f</td><td>%.2f</td><td>%.1f</td><td>%.1f</td></tr>\n",
+			html.EscapeString(runLabel(r)), html.EscapeString(s.Kind),
+			s.Height, s.NodeReadsPerLookup, s.Runs, s.BloomNegative,
+			s.BloomFPPct, s.CacheHitPct, s.NegProbeMeanUs, s.NegProbeP99Us,
+			s.NegProbeReadKB, s.ReadMB)
 	}
 	b.WriteString("</table>\n")
 }

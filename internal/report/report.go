@@ -114,6 +114,11 @@ type Run struct {
 	// admission ledger the cluster summary section renders.
 	Shards []ShardSummary `json:"shards,omitempty"`
 
+	// Index describes the KV index engine behind a kv-matrix run (nil for
+	// every other run): structure shape, filter/cache effectiveness, and
+	// the absent-key probe latencies the index summary section renders.
+	Index *IndexSummary `json:"index,omitempty"`
+
 	// StageNs is the conservation sum: total time attributed across all
 	// stages, equal to the summed end-to-end latencies of every request
 	// the stage account finished.
@@ -139,6 +144,37 @@ type ShardSummary struct {
 	MediaErrors   uint64  `json:"media_errors,omitempty"`
 	Faulted       bool    `json:"faulted,omitempty"`
 	Utilization   float64 `json:"utilization"` // busiest resource's busy fraction
+}
+
+// IndexSummary is one KV cell's index-engine ledger: the paged B+-tree's
+// traversal shape, the LSM's run/filter/cache behavior, and the latency of
+// the absent-key probe batch — the negative-lookup regime where the two
+// structures differ most. Fields that do not apply to the engine kind stay
+// zero and are omitted from the JSON.
+type IndexSummary struct {
+	Kind string `json:"kind"`
+
+	// B+-tree.
+	NodeReadsPerLookup float64 `json:"node_reads_per_lookup,omitempty"`
+	Height             int     `json:"height,omitempty"`
+	Splits             uint64  `json:"splits,omitempty"`
+	Merges             uint64  `json:"merges,omitempty"`
+
+	// LSM.
+	Runs          int     `json:"runs,omitempty"`
+	Flushes       uint64  `json:"flushes,omitempty"`
+	Compactions   uint64  `json:"compactions,omitempty"`
+	BloomNegative uint64  `json:"bloom_negative,omitempty"`
+	BloomFPPct    float64 `json:"bloom_fp_pct,omitempty"`
+	CacheHitPct   float64 `json:"cache_hit_pct,omitempty"`
+
+	NegProbeMeanUs float64 `json:"neg_probe_mean_us,omitempty"`
+	NegProbeP99Us  float64 `json:"neg_probe_p99_us,omitempty"`
+	// NegProbeReadKB is the device traffic the probe batch moved — the
+	// read-amplification side of the negative-lookup comparison.
+	NegProbeReadKB float64 `json:"neg_probe_read_kb,omitempty"`
+	ReadMB         float64 `json:"read_mb,omitempty"`
+	WriteMB        float64 `json:"write_mb,omitempty"`
 }
 
 // Export is one run bundle: what a tool invocation measured.

@@ -28,6 +28,7 @@ const (
 	TrackSSD       = "ssd"
 	TrackFTL       = "ftl"
 	TrackKV        = "kv"
+	TrackIndex     = "index"
 )
 
 // Tracer receives simulation events. Implementations: Nop (default,

@@ -331,17 +331,23 @@ func (f *File) readAt(now sim.Time, buf []byte, off int64) (int, sim.Time, error
 		if v.tr.Enabled() {
 			v.tr.Instant(telemetry.TrackPageCache, "miss", now)
 		}
-		done, handled, err := v.router.TryFineRead(now, f, off, buf)
-		if err != nil {
-			return 0, done, err
+		// A partially resident range with a dirty page must not go fine:
+		// the fine command reads flash below the cache, and a dirty
+		// resident page's latest bytes exist only in host memory. The
+		// block path merges cache and device per page; route it there.
+		if !v.rangeHasDirty(f, off, n) {
+			done, handled, err := v.router.TryFineRead(now, f, off, buf)
+			if err != nil {
+				return 0, done, err
+			}
+			if handled {
+				return n, v.copyOut(done), eof
+			}
+			// Unhandled: the router may still have spent time (a fine attempt
+			// that fell back on detected corruption); the block path resumes
+			// from its completion. Plain declines return done == now.
+			now = done
 		}
-		if handled {
-			return n, v.copyOut(done), eof
-		}
-		// Unhandled: the router may still have spent time (a fine attempt
-		// that fell back on detected corruption); the block path resumes
-		// from its completion. Plain declines return done == now.
-		now = done
 	}
 
 	done, err := v.blockRead(now, f, buf, off)
@@ -359,6 +365,20 @@ func (v *VFS) copyOut(done sim.Time) sim.Time {
 	}
 	v.sa.Mark(telemetry.StageCopyout, end)
 	return end
+}
+
+// rangeHasDirty reports whether any page covering [off, off+n) holds a
+// resident dirty copy — content the device does not have yet.
+func (v *VFS) rangeHasDirty(f *File, off int64, n int) bool {
+	ps := int64(v.fs.PageSize())
+	first := uint64(off / ps)
+	last := uint64((off + int64(n) - 1) / ps)
+	for p := first; p <= last; p++ {
+		if v.cache.ContainsDirty(pagecache.Key{File: f.inode.Ino, Index: p}) {
+			return true
+		}
+	}
+	return false
 }
 
 // tryServeFromCache serves the request if every covering page is resident.
@@ -455,6 +475,16 @@ func (v *VFS) blockRead(now sim.Time, f *File, buf []byte, off int64) (sim.Time,
 // and page p is fetched, its content starting at page offset wantOff is
 // copied into want and gotWant is true.
 func (v *VFS) fetchPages(now sim.Time, f *File, p uint64, count int, want []byte, wantOff int) (bool, sim.Time, error) {
+	// Evicted-but-unflushed pages must reach the device before it serves
+	// this fetch, or the read returns the pre-writeback flash content. The
+	// window opens when an eviction queues a dirty page mid-request (cache
+	// pressure, or the fine router shrinking the budget) and a later fetch
+	// wants that very page.
+	if len(v.pendingWB) > 0 {
+		if _, err := v.drainWriteback(now); err != nil {
+			return false, now, err
+		}
+	}
 	ftlLayer := v.fs.Controller().FTL()
 	lbas := v.fetchLBAs[:0]
 	pairs := v.fetchPairs[:0]

@@ -8,6 +8,7 @@ import (
 	"pipette/internal/blockdev"
 	"pipette/internal/extfs"
 	"pipette/internal/nvme"
+	"pipette/internal/pagecache"
 	"pipette/internal/sim"
 	"pipette/internal/ssd"
 )
@@ -415,6 +416,41 @@ func TestDirtyPageServesFineHit(t *testing.T) {
 	}
 	if !bytes.Equal(buf, payload) {
 		t.Fatalf("fine read after write got %q, want %q", buf, payload)
+	}
+}
+
+func TestPartialDirtyRangeSkipsFineRouter(t *testing.T) {
+	// A range whose pages are partly flushed-and-evicted, partly dirty
+	// resident must not reach the fine router: the fine command reads flash
+	// below the cache, and a dirty page's latest bytes exist only in host
+	// memory. The block path merges cache and device per page.
+	v := testVFS(t, 1) // capacity 1: dirtying the second page evicts the first
+	f, err := v.Create("data", 1<<20, extfs.CreateOpts{Preload: true}, ReadWrite|FineGrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &stubRouter{serve: true}
+	v.SetRouter(r)
+	payload := bytes.Repeat([]byte{0x5a}, 200)
+	const off = 10*4096 + 4000 // spans the page 10/11 boundary
+	if _, _, err := f.WriteAt(0, payload, off); err != nil {
+		t.Fatal(err)
+	}
+	if !v.cache.ContainsDirty(pagecache.Key{File: f.inode.Ino, Index: 11}) {
+		t.Fatal("setup: page 11 not dirty resident")
+	}
+	if v.cache.Contains(pagecache.Key{File: f.inode.Ino, Index: 10}) {
+		t.Fatal("setup: page 10 still resident")
+	}
+	buf := make([]byte, len(payload))
+	if _, _, err := f.ReadAt(0, buf, off); err != nil {
+		t.Fatal(err)
+	}
+	if r.fineCalls != 0 {
+		t.Fatal("fine router consulted for a partially dirty range")
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("partially dirty range read wrong bytes")
 	}
 }
 

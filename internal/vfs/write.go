@@ -206,6 +206,19 @@ func (v *VFS) writebackPage(now sim.Time, key pagecache.Key, data []byte) (sim.T
 	return done, nil
 }
 
+// FlushPendingWriteback lands any evicted-but-unflushed pages on the device.
+// The fine router calls it immediately before a direct LBA read: its own
+// budget rebalancing can evict dirty pages mid-request (the page cache
+// shrinks under syncBudget), and a fine fetch that races ahead of their
+// writeback would read — and admit into the fine cache — the pre-flush flash
+// content. The same rule guards the block path at the top of fetchPages.
+func (v *VFS) FlushPendingWriteback(now sim.Time) (sim.Time, error) {
+	if len(v.pendingWB) == 0 {
+		return now, nil
+	}
+	return v.drainWriteback(now)
+}
+
 // drainWriteback persists dirty pages that were evicted since the last
 // drain. Writeback is asynchronous, as in the kernel's flusher threads: the
 // device commands issue at now and occupy the FTL/NAND resource timelines

@@ -1,6 +1,7 @@
 package pipette
 
 import (
+	"pipette/internal/index"
 	"pipette/internal/kv"
 )
 
@@ -18,6 +19,11 @@ type KVOptions struct {
 	// BlockReads forces Gets through the ordinary page-granular read path
 	// instead of O_FINE_GRAINED — the baseline the paper compares against.
 	BlockReads bool
+	// Index selects the index engine: "hash" (default, in-memory), "btree"
+	// (paged B+-tree on the store's filesystem), or "lsm" (bloom-filtered
+	// sorted runs). The on-device engines add sub-page index reads to every
+	// lookup, following the same fine/block setting as value reads.
+	Index string
 }
 
 // KV is a log-structured key-value store persisted on the System's
@@ -36,10 +42,15 @@ type KV struct {
 func (s *System) OpenKV(opts KVOptions) (*KV, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	kind, err := index.ParseKind(opts.Index)
+	if err != nil {
+		return nil, err
+	}
 	store, done, err := kv.Open(s.clock.Now(), kv.VFSBackend{V: s.v}, kv.Config{
 		NamePrefix:   opts.NamePrefix,
 		SegmentBytes: opts.SegmentBytes,
 		FineReads:    !opts.BlockReads,
+		Index:        index.Config{Kind: kind},
 	})
 	if err != nil {
 		return nil, err
@@ -138,6 +149,26 @@ func (k *KV) Stats() KVStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return k.store.Stats()
+}
+
+// KVIndexStats mirrors the index engine's counters (node reads, bloom
+// checks, cache hits, ...).
+type KVIndexStats = index.Stats
+
+// IndexKind reports which index engine the store runs on.
+func (k *KV) IndexKind() string {
+	s := k.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return string(k.store.IndexKind())
+}
+
+// IndexStats returns a snapshot of the index engine's counters.
+func (k *KV) IndexStats() KVIndexStats {
+	s := k.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return k.store.IndexStats()
 }
 
 // tickKVs runs one compaction round per open store; called (with the System
