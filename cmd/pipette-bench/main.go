@@ -17,6 +17,7 @@
 //	pipette-bench -exp all -listen :9100  # live /metrics /healthz /progress
 //	pipette-bench -exp phases,kv,faults -scale tiny -baseline BENCH_baseline.json -compare
 //	pipette-bench -exp fig6 -cpuprofile cpu.out
+//	pipette-bench -exp faults -flight-dump flight.json
 //	pipette-bench -exp phases -trace-out trace.json -stats-out stats.csv
 package main
 
@@ -27,6 +28,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"pipette/internal/bench"
@@ -55,6 +57,7 @@ func main() {
 		exportOut = flag.String("export-out", "", "phases experiment: write the run-export bundle JSON (pipette-report input)")
 		statsInt  = flag.Duration("stats-interval", time.Millisecond, "virtual-time sampling interval for -stats-out")
 		faultProf = flag.String("fault-profile", "", "arm fault injection on every engine: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
+		flightOut = flag.String("flight-dump", "", "arm a shared flight recorder on every engine; a panicking cell or fatal error dumps the recent-event ring to this file as JSON")
 		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
 		shards    = flag.Int("shards", 0, "cluster experiment: shard count (0 = scale default)")
 		replicas  = flag.String("replicas", "", "cluster experiment: replication factors to sweep, comma-separated (empty = scale default)")
@@ -137,6 +140,33 @@ func main() {
 		}()
 	}
 
+	// -flight-dump arms one shared recorder across every engine the harness
+	// builds. The file is created eagerly so a missing directory fails
+	// before hours of cells run, and the dump closure is once-only — under
+	// -j several cells can fail together, but only the first writes.
+	var dumpFlight func(reason string)
+	if *flightOut != "" {
+		flight := telemetry.NewFlightRecorder(telemetry.DefaultFlightEvents)
+		flightFile, err := os.Create(*flightOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer flightFile.Close()
+		var once sync.Once
+		dumpFlight = func(reason string) {
+			once.Do(func() {
+				if derr := flight.Dump(flightFile, reason, 0); derr != nil {
+					fmt.Fprintf(os.Stderr, "pipette-bench: flight dump: %v\n", derr)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "pipette-bench: flight recorder dumped to %s (%s)\n", *flightOut, reason)
+			})
+		}
+		bench.ArmFlight(flight, dumpFlight)
+		defer bench.ArmFlight(nil, nil)
+	}
+
 	topts := bench.TelemetryOpts{
 		TraceOut:      *traceOut,
 		StatsOut:      *statsOut,
@@ -165,6 +195,9 @@ func main() {
 
 	start := time.Now()
 	if err := runExperiments(*expName, scale, topts, pool); err != nil {
+		if dumpFlight != nil {
+			dumpFlight(fmt.Sprintf("fatal: %v", err))
+		}
 		fmt.Fprintf(os.Stderr, "pipette-bench: %v\n", err)
 		os.Exit(1)
 	}

@@ -29,6 +29,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 
 	"pipette"
 	"pipette/internal/buildinfo"
@@ -42,18 +43,19 @@ import (
 
 func main() {
 	var (
-		records  = flag.Uint64("records", 100_000, "records preloaded into the store")
-		ops      = flag.Int("ops", 100_000, "operations replayed per workload")
-		wls      = flag.String("workload", "A,C", "comma-separated YCSB workloads (A-F)")
-		fine     = flag.Bool("fine", true, "serve Gets through the fine-grained read path")
-		indexEng = flag.String("index", "hash", "index engine: hash, btree, or lsm")
-		valBytes = flag.Int("values", 0, "fixed value size in bytes (0 = mixed 64..512)")
-		capMB    = flag.Int64("capacity", 2048, "flash capacity (MiB)")
-		pcMB     = flag.Int64("pagecache", 16, "page cache budget (MiB)")
-		fgMB     = flag.Int("finecache", 8, "fine-grained read cache arena (MiB)")
-		seed     = flag.Uint64("seed", 42, "workload seed")
-		version  = flag.Bool("version", false, "print build identity and exit")
-		listen   = flag.String("listen", "", "serve live /metrics, /healthz, and /progress on this address (e.g. :9102)")
+		records   = flag.Uint64("records", 100_000, "records preloaded into the store")
+		ops       = flag.Int("ops", 100_000, "operations replayed per workload")
+		wls       = flag.String("workload", "A,C", "comma-separated YCSB workloads (A-F)")
+		fine      = flag.Bool("fine", true, "serve Gets through the fine-grained read path")
+		indexEng  = flag.String("index", "hash", "index engine: hash, btree, or lsm")
+		valBytes  = flag.Int("values", 0, "fixed value size in bytes (0 = mixed 64..512)")
+		capMB     = flag.Int64("capacity", 2048, "flash capacity (MiB)")
+		pcMB      = flag.Int64("pagecache", 16, "page cache budget (MiB)")
+		fgMB      = flag.Int("finecache", 8, "fine-grained read cache arena (MiB)")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		version   = flag.Bool("version", false, "print build identity and exit")
+		flightOut = flag.String("flight-dump", "", "single-device mode: arm the flight recorder; a fatal error or panic dumps the recent-event ring to this file as JSON")
+		listen    = flag.String("listen", "", "serve live /metrics, /healthz, and /progress on this address (e.g. :9102)")
 		faultProf = flag.String("fault-profile", "", "arm fault injection: site:spec rules, e.g. 'nand.read:rber*20,hmb.ring:0.01' (empty = off)")
 		faultSeed = flag.Uint64("fault-seed", 0x5eed, "seed for the fault injector's per-site decision streams")
 
@@ -74,6 +76,12 @@ func main() {
 	}
 
 	if *shards > 0 {
+		if *flightOut != "" {
+			// Cluster members are private stacks behind the tier's router;
+			// there is no single tracer hook to arm, so fail loudly rather
+			// than silently recording nothing.
+			log.Fatal("pipette-kv: -flight-dump is single-device only (incompatible with -shards)")
+		}
 		if err := runCluster(clusterOpts{
 			shards:     *shards,
 			replicas:   *replicas,
@@ -103,6 +111,36 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// -flight-dump arms the ring on every layer of the system. The file is
+	// created eagerly so a bad path fails before the load phase; the dump
+	// fires at most once, from the first fatal error or panic.
+	var dumpFlight func(reason string)
+	if *flightOut != "" {
+		flight := telemetry.NewFlightRecorder(telemetry.DefaultFlightEvents)
+		flightFile, err := os.Create(*flightOut)
+		if err != nil {
+			log.Fatalf("pipette-kv: %v", err)
+		}
+		defer flightFile.Close()
+		var once sync.Once
+		dumpFlight = func(reason string) {
+			once.Do(func() {
+				if derr := flight.Dump(flightFile, reason, sys.Now()); derr != nil {
+					fmt.Fprintf(os.Stderr, "pipette-kv: flight dump: %v\n", derr)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "pipette-kv: flight recorder dumped to %s (%s)\n", *flightOut, reason)
+			})
+		}
+		sys.SetTracer(flight)
+		defer func() {
+			if r := recover(); r != nil {
+				dumpFlight(fmt.Sprintf("panic: %v", r))
+				panic(r)
+			}
+		}()
+	}
+
 	if *listen != "" {
 		reg := telemetry.NewRegistry(telemetry.L("job", "pipette-kv"))
 		buildinfo.Register(reg, "pipette-kv")
@@ -121,6 +159,9 @@ func main() {
 			continue
 		}
 		if err := runWorkload(sys, wl, *records, *ops, *valBytes, *seed, *fine, *indexEng); err != nil {
+			if dumpFlight != nil {
+				dumpFlight(fmt.Sprintf("fatal: workload %s: %v", wl, err))
+			}
 			log.Fatalf("workload %s: %v", wl, err)
 		}
 	}

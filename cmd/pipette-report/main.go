@@ -2,8 +2,16 @@
 // pipette-sim -export and pipette-bench -export-out — into one
 // self-contained HTML run report: latency percentile tables, a per-run
 // stage waterfall (where each request's virtual time went, stage by
-// stage), and per-resource occupancy heatmaps (NAND channels and dies,
+// stage), tail-exemplar waterfalls with per-resource blame, time × latency
+// heatmaps, and per-resource occupancy heatmaps (NAND channels and dies,
 // the PCIe DMA link, the NVMe ring).
+//
+// With -diff it compares two runs instead of rendering one: either two
+// run exports or two bench suite summaries (BENCH_<rev>.json). Every
+// metric's delta is printed as a table on stdout; rows beyond the
+// tolerance band are flagged and make the command exit 1, so the diff
+// doubles as a gate. A file diffed against itself reports zero changes
+// and exits 0.
 //
 // The output is fully deterministic: it embeds no wall-clock content and
 // formats every number with fixed precision, so identical runs produce
@@ -15,13 +23,17 @@
 //	pipette-report -o report.html run.json
 //	pipette-report -o report.html -title "nightly quick run" phases.json sim.json
 //	pipette-report -o - run.json > report.html
+//	pipette-report -diff old.json new.json
+//	pipette-report -diff -tol 0.05 -o diff.html BENCH_baseline.json BENCH_new.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"pipette/internal/bench"
 	"pipette/internal/buildinfo"
 	"pipette/internal/report"
 )
@@ -30,11 +42,23 @@ func main() {
 	var (
 		out     = flag.String("o", "report.html", "output HTML file; '-' for stdout")
 		title   = flag.String("title", "Pipette run report", "report title")
+		diff    = flag.Bool("diff", false, "compare two exports or bench summaries: -diff old.json new.json")
+		tol     = flag.Float64("tol", 0.10, "relative tolerance band for -diff highlighting")
 		version = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
 	if *version {
 		buildinfo.Fprint(os.Stdout, "pipette-report")
+		return
+	}
+	if *diff {
+		htmlOut := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "o" {
+				htmlOut = *out
+			}
+		})
+		runDiff(flag.Args(), *tol, htmlOut, *title)
 		return
 	}
 	if flag.NArg() == 0 {
@@ -78,4 +102,104 @@ func main() {
 		runs += len(e.Runs)
 	}
 	fmt.Printf("report written to %s (%d runs)\n", *out, runs)
+}
+
+// fileKind sniffs whether path holds a bench suite summary ("cells") or a
+// run export ("runs") without committing to either schema.
+func fileKind(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	if _, ok := probe["cells"]; ok {
+		return "summary", nil
+	}
+	if _, ok := probe["runs"]; ok {
+		return "export", nil
+	}
+	return "", fmt.Errorf("%s: neither a bench summary (no \"cells\") nor a run export (no \"runs\")", path)
+}
+
+// runDiff compares two files of the same kind and exits: 0 when every
+// metric stays inside the tolerance band, 1 when something exceeds it,
+// 2 on usage or read errors.
+func runDiff(args []string, tol float64, out, title string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "pipette-report: -diff needs exactly two files: old.json new.json")
+		os.Exit(2)
+	}
+	oldPath, newPath := args[0], args[1]
+	oldKind, err := fileKind(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+		os.Exit(2)
+	}
+	newKind, err := fileKind(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+		os.Exit(2)
+	}
+	if oldKind != newKind {
+		fmt.Fprintf(os.Stderr, "pipette-report: cannot diff a %s against a %s\n", oldKind, newKind)
+		os.Exit(2)
+	}
+
+	var d *report.Diff
+	if oldKind == "summary" {
+		oldSum, err := bench.ReadSummary(oldPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(2)
+		}
+		newSum, err := bench.ReadSummary(newPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(2)
+		}
+		d, err = bench.DiffSummaries(newSum, oldSum, bench.Uniform(tol))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		oldExp, err := report.ReadFile(oldPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(2)
+		}
+		newExp, err := report.ReadFile(newPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(2)
+		}
+		d = report.DiffExports(oldExp, newExp, tol)
+	}
+
+	if err := d.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+		os.Exit(2)
+	}
+	if out != "" && out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(2)
+		}
+		if err := d.WriteHTML(f, title); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pipette-report: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if d.Exceeded() > 0 {
+		os.Exit(1)
+	}
 }

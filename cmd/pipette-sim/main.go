@@ -138,7 +138,7 @@ func main() {
 		if *exportOut == "" {
 			return nil
 		}
-		exp := &report.Export{Tool: "pipette-sim", Runs: runs}
+		exp := &report.Export{Tool: "pipette-sim", Version: buildinfo.Version, Runs: runs}
 		if err := exp.WriteFile(*exportOut); err != nil {
 			return err
 		}

@@ -5,15 +5,18 @@
 //	pipette-trace gen -workload mixD -dist zipfian -n 100000 -o trace.bin
 //	pipette-trace info trace.bin
 //	pipette-trace replay -file-mb 128 trace.bin
+//	pipette-trace tail export.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pipette"
 	"pipette/internal/buildinfo"
+	"pipette/internal/report"
 	"pipette/internal/trace"
 	"pipette/internal/workload"
 )
@@ -30,6 +33,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "tail":
+		err = cmdTail(os.Args[2:])
 	case "version", "-version", "--version":
 		buildinfo.Fprint(os.Stdout, "pipette-trace")
 	default:
@@ -42,8 +47,77 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pipette-trace gen|info|replay|version [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: pipette-trace gen|info|replay|tail|version [flags] [file]")
 	os.Exit(2)
+}
+
+// cmdTail prints the tail exemplars captured in a run-export bundle: per
+// run, the blame composition over the kept slow set and an ASCII
+// waterfall of each top-K exemplar's critical-path spans.
+func cmdTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	width := fs.Int("width", 60, "waterfall bar width in characters")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("tail needs a run-export JSON file (pipette-bench -export-out)")
+	}
+	exp, err := report.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	shown := 0
+	for _, r := range exp.Runs {
+		if len(r.Exemplars) == 0 && len(r.TailBlame) == 0 {
+			continue
+		}
+		shown++
+		fmt.Printf("== %s ==\n", r.Name)
+		if len(r.TailBlame) > 0 {
+			fmt.Printf("tail blame (slowest %d of %d requests):\n", r.TailKept, r.Requests)
+			fmt.Printf("  %-10s %-14s %12s %7s\n", "stage", "resource", "total ms", "share")
+			for _, b := range r.TailBlame {
+				res := b.Res
+				if res == "" {
+					res = "-"
+				}
+				fmt.Printf("  %-10s %-14s %12.3f %6.1f%%\n", b.Stage, res, float64(b.TotalNs)/1e6, b.SharePct)
+			}
+		}
+		for i, ex := range r.Exemplars {
+			fmt.Printf("#%d seq=%d start=%.3fms latency=%.2fus\n",
+				i+1, ex.Seq, float64(ex.StartNs)/1e6, ex.LatencyUs)
+			total := ex.LatencyUs * 1e3 // ns
+			if total <= 0 {
+				continue
+			}
+			for _, sp := range ex.Spans {
+				dur := sp.EndNs - sp.StartNs
+				n := int(float64(*width) * float64(dur) / total)
+				if n < 1 {
+					n = 1
+				}
+				off := int(float64(*width) * float64(sp.StartNs-ex.StartNs) / total)
+				if off+n > *width {
+					off = *width - n
+					if off < 0 {
+						off = 0
+					}
+				}
+				label := sp.Stage
+				if sp.Res != "" {
+					label += "@" + sp.Res
+				}
+				fmt.Printf("  %s%s%s %-26s %9.2fus\n",
+					strings.Repeat(" ", off), strings.Repeat("#", n),
+					strings.Repeat(" ", *width-off-n), label, float64(dur)/1e3)
+			}
+		}
+		fmt.Println()
+	}
+	if shown == 0 {
+		fmt.Println("no tail exemplars in export (runs predate tail capture, or none were collected)")
+	}
+	return nil
 }
 
 func cmdGen(args []string) error {

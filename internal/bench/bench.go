@@ -221,23 +221,33 @@ func (s Scale) stackConfig(fileSize int64) baseline.StackConfig {
 // Cells construct their engine themselves so expensive setup (NAND preload)
 // parallelizes with everything else.
 func newEngine(idx int, cfg baseline.StackConfig) (baseline.Engine, error) {
+	var (
+		e   baseline.Engine
+		err error
+	)
 	switch idx {
 	case 0:
-		e, err := baseline.NewBlockIO(cfg)
-		if err != nil {
+		if e, err = baseline.NewBlockIO(cfg); err != nil {
 			return nil, fmt.Errorf("bench: block i/o: %w", err)
 		}
-		return e, nil
 	case 1:
-		return baseline.NewTwoBSSD(cfg, baseline.MMIO)
+		e, err = baseline.NewTwoBSSD(cfg, baseline.MMIO)
 	case 2:
-		return baseline.NewTwoBSSD(cfg, baseline.DMA)
+		e, err = baseline.NewTwoBSSD(cfg, baseline.DMA)
 	case 3:
-		return baseline.NewPipetteNoCache(cfg)
+		e, err = baseline.NewPipetteNoCache(cfg)
 	case 4:
-		return baseline.NewPipette(cfg)
+		e, err = baseline.NewPipette(cfg)
+	default:
+		return nil, fmt.Errorf("bench: no engine %d", idx)
 	}
-	return nil, fmt.Errorf("bench: no engine %d", idx)
+	if err != nil {
+		return nil, err
+	}
+	if fr := armedFlight(); fr != nil {
+		e.SetTracer(fr)
+	}
+	return e, nil
 }
 
 // engineSet builds the paper's five engines over identical private systems.
@@ -294,6 +304,25 @@ type Result struct {
 	// (OpenLoopOpts.MaxQueue). Rejected requests never dispatch: they are
 	// excluded from goodput and from the latency histogram.
 	Rejected uint64
+
+	// Tail is the cell's slow-request capture (top-K exemplars plus the
+	// blame composition over the slowest ~1%); Heat is its completion-time
+	// × latency heatmap. Both cover only the measured phase and are nil
+	// for replays that collect no telemetry.
+	Tail *telemetry.TailSnapshot
+	Heat *telemetry.HeatSnapshot
+}
+
+// tailTopK is how many slowest-request exemplars each cell captures;
+// tailKeep sizes the kept set the tail-blame composition aggregates over
+// (~the slowest 1%, never fewer than the exemplars).
+const tailTopK = 5
+
+func tailKeep(requests int) int {
+	if k := requests / 100; k > tailTopK {
+		return k
+	}
+	return tailTopK
 }
 
 // Run replays requests from gen against e and measures the paper's
@@ -339,6 +368,14 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 	base := e.Snapshot()
 	start := now
 
+	// Tail capture and the latency heatmap attach after warmup so both
+	// cover exactly the measured phase; the stage account itself keeps
+	// spanning the whole replay (that is what conservation covers).
+	tail := telemetry.NewTailRecorder(tailTopK, tailKeep(requests))
+	e.Stages().SetTail(tail)
+	defer e.Stages().SetTail(nil)
+	grid := telemetry.NewLatencyGrid(now)
+
 	res := &Result{}
 	for i := 0; i < requests; i++ {
 		req := gen.Next()
@@ -368,11 +405,14 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 			return nil, fmt.Errorf("bench: request %d (%+v): %w", i, req, err)
 		}
 		res.Hist.Observe(now - before)
+		grid.Observe(now, now-before)
 		if opts.Sampler != nil {
 			opts.Sampler.Tick(now)
 		}
 	}
 
+	res.Tail = tail.Snapshot()
+	res.Heat = grid.Snapshot()
 	res.Stages = e.Stages().Snapshot()
 	res.Resources = e.Resources().Snapshot(now)
 	snap := e.Snapshot()
@@ -391,6 +431,7 @@ func Run(e baseline.Engine, gen workload.Generator, requests int, opts RunOpts) 
 // ExportRun converts one cell measurement into a report-bundle run record,
 // the pipette-report input format.
 func ExportRun(name, wl string, r *Result) report.Run {
+	exemplars, blame, kept := report.TailRows(r.Tail)
 	return report.Run{
 		Name:      name,
 		Workload:  wl,
@@ -401,6 +442,10 @@ func ExportRun(name, wl string, r *Result) report.Run {
 		Latency:   report.PercentilesOf(&r.Hist),
 		StageNs:   int64(r.Stages.Sum()),
 		Stages:    report.StageRows(&r.Stages),
+		Exemplars: exemplars,
+		TailBlame: blame,
+		TailKept:  kept,
+		Heat:      r.Heat,
 		Resources: r.Resources,
 
 		OfferedOpsPerSec: r.Offered,

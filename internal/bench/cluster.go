@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"pipette/internal/buildinfo"
 	"pipette/internal/cluster"
 	"pipette/internal/fault"
 	"pipette/internal/kv"
@@ -198,11 +199,15 @@ func runClusterCell(s Scale, pt clusterPoint) (*clusterSlot, error) {
 		}
 		return req
 	}
+	tail := telemetry.NewTailRecorder(tailTopK, tailKeep(s.ClusterRequests))
+	grid := telemetry.NewLatencyGrid(start)
 	cres, err := c.Replay(next, s.ClusterRequests, cluster.ReplayOpts{
 		Arrivals:            arr,
 		Start:               start,
 		TickEvery:           clusterTickEvery,
 		TolerateMediaErrors: true,
+		Tail:                tail,
+		Heat:                grid,
 	})
 	if err != nil {
 		return nil, err
@@ -216,6 +221,8 @@ func runClusterCell(s Scale, pt clusterPoint) (*clusterSlot, error) {
 		Arrivals: arr.Name(),
 		Lost:     cres.Lost,
 		Rejected: cres.Rejected,
+		Tail:     tail.Snapshot(),
+		Heat:     grid.Snapshot(),
 	}
 	snap := metrics.Snapshot{Name: "cluster"}
 	slot.shards = make([]report.ShardSummary, cfg.Shards)
@@ -306,7 +313,7 @@ func WriteCluster(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err error)
 	}()
 	if opts.ExportOut != "" {
 		if aerr := exports.Add(opts.ExportOut, func(fw io.Writer) error {
-			exp := &report.Export{Tool: "pipette-bench cluster", Scale: s.Name}
+			exp := &report.Export{Tool: "pipette-bench cluster", Version: buildinfo.Version, Scale: s.Name}
 			for i, pt := range points {
 				if sl := slots[i]; sl != nil {
 					run := ExportRun("cluster", pt.workload(), sl.res)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"pipette/internal/fault"
 	"pipette/internal/report"
 	"pipette/internal/workload"
 )
@@ -59,6 +60,77 @@ func TestRunCapturesStagesAndResources(t *testing.T) {
 	}
 	if sum != run.StageNs {
 		t.Fatalf("export stage rows sum to %d, StageNs is %d", sum, run.StageNs)
+	}
+}
+
+// TestRunTailExemplarsConserve checks the single-device tail capture with
+// the fault-retry path armed: a read-disturb profile inflates raw bit
+// errors so requests traverse ECC retries and the block-path fallback,
+// and every captured exemplar's segments must still partition
+// [start, end] exactly. The tail recorder hangs off the stage account so
+// it observes every finished request, lost ones included; the heatmap
+// records completions only, so its total is the goodput.
+func TestRunTailExemplarsConserve(t *testing.T) {
+	s := TinyScale()
+	prof, err := fault.ParseProfile("nand.read:rber*20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Fault = prof
+	e, err := newEngine(4, s.stackConfig(s.FileSize())) // Pipette
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.Mixes(s.FileSize(), 4096, workload.Uniform, 0xbead)[2]
+	gen, err := workload.NewSynthetic(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const requests = 500
+	res, err := Run(e, gen, requests, RunOpts{TolerateMediaErrors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost == 0 {
+		t.Fatal("rber*20 profile injected no uncorrectable reads; fault path not exercised")
+	}
+	if res.Tail == nil || len(res.Tail.TopK) == 0 {
+		t.Fatal("no tail exemplars captured")
+	}
+	if res.Tail.Observed != requests {
+		t.Fatalf("tail observed %d, want %d", res.Tail.Observed, requests)
+	}
+	for _, ex := range res.Tail.TopK {
+		at := ex.Start
+		for _, seg := range ex.Segs {
+			if seg.Start != at {
+				t.Fatalf("exemplar seq %d: blame gap at %v (segment starts %v)", ex.Seq, at, seg.Start)
+			}
+			at = seg.End
+		}
+		if at != ex.End {
+			t.Fatalf("exemplar seq %d: segments end at %v, request ends at %v", ex.Seq, at, ex.End)
+		}
+	}
+	if res.Heat == nil || res.Heat.Total != requests-res.Lost {
+		t.Fatalf("heatmap total %+v, want %d completions", res.Heat, requests-res.Lost)
+	}
+	// The export carries the same material with the same conservation.
+	run := ExportRun("Pipette", "mixC", res)
+	if len(run.Exemplars) != len(res.Tail.TopK) || run.TailKept != res.Tail.Kept {
+		t.Fatalf("export lost exemplars: %d vs %d", len(run.Exemplars), len(res.Tail.TopK))
+	}
+	for _, ex := range run.Exemplars {
+		at := ex.StartNs
+		for _, sp := range ex.Spans {
+			if sp.StartNs != at {
+				t.Fatalf("export exemplar seq %d: gap at %d", ex.Seq, at)
+			}
+			at = sp.EndNs
+		}
+		if us := float64(at-ex.StartNs) / 1e3; us != ex.LatencyUs {
+			t.Fatalf("export exemplar seq %d: spans cover %.3fus, latency says %.3fus", ex.Seq, us, ex.LatencyUs)
+		}
 	}
 }
 

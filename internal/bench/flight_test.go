@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pipette/internal/telemetry"
+)
+
+// TestFlightPanicDumpsAndRethrows pins the -flight-dump panic path: a
+// cell that panics triggers exactly one dump (with the cell label and
+// panic value in the reason) and the panic keeps unwinding afterwards.
+func TestFlightPanicDumpsAndRethrows(t *testing.T) {
+	fr := telemetry.NewFlightRecorder(16)
+	var reasons []string
+	ArmFlight(fr, func(reason string) { reasons = append(reasons, reason) })
+	defer ArmFlight(nil, nil)
+
+	var p *Pool // nil pool: serial path, same flightPanic guard
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic swallowed by runCell")
+			}
+			if r != "boom" {
+				t.Fatalf("panic value changed: %v", r)
+			}
+		}()
+		_ = p.RunCells([]Cell{{Label: "exploding-cell", Run: func() (*Result, error) {
+			panic("boom")
+		}}})
+	}()
+	if len(reasons) != 1 {
+		t.Fatalf("dump called %d times, want once", len(reasons))
+	}
+	if !strings.Contains(reasons[0], "exploding-cell") || !strings.Contains(reasons[0], "boom") {
+		t.Errorf("dump reason %q misses cell label or panic value", reasons[0])
+	}
+
+	// Disarmed, a panicking cell must not call the stale dump func.
+	ArmFlight(nil, nil)
+	func() {
+		defer func() { recover() }()
+		_ = p.RunCells([]Cell{{Label: "again", Run: func() (*Result, error) { panic("x") }}})
+	}()
+	if len(reasons) != 1 {
+		t.Fatalf("disarmed flight recorder still dumped: %v", reasons)
+	}
+}
+
+// TestArmFlightInstallsTracer checks newEngine attaches the armed
+// recorder as the engine tracer, so the ring actually sees spans.
+func TestArmFlightInstallsTracer(t *testing.T) {
+	fr := telemetry.NewFlightRecorder(telemetry.DefaultFlightEvents)
+	ArmFlight(fr, func(string) {})
+	defer ArmFlight(nil, nil)
+
+	if got := armedFlight(); got != fr {
+		t.Fatalf("armedFlight returned %v, want the armed recorder", got)
+	}
+	ArmFlight(nil, nil)
+	if got := armedFlight(); got != nil {
+		t.Fatalf("disarm left recorder %v installed", got)
+	}
+}

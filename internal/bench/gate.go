@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"pipette/internal/report"
 )
 
 // Summary is the machine-readable record of one suite run: the shape of
@@ -135,6 +137,78 @@ func Compare(cur, base *Summary, tol Tolerance) ([]Regression, error) {
 		return regs[i].Metric < regs[j].Metric
 	})
 	return regs, nil
+}
+
+// DiffSummaries builds the full per-cell, per-metric delta table between
+// two suite summaries (the BENCH_<rev>.json shape) as a report.Diff. The
+// tolerance verdicts come from Compare — the same machinery the CI perf
+// gate runs — so a row is flagged exactly when the gate would call it a
+// regression; the diff just also shows everything that moved inside the
+// band. A summary diffed against itself has zero changed rows.
+func DiffSummaries(cur, base *Summary, tol Tolerance) (*report.Diff, error) {
+	regs, err := Compare(cur, base, tol)
+	if err != nil {
+		return nil, err
+	}
+	exceeded := make(map[string]bool, len(regs))
+	for _, r := range regs {
+		exceeded[r.Label+"\x00"+r.Metric] = true
+	}
+	label := func(s *Summary) string {
+		l := s.Experiment + " scale=" + s.Scale
+		if s.Rev != "" {
+			l += " rev=" + s.Rev
+		}
+		return l
+	}
+	d := &report.Diff{
+		OldLabel:  label(base),
+		NewLabel:  label(cur),
+		Tolerance: tol.Throughput,
+	}
+	curCells := make(map[string]*CellPerf, len(cur.Cells))
+	for i := range cur.Cells {
+		curCells[cur.Cells[i].Label] = &cur.Cells[i]
+	}
+	metrics := []struct {
+		name string
+		get  func(*CellPerf) float64
+	}{
+		{"sim_ops_per_sec", func(c *CellPerf) float64 { return c.SimOpsPerSec }},
+		{"read_amp", func(c *CellPerf) float64 { return c.ReadAmp }},
+		{"mean_us", func(c *CellPerf) float64 { return c.MeanUs }},
+		{"p99_us", func(c *CellPerf) float64 { return c.P99Us }},
+	}
+	for i := range base.Cells {
+		b := &base.Cells[i]
+		c, ok := curCells[b.Label]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, b.Label)
+			continue
+		}
+		for _, m := range metrics {
+			bv, cv := m.get(b), m.get(c)
+			if bv == 0 && cv == 0 {
+				continue
+			}
+			row := report.DiffRow{Run: b.Label, Metric: m.name, Old: bv, New: cv,
+				Exceeds: exceeded[b.Label+"\x00"+m.name]}
+			if bv != 0 {
+				row.DeltaPct = 100 * (cv - bv) / bv
+			}
+			d.Rows = append(d.Rows, row)
+		}
+	}
+	baseLabels := make(map[string]bool, len(base.Cells))
+	for i := range base.Cells {
+		baseLabels[base.Cells[i].Label] = true
+	}
+	for i := range cur.Cells {
+		if !baseLabels[cur.Cells[i].Label] {
+			d.OnlyNew = append(d.OnlyNew, cur.Cells[i].Label)
+		}
+	}
+	return d, nil
 }
 
 // GateReport renders the compare outcome for humans: per-cell verdicts

@@ -83,6 +83,81 @@ func TestCompareMismatchErrors(t *testing.T) {
 	}
 }
 
+// TestDiffSummariesSelfIsZero pins the pipette-report -diff contract on
+// the bench-summary path: a summary diffed against itself compares every
+// nonzero metric, changes none, and exceeds nothing.
+func TestDiffSummariesSelfIsZero(t *testing.T) {
+	s := gateSummary(
+		CellPerf{Label: "a", SimOpsPerSec: 1000, ReadAmp: 2.0, MeanUs: 10, P99Us: 50},
+		CellPerf{Label: "b", SimOpsPerSec: 500, ReadAmp: 1.1, MeanUs: 20, P99Us: 90},
+	)
+	d, err := DiffSummaries(s, s, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 8 {
+		t.Fatalf("compared %d metrics, want 8 (2 cells x 4)", len(d.Rows))
+	}
+	if d.Changed() != 0 || d.Exceeded() != 0 {
+		t.Fatalf("self-diff: changed %d exceeded %d, want 0 and 0", d.Changed(), d.Exceeded())
+	}
+}
+
+// TestDiffSummariesMatchesCompare checks the diff's Exceeds flags agree
+// with the CI gate: exactly the rows Compare reports as regressions are
+// flagged, while in-band movement shows as a changed-but-clean delta.
+func TestDiffSummariesMatchesCompare(t *testing.T) {
+	base := gateSummary(
+		CellPerf{Label: "a", SimOpsPerSec: 1000, ReadAmp: 2.0, MeanUs: 10, P99Us: 50},
+		CellPerf{Label: "gone", SimOpsPerSec: 1},
+	)
+	cur := gateSummary(
+		CellPerf{Label: "a", SimOpsPerSec: 800, ReadAmp: 2.05, MeanUs: 12, P99Us: 49},
+		CellPerf{Label: "fresh", SimOpsPerSec: 7},
+	)
+	d, err := DiffSummaries(cur, base, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := map[string]bool{}
+	for _, r := range d.Rows {
+		if r.Exceeds {
+			flagged[r.Metric] = true
+		}
+	}
+	regs, err := Compare(cur, base, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGate := map[string]bool{}
+	for _, r := range regs {
+		if r.Metric != "missing cell" {
+			fromGate[r.Metric] = true
+		}
+	}
+	if len(flagged) != len(fromGate) {
+		t.Fatalf("diff flags %v, gate flags %v", flagged, fromGate)
+	}
+	for m := range fromGate {
+		if !flagged[m] {
+			t.Errorf("gate regression %s not flagged in diff", m)
+		}
+	}
+	// In-band read_amp rise (+2.5%): changed but clean.
+	if flagged["read_amp"] {
+		t.Error("in-band read_amp movement flagged as exceeding")
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != "gone" {
+		t.Errorf("OnlyOld = %v, want [gone]", d.OnlyOld)
+	}
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0] != "fresh" {
+		t.Errorf("OnlyNew = %v, want [fresh]", d.OnlyNew)
+	}
+	if _, err := DiffSummaries(&Summary{Scale: "quick", Experiment: base.Experiment}, base, DefaultTolerance()); err == nil {
+		t.Error("scale mismatch must error")
+	}
+}
+
 func TestSummaryRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	s := gateSummary(CellPerf{Label: "a", WallSeconds: 1.5, Ops: 100, SimOpsPerSec: 1000, ReadAmp: 2, MeanUs: 10, P99Us: 50})

@@ -8,6 +8,7 @@ import (
 
 	"pipette/internal/baseline"
 	"pipette/internal/blockdev"
+	"pipette/internal/buildinfo"
 	"pipette/internal/core"
 	"pipette/internal/extfs"
 	"pipette/internal/index"
@@ -454,7 +455,7 @@ func WriteKV(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err error) {
 	}()
 	if opts.ExportOut != "" {
 		if aerr := exports.Add(opts.ExportOut, func(fw io.Writer) error {
-			exp := &report.Export{Tool: "pipette-bench kv", Scale: s.Name}
+			exp := &report.Export{Tool: "pipette-bench kv", Version: buildinfo.Version, Scale: s.Name}
 			for wi := range grid {
 				for ki := range kvIndexKinds {
 					for ei, name := range kvEngines {

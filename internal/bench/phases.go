@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"pipette/internal/buildinfo"
 	"pipette/internal/report"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
@@ -80,7 +81,7 @@ func WritePhaseBreakdown(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err
 	}
 	if opts.ExportOut != "" {
 		if aerr := exports.Add(opts.ExportOut, func(fw io.Writer) error {
-			exp := &report.Export{Tool: "pipette-bench phases", Scale: s.Name}
+			exp := &report.Export{Tool: "pipette-bench phases", Version: buildinfo.Version, Scale: s.Name}
 			for i, ei := range phaseEngineIdxs {
 				if r := outs[i].res; r != nil {
 					exp.Runs = append(exp.Runs, ExportRun(EngineNames[ei], "mixC", r))

@@ -117,6 +117,7 @@ func (p *Pool) RunCells(cells []Cell) error {
 }
 
 func (p *Pool) runCell(c Cell) error {
+	defer flightPanic(c.Label)
 	if p == nil {
 		_, err := c.Run()
 		return err

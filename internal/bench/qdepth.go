@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"pipette/internal/baseline"
+	"pipette/internal/buildinfo"
 	"pipette/internal/nvme"
 	"pipette/internal/report"
 	"pipette/internal/sim"
@@ -82,6 +83,13 @@ func RunOpenLoop(e baseline.Engine, gen workload.Generator, requests int, opts O
 	base := e.Snapshot()
 	res := &Result{Offered: opts.Offered, Depth: depth, Arrivals: opts.Arrivals.Name()}
 
+	// Open-loop replays have no warmup, so the tail capture and the
+	// heatmap span the whole run, time axis anchored at virtual zero.
+	tail := telemetry.NewTailRecorder(tailTopK, tailKeep(requests))
+	e.Stages().SetTail(tail)
+	defer e.Stages().SetTail(nil)
+	grid := telemetry.NewLatencyGrid(0)
+
 	type pending struct {
 		arrival sim.Time
 		req     workload.Request
@@ -126,6 +134,7 @@ func RunOpenLoop(e baseline.Engine, gen workload.Generator, requests int, opts O
 				res.Lost++
 			} else {
 				res.Hist.Observe(done - p.arrival)
+				grid.Observe(done, done-p.arrival)
 			}
 			if done > lastDone {
 				lastDone = done
@@ -160,6 +169,8 @@ func RunOpenLoop(e baseline.Engine, gen workload.Generator, requests int, opts O
 		return nil, runErr
 	}
 
+	res.Tail = tail.Snapshot()
+	res.Heat = grid.Snapshot()
 	res.Stages = e.Stages().Snapshot()
 	res.Resources = e.Resources().Snapshot(lastDone)
 	snap := e.Snapshot()
@@ -278,7 +289,7 @@ func WriteQDepth(w io.Writer, s Scale, opts TelemetryOpts, p *Pool) (err error) 
 	}()
 	if opts.ExportOut != "" {
 		if aerr := exports.Add(opts.ExportOut, func(fw io.Writer) error {
-			exp := &report.Export{Tool: "pipette-bench qdepth", Scale: s.Name}
+			exp := &report.Export{Tool: "pipette-bench qdepth", Version: buildinfo.Version, Scale: s.Name}
 			for i, pt := range points {
 				if r := slots[i]; r != nil {
 					exp.Runs = append(exp.Runs, ExportRun(EngineNames[pt.engine], pt.workload(), r))

@@ -328,6 +328,19 @@ type ReplayOpts struct {
 	// requests instead of failing the replay — the right semantics with a
 	// fault profile armed on a member.
 	TolerateMediaErrors bool
+
+	// Tail, when set, captures the replay's slowest requests. Each
+	// successful request is offered with whole-request blame synthesized
+	// along its winning leg: the FIFO wait ([arrival, dispatch), queue
+	// stage, "admission"), then for secondary legs the dispatch gap (the
+	// hedge delay as queue/"hedge", failed prior legs as
+	// retry/"failover"), then the winning leg's own device segments. The
+	// synthesized segments partition [arrival, completion] exactly — the
+	// same conservation discipline StageAccount enforces per shard.
+	Tail *telemetry.TailRecorder
+	// Heat, when set, observes every successful completion (the same
+	// population as the latency histogram).
+	Heat *telemetry.LatencyGrid
 }
 
 // pending is one admitted request waiting in (or dispatched from) its
@@ -411,6 +424,7 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 		bump(done)
 		res.Hist.Observe(done - p.arrival)
 		res.Tenants[p.tenant].Hist.Observe(done - p.arrival)
+		opts.Heat.Observe(done, done-p.arrival)
 	}
 	lose := func(p *pending, at sim.Time) {
 		bump(at)
@@ -418,12 +432,55 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 		res.Tenants[p.tenant].Lost++
 	}
 
+	// observeTail offers a successful request to the tail recorder with
+	// whole-request blame synthesized along its winning leg (see
+	// ReplayOpts.Tail). legSegs is the winning leg's captured segment list
+	// (it begins at the request's arrival for primary legs, which carry
+	// PreQueue, and at the leg's own start otherwise); gap labels the
+	// dispatch→leg-start interval of secondary legs.
+	var tailScratch []telemetry.StageSeg
+	observeTail := func(p *pending, done, dispatch, legStart sim.Time, legSegs []telemetry.StageSeg, gap telemetry.Stage, gapRes string) {
+		if opts.Tail == nil {
+			return
+		}
+		legFrom := legStart
+		if len(legSegs) > 0 {
+			legFrom = legSegs[0].Start
+		} else if legFrom > done {
+			legFrom = done
+		}
+		segs := tailScratch[:0]
+		if dispatch > legFrom {
+			dispatch = legFrom
+		}
+		if p.arrival < dispatch {
+			segs = append(segs, telemetry.StageSeg{
+				Stage: telemetry.StageQueue, Res: telemetry.ResAdmission,
+				Start: p.arrival, End: dispatch})
+		}
+		if dispatch < legFrom {
+			segs = append(segs, telemetry.StageSeg{
+				Stage: gap, Res: gapRes, Start: dispatch, End: legFrom})
+		}
+		segs = append(segs, legSegs...)
+		if len(legSegs) == 0 && legFrom < done {
+			// Leg with no device attribution (stage account disarmed):
+			// keep the partition contiguous anyway.
+			segs = append(segs, telemetry.StageSeg{
+				Stage: telemetry.StageOther, Start: legFrom, End: done})
+		}
+		opts.Tail.Observe(segs, p.arrival, done)
+		tailScratch = segs
+	}
+
 	// exec runs one store operation on shard si at virtual time now. The
 	// primary execution of an admitted request carries the arrival time so
 	// its FIFO wait lands in the queue stage; replica work opens a plain
 	// scope. The cluster mutex makes the shard's mutating state safe
-	// against a concurrent /metrics scraper.
-	exec := func(si int32, now sim.Time, p *pending, primary bool) (sim.Time, error) {
+	// against a concurrent /metrics scraper. With a tail recorder armed it
+	// also returns a copy of the leg's attributed segments, the raw
+	// material of the winning leg's blame.
+	exec := func(si int32, now sim.Time, p *pending, primary bool) (sim.Time, []telemetry.StageSeg, error) {
 		sh := c.shards[si]
 		c.mu.Lock()
 		if primary {
@@ -438,6 +495,10 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 			sh.readBuf, done, err = sh.Store.Get(now, p.key, sh.readBuf[:0])
 		}
 		sh.SA.Finish(done)
+		var segs []telemetry.StageSeg
+		if opts.Tail != nil {
+			segs = append(segs, sh.SA.LastSegs()...)
+		}
 		res.Shards[si].Executions++
 		if err != nil && tolerable(err) {
 			res.Shards[si].MediaErrors++
@@ -450,7 +511,7 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 		if err != nil && (!opts.TolerateMediaErrors || !tolerable(err)) {
 			fail(fmt.Errorf("cluster: shard %d %s %q: %w", si, opString(p.write), p.key, err))
 		}
-		return done, err
+		return done, segs, err
 	}
 
 	var admit func(si int32, now sim.Time)
@@ -462,9 +523,12 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 	}
 
 	// tryFailover walks the remaining replicas at each failure's virtual
-	// time until one succeeds or the set is exhausted.
-	var tryFailover func(p pending, k int, at sim.Time)
-	tryFailover = func(p pending, k int, at sim.Time) {
+	// time until one succeeds or the set is exhausted. dispatch is the
+	// request's primary dispatch time: the succeeding leg's blame charges
+	// [dispatch, leg start) — the failed prior attempts — to
+	// retry/"failover".
+	var tryFailover func(p pending, k int, dispatch, at sim.Time)
+	tryFailover = func(p pending, k int, dispatch, at sim.Time) {
 		if runErr != nil {
 			return
 		}
@@ -474,21 +538,23 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 		}
 		r := p.reps[k]
 		res.Shards[r].Failovers++
-		done, err := exec(r, at, &p, false)
+		done, segs, err := exec(r, at, &p, false)
 		if runErr != nil {
 			return
 		}
 		if err == nil {
 			observe(&p, done)
+			observeTail(&p, done, dispatch, at, segs, telemetry.StageRetry, telemetry.ResFailover)
 			return
 		}
-		eng.At(done, func(t sim.Time) { tryFailover(p, k+1, t) })
+		eng.At(done, func(t sim.Time) { tryFailover(p, k+1, dispatch, t) })
 	}
 
 	dispatchRead := func(si int32, now sim.Time, p pending) {
 		if c.cfg.ReadPolicy == ReadFanout && p.nrep > 1 {
 			// Fan out to every replica at dispatch; first success wins.
 			var best sim.Time
+			var bestSegs []telemetry.StageSeg
 			ok := false
 			var lastFail sim.Time
 			for k := int8(0); k < p.nrep; k++ {
@@ -496,7 +562,7 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 				if k > 0 {
 					res.Shards[r].Fanouts++
 				}
-				done, err := exec(r, now, &p, k == 0)
+				done, segs, err := exec(r, now, &p, k == 0)
 				if runErr != nil {
 					return
 				}
@@ -506,6 +572,7 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 				if err == nil {
 					if !ok || done < best {
 						best = done
+						bestSegs = segs
 					}
 					ok = true
 				} else if done > lastFail {
@@ -514,19 +581,20 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 			}
 			if ok {
 				observe(&p, best)
+				observeTail(&p, best, now, now, bestSegs, 0, "")
 			} else {
 				lose(&p, lastFail)
 			}
 			return
 		}
 
-		done1, err1 := exec(si, now, &p, true)
+		done1, segs1, err1 := exec(si, now, &p, true)
 		if runErr != nil {
 			return
 		}
 		eng.At(done1, release(si))
 		if err1 != nil {
-			eng.At(done1, func(t sim.Time) { tryFailover(p, 1, t) })
+			eng.At(done1, func(t sim.Time) { tryFailover(p, 1, now, t) })
 			return
 		}
 		if c.cfg.ReadPolicy == ReadHedged && p.nrep > 1 && done1 > now+c.cfg.HedgeDelay {
@@ -539,7 +607,7 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 					return
 				}
 				res.Shards[hs].Hedges++
-				done2, err2 := exec(hs, t, &p, false)
+				done2, segs2, err2 := exec(hs, t, &p, false)
 				if runErr != nil {
 					return
 				}
@@ -548,10 +616,18 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 					best = done2
 				}
 				observe(&p, best)
+				if best == done1 {
+					observeTail(&p, done1, now, now, segs1, 0, "")
+				} else {
+					// The hedge won: the wait for the hedge to fire is
+					// part of the critical path, blamed queue/"hedge".
+					observeTail(&p, done2, now, t, segs2, telemetry.StageQueue, telemetry.ResHedge)
+				}
 			})
 			return
 		}
 		observe(&p, done1)
+		observeTail(&p, done1, now, now, segs1, 0, "")
 	}
 
 	dispatchWrite := func(si int32, now sim.Time, p pending) {
@@ -559,21 +635,23 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 		// concurrently at dispatch. Durability is write-all: the request
 		// completes with its slowest successful copy, and fails only when
 		// the primary copy fails.
-		done1, err1 := exec(si, now, &p, true)
+		done1, segs1, err1 := exec(si, now, &p, true)
 		if runErr != nil {
 			return
 		}
 		eng.At(done1, release(si))
 		worst := done1
+		worstSegs := segs1
 		for k := int8(1); k < p.nrep; k++ {
 			r := p.reps[k]
 			res.Shards[r].ReplicaWrites++
-			done, err := exec(r, now, &p, false)
+			done, segs, err := exec(r, now, &p, false)
 			if runErr != nil {
 				return
 			}
 			if err == nil && done > worst {
 				worst = done
+				worstSegs = segs
 			}
 		}
 		if err1 != nil {
@@ -581,6 +659,7 @@ func (c *Cluster) Replay(next func() Request, requests int, opts ReplayOpts) (*R
 			return
 		}
 		observe(&p, worst)
+		observeTail(&p, worst, now, now, worstSegs, 0, "")
 	}
 
 	admit = func(si int32, now sim.Time) {

@@ -9,6 +9,7 @@ import (
 	"pipette/internal/fault"
 	"pipette/internal/kv"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 	"pipette/internal/workload"
 )
 
@@ -266,6 +267,102 @@ func TestClusterBackpressureAndThrottle(t *testing.T) {
 	}
 	if rej != res.Rejected || thr != res.Throttled {
 		t.Fatalf("tenant ledgers (%d rej, %d thr) disagree with totals (%d, %d)", rej, thr, res.Rejected, res.Throttled)
+	}
+}
+
+// TestClusterTailBlameConservation armors the whole-request blame
+// synthesis: across every read policy — plain primary, failover off a
+// dying member, hedged reads, full fan-out — and the write-all path,
+// every request the tail recorder keeps must carry a contiguous segment
+// list that partitions [arrival, completion] exactly. The keep budget is
+// set to the request count so EVERY successful request is checked, not
+// just the slow ones.
+func TestClusterTailBlameConservation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		cfg     Config
+		fault   string
+		wantRes string // a synthetic blame label this path must produce
+	}{
+		{"primary", Config{Shards: 4, Replicas: 1, Tenants: 2}, "", ""},
+		{"failover", Config{Shards: 4, Replicas: 2, Tenants: 2}, "nand.read:0.8", telemetry.ResFailover},
+		{"hedged", Config{Shards: 4, Replicas: 2, Tenants: 2, Depth: 4,
+			ReadPolicy: ReadHedged, HedgeDelay: 30 * sim.Microsecond}, "nand.read:0.8", telemetry.ResHedge},
+		{"fanout", Config{Shards: 4, Replicas: 2, Tenants: 2, ReadPolicy: ReadFanout}, "nand.read:0.8", ""},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			const requests = 600
+			c, start := buildTestCluster(t, testClusterOpts{cfg: tc.cfg, records: 4096, fault: tc.fault})
+			mt, err := workload.NewMultiTenant(4096, []workload.TenantConfig{
+				{Weight: 3, Theta: 0.99, ReadFraction: 0.9},
+				{Weight: 1, Theta: 0, ReadFraction: 0.7},
+			}, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arr, err := workload.NewPoisson(30000, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tail := telemetry.NewTailRecorder(requests, requests)
+			grid := telemetry.NewLatencyGrid(start)
+			res, err := c.Replay(func() Request {
+				r := mt.Next()
+				req := Request{Tenant: r.Tenant, Write: r.Write, Key: testKey(r.Tenant, r.Record)}
+				if r.Write {
+					req.Val = testVal(r.Tenant, r.Record)
+				}
+				return req
+			}, requests, ReplayOpts{Arrivals: arr, Start: start, TickEvery: 64,
+				TolerateMediaErrors: true, Tail: tail, Heat: grid})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Hist.Count() == 0 {
+				t.Fatal("empty replay")
+			}
+			if got := tail.Observed(); got != res.Hist.Count() {
+				t.Fatalf("tail observed %d requests, histogram has %d", got, res.Hist.Count())
+			}
+			heat := grid.Snapshot()
+			if heat == nil || heat.Total != res.Hist.Count() {
+				t.Fatalf("heatmap total %v, histogram has %d", heat, res.Hist.Count())
+			}
+			snap := tail.Snapshot()
+			if snap == nil || len(snap.TopK) == 0 {
+				t.Fatal("no tail exemplars captured")
+			}
+			seenRes := map[string]bool{}
+			for _, ex := range snap.TopK {
+				if len(ex.Segs) == 0 {
+					t.Fatalf("exemplar seq %d has no segments", ex.Seq)
+				}
+				at := ex.Start
+				for _, s := range ex.Segs {
+					if s.Start != at {
+						t.Fatalf("%s: exemplar seq %d: blame gap at %v (segment starts %v)",
+							tc.name, ex.Seq, at, s.Start)
+					}
+					if s.End < s.Start {
+						t.Fatalf("exemplar seq %d: negative segment %+v", ex.Seq, s)
+					}
+					at = s.End
+					seenRes[s.Res] = true
+				}
+				if at != ex.End {
+					t.Fatalf("%s: exemplar seq %d: segments end at %v, request ends at %v — conservation broken",
+						tc.name, ex.Seq, at, ex.End)
+				}
+			}
+			if tc.wantRes != "" && !seenRes[tc.wantRes] {
+				t.Errorf("%s: no blame segment tagged %q — the path's synthesized prefix never appeared",
+					tc.name, tc.wantRes)
+			}
+		})
 	}
 }
 

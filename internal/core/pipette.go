@@ -17,6 +17,10 @@ import (
 )
 
 // Pipette is the fine-grained read framework. It implements vfs.FineRouter.
+// ResHostCache is the blame label for time served from the host-side
+// fine-read cache (and the page cache above it) without touching the device.
+const ResHostCache = "host.cache"
+
 // Not safe for concurrent use (the simulation is single-threaded; see
 // Runner for the wall-clock maintenance thread used outside simulation).
 type Pipette struct {
@@ -235,7 +239,7 @@ func (p *Pipette) TryFineRead(now sim.Time, f *vfs.File, off int64, buf []byte) 
 		if p.tr.Enabled() {
 			p.tr.Span(telemetry.TrackFine, "hit", now, now+p.cfg.HitService)
 		}
-		p.sa.Mark(telemetry.StageCache, now+p.cfg.HitService)
+		p.sa.MarkRes(telemetry.StageCache, now+p.cfg.HitService, ResHostCache)
 		return now + p.cfg.HitService, true, nil
 	}
 	p.fg.Record(false)

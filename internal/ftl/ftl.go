@@ -105,6 +105,7 @@ type FTL struct {
 	stats        Stats
 	tr           telemetry.Tracer
 	sa           *telemetry.StageAccount
+	dieLabels    []string // interned per-die blame labels ("nand.ch0.w0", ...)
 }
 
 // New builds an FTL over the array. Bad blocks already marked on the array
@@ -128,6 +129,13 @@ func New(arr *nand.Array, cfg Config) (*FTL, error) {
 		open:       make([]openBlock, geo.Dies()),
 		relocBuf:   make([]byte, geo.PageSize),
 		tr:         telemetry.Nop(),
+		dieLabels:  make([]string, geo.Dies()),
+	}
+	// Per-die blame labels, matching the nand package's die timeline names
+	// so the blame table and the utilization bars agree on spelling.
+	for die := range f.dieLabels {
+		f.dieLabels[die] = fmt.Sprintf("nand.ch%d.w%d",
+			die/geo.WaysPerChannel, die%geo.WaysPerChannel)
 	}
 	total := geo.TotalPages()
 	f.l2p = make([]nand.PPA, 0)
@@ -229,7 +237,7 @@ func (f *FTL) ReadInto(now sim.Time, lba LBA, buf []byte) (sim.Time, error) {
 	}
 	done, err := f.arr.ReadPageInto(now, ppa, buf)
 	if err == nil {
-		f.sa.Mark(telemetry.StageNAND, done)
+		f.sa.MarkRes(telemetry.StageNAND, done, f.dieLabels[f.geo.DieOf(ppa)])
 	}
 	return done, err
 }
@@ -426,7 +434,7 @@ func (f *FTL) Write(now sim.Time, lba LBA, data []byte) (sim.Time, error) {
 	}
 	f.setMapping(lba, ppa)
 	f.stats.HostWrites++
-	f.sa.Mark(telemetry.StageProgram, done)
+	f.sa.MarkRes(telemetry.StageProgram, done, f.dieLabels[f.geo.DieOf(ppa)])
 	return done, nil
 }
 

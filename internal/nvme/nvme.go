@@ -324,6 +324,12 @@ type inflight struct {
 	next    *inflight
 }
 
+// ResRing is the blame label for completion-side ring time, matching the
+// "nvme.ring" resource timeline name. Fetch-side time is blamed on the
+// specific SQ pair ("nvme.sq<N>") instead, so arbitration stalls point at
+// the queue that suffered them.
+const ResRing = "nvme.ring"
+
 // MultiQueue is the asynchronous host↔device transport: N SQ/CQ pairs of
 // configurable depth over one device, driven by a discrete-event engine.
 // Submit pushes the command on the next pair round-robin and returns
@@ -354,9 +360,10 @@ type MultiQueue struct {
 	inFlight  int
 	err       error
 
-	tr      telemetry.Tracer
-	sa      *telemetry.StageAccount
-	ringRes *resource.Timeline // ring-protocol occupancy (nil = off)
+	tr       telemetry.Tracer
+	sa       *telemetry.StageAccount
+	ringRes  *resource.Timeline // ring-protocol occupancy (nil = off)
+	sqLabels []string           // interned per-pair blame labels ("nvme.sq0", ...)
 
 	free *inflight
 }
@@ -374,8 +381,10 @@ func NewMultiQueue(dev Device, pairs, depth int, costs Costs, eng *sim.Engine) *
 		eng:   eng,
 		tr:    telemetry.Nop(),
 	}
+	m.sqLabels = make([]string, pairs)
 	for i := range m.pairs {
 		m.pairs[i] = queuePair{sq: NewSQ(depth), cq: NewCQ(depth)}
+		m.sqLabels[i] = fmt.Sprintf("nvme.sq%d", i)
 	}
 	return m
 }
@@ -444,7 +453,8 @@ func (m *MultiQueue) put(ic *inflight) {
 // are rejected with ErrQueueFull (the caller's backpressure signal).
 // Events run when the engine does — callers drive eng.Run or Step.
 func (m *MultiQueue) Submit(now sim.Time, cmd Command, complete func(Completion)) error {
-	pair := &m.pairs[m.rr]
+	pairIdx := m.rr
+	pair := &m.pairs[pairIdx]
 	cmd.ID = m.nextID
 	if err := pair.sq.Push(cmd); err != nil {
 		return err
@@ -463,7 +473,7 @@ func (m *MultiQueue) Submit(now sim.Time, cmd Command, complete func(Completion)
 	} else {
 		fetchEnd = now + m.costs.Doorbell + m.costs.Fetch
 	}
-	m.sa.Mark(telemetry.StageRing, fetchEnd)
+	m.sa.MarkRes(telemetry.StageRing, fetchEnd, m.sqLabels[pairIdx])
 	m.ringRes.Add(now, fetchEnd)
 
 	ic := m.get()
@@ -490,7 +500,7 @@ func (m *MultiQueue) fetch(ic *inflight) {
 	comp.ID = fetched.ID
 	execDone := comp.Done
 	comp.Done += m.costs.Completion
-	m.sa.Mark(telemetry.StageRing, comp.Done)
+	m.sa.MarkRes(telemetry.StageRing, comp.Done, ResRing)
 	m.ringRes.Add(execDone, comp.Done)
 	ic.comp = comp
 	m.eng.At(comp.Done, ic.reapFn)

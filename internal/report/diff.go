@@ -1,0 +1,233 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+)
+
+// DiffRow is one (run, metric) delta between two exports. DeltaPct is the
+// relative change from old to new ((new-old)/old, percent); Exceeds marks
+// rows whose change is beyond the tolerance in the regressing direction
+// (higher latency, lower throughput, higher read amplification).
+type DiffRow struct {
+	Run      string  `json:"run"`
+	Metric   string  `json:"metric"`
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+	DeltaPct float64 `json:"delta_pct"`
+	Exceeds  bool    `json:"exceeds,omitempty"`
+}
+
+// Diff is the comparison of two exports: per-run metric deltas for runs
+// present on both sides, plus the run labels only one side has.
+type Diff struct {
+	OldLabel, NewLabel string
+	Tolerance          float64
+	Rows               []DiffRow
+	OnlyOld, OnlyNew   []string
+}
+
+// diffMetric describes one compared metric: how to read it from a run and
+// whether an increase is the regressing direction.
+type diffMetric struct {
+	name    string
+	get     func(*Run) float64
+	upIsBad bool
+}
+
+var diffMetrics = []diffMetric{
+	{"ops_per_sec", func(r *Run) float64 { return r.OpsPerSec }, false},
+	{"read_amp", func(r *Run) float64 { return r.ReadAmp }, true},
+	{"mean_us", func(r *Run) float64 { return r.Latency.MeanUs }, true},
+	{"p99_us", func(r *Run) float64 { return r.Latency.P99Us }, true},
+	{"max_us", func(r *Run) float64 { return r.Latency.MaxUs }, true},
+}
+
+// diffKey identifies a run within an export for matching across sides.
+// Open-loop sweeps reuse one Name across points, so the offered rate,
+// queue depth, and arrival process are part of the identity.
+func diffKey(r *Run) string {
+	k := runLabel(r)
+	if r.OfferedOpsPerSec > 0 {
+		k += fmt.Sprintf(" qd=%d %s offered=%.0f", r.QueueDepth, r.Arrivals, r.OfferedOpsPerSec)
+	}
+	return k
+}
+
+// DiffExports compares two exports run by run. Runs match on their label
+// (name/workload, plus the sweep-point identity for open-loop runs); a
+// label appearing more than once on a side matches positionally within
+// that label. tol is the relative tolerance (0.10 = 10%) beyond which a
+// regressing delta is flagged.
+func DiffExports(old, cur *Export, tol float64) *Diff {
+	d := &Diff{
+		OldLabel:  exportLabel(old),
+		NewLabel:  exportLabel(cur),
+		Tolerance: tol,
+	}
+	oldRuns := map[string][]*Run{}
+	var oldOrder []string
+	for i := range old.Runs {
+		k := diffKey(&old.Runs[i])
+		if len(oldRuns[k]) == 0 {
+			oldOrder = append(oldOrder, k)
+		}
+		oldRuns[k] = append(oldRuns[k], &old.Runs[i])
+	}
+	matched := map[string]int{}
+	for i := range cur.Runs {
+		r := &cur.Runs[i]
+		k := diffKey(r)
+		pool := oldRuns[k]
+		if matched[k] >= len(pool) {
+			d.OnlyNew = append(d.OnlyNew, k)
+			continue
+		}
+		o := pool[matched[k]]
+		matched[k]++
+		for _, m := range diffMetrics {
+			ov, nv := m.get(o), m.get(r)
+			if ov == 0 && nv == 0 {
+				continue
+			}
+			row := DiffRow{Run: k, Metric: m.name, Old: ov, New: nv}
+			if ov != 0 {
+				row.DeltaPct = 100 * (nv - ov) / ov
+			} else {
+				row.DeltaPct = math.Inf(1)
+			}
+			worse := row.DeltaPct
+			if !m.upIsBad {
+				worse = -worse
+			}
+			row.Exceeds = worse > 100*tol
+			d.Rows = append(d.Rows, row)
+		}
+	}
+	for _, k := range oldOrder {
+		if matched[k] < len(oldRuns[k]) {
+			d.OnlyOld = append(d.OnlyOld, k)
+		}
+	}
+	return d
+}
+
+func exportLabel(e *Export) string {
+	l := e.Tool
+	if l == "" {
+		l = "run"
+	}
+	if e.Scale != "" {
+		l += " scale=" + e.Scale
+	}
+	if e.Version != "" {
+		l += " version=" + e.Version
+	}
+	return l
+}
+
+// Changed counts rows with any nonzero delta; Exceeded counts rows beyond
+// tolerance. A self-diff has Changed() == 0.
+func (d *Diff) Changed() int {
+	n := 0
+	for _, r := range d.Rows {
+		if r.DeltaPct != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Exceeded counts rows whose regression is beyond tolerance.
+func (d *Diff) Exceeded() int {
+	n := 0
+	for _, r := range d.Rows {
+		if r.Exceeds {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteText renders the diff as an aligned stdout table. Unchanged rows
+// print as "=", regressions beyond tolerance as "!".
+func (d *Diff) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "old: %s\nnew: %s\n", d.OldLabel, d.NewLabel)
+	if len(d.Rows) == 0 && len(d.OnlyOld) == 0 && len(d.OnlyNew) == 0 {
+		b.WriteString("no comparable runs\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	runW, metW := 3, 6
+	for _, r := range d.Rows {
+		if len(r.Run) > runW {
+			runW = len(r.Run)
+		}
+		if len(r.Metric) > metW {
+			metW = len(r.Metric)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-*s  %14s  %14s  %9s\n", runW, "run", metW, "metric", "old", "new", "delta")
+	for _, r := range d.Rows {
+		flag := " "
+		switch {
+		case r.Exceeds:
+			flag = "!"
+		case r.DeltaPct == 0:
+			flag = "="
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s  %14.3f  %14.3f  %+8.2f%% %s\n",
+			runW, r.Run, metW, r.Metric, r.Old, r.New, r.DeltaPct, flag)
+	}
+	for _, k := range d.OnlyOld {
+		fmt.Fprintf(&b, "only in old: %s\n", k)
+	}
+	for _, k := range d.OnlyNew {
+		fmt.Fprintf(&b, "only in new: %s\n", k)
+	}
+	fmt.Fprintf(&b, "%d metrics compared, %d changed, %d beyond %.0f%% tolerance\n",
+		len(d.Rows), d.Changed(), d.Exceeded(), 100*d.Tolerance)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteHTML renders the diff as a self-contained HTML document with
+// tolerance highlighting.
+func (d *Diff) WriteHTML(w io.Writer, title string) error {
+	var b strings.Builder
+	esc := html.EscapeString
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n<title>%s</title>\n<style>\n%s.worse{background:#fdd}\n.same{color:#999}\n</style>\n</head>\n<body>\n", esc(title), htmlStyle)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(title))
+	fmt.Fprintf(&b, "<p class=\"meta\">old: %s<br>new: %s<br>%d metrics compared, %d changed, %d beyond %.0f%% tolerance</p>\n",
+		esc(d.OldLabel), esc(d.NewLabel), len(d.Rows), d.Changed(), d.Exceeded(), 100*d.Tolerance)
+	b.WriteString("<table>\n<tr><th>run</th><th>metric</th><th>old</th><th>new</th><th>delta %</th></tr>\n")
+	for _, r := range d.Rows {
+		cls := ""
+		switch {
+		case r.Exceeds:
+			cls = " class=\"worse\""
+		case r.DeltaPct == 0:
+			cls = " class=\"same\""
+		}
+		fmt.Fprintf(&b, "<tr%s><td>%s</td><td>%s</td><td>%.3f</td><td>%.3f</td><td>%+.2f</td></tr>\n",
+			cls, esc(r.Run), esc(r.Metric), r.Old, r.New, r.DeltaPct)
+	}
+	b.WriteString("</table>\n")
+	if len(d.OnlyOld) > 0 || len(d.OnlyNew) > 0 {
+		b.WriteString("<p class=\"meta\">")
+		for _, k := range d.OnlyOld {
+			fmt.Fprintf(&b, "only in old: %s<br>", esc(k))
+		}
+		for _, k := range d.OnlyNew {
+			fmt.Fprintf(&b, "only in new: %s<br>", esc(k))
+		}
+		b.WriteString("</p>\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func diffTestExport() *Export {
+	return &Export{
+		Tool:    "pipette-bench",
+		Version: "test",
+		Scale:   "tiny",
+		Runs: []Run{
+			{
+				Name: "Pipette", Workload: "mixC", Requests: 1000,
+				OpsPerSec: 20000, ReadAmp: 2.3,
+				Latency: Percentiles{MeanUs: 50, P99Us: 74, MaxUs: 90},
+			},
+			{
+				Name: "Pipette", Workload: "qdepth", Requests: 500,
+				OpsPerSec: 15000, OfferedOpsPerSec: 100000, QueueDepth: 8, Arrivals: "poisson",
+				Latency: Percentiles{MeanUs: 80, P99Us: 200, MaxUs: 400},
+			},
+		},
+	}
+}
+
+// TestDiffExportsSelfIsZero pins the -diff acceptance contract: a run
+// diffed against itself compares every metric, changes none, and exceeds
+// nothing.
+func TestDiffExportsSelfIsZero(t *testing.T) {
+	e := diffTestExport()
+	d := DiffExports(e, e, 0.10)
+	if len(d.Rows) == 0 {
+		t.Fatal("self-diff compared no metrics")
+	}
+	if d.Changed() != 0 || d.Exceeded() != 0 {
+		t.Fatalf("self-diff: changed %d exceeded %d, want 0 and 0", d.Changed(), d.Exceeded())
+	}
+	if len(d.OnlyOld) != 0 || len(d.OnlyNew) != 0 {
+		t.Fatalf("self-diff has unmatched runs: old %v new %v", d.OnlyOld, d.OnlyNew)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 changed, 0 beyond 10% tolerance") {
+		t.Errorf("text summary wrong:\n%s", buf.String())
+	}
+}
+
+// TestDiffExportsDirections checks tolerance flagging is directional:
+// latency up and throughput down regress; the mirror-image improvements
+// never flag no matter how large.
+func TestDiffExportsDirections(t *testing.T) {
+	old, cur := diffTestExport(), diffTestExport()
+	cur.Runs[0].Latency.P99Us = 74 * 1.5 // +50%: beyond 10%
+	cur.Runs[0].OpsPerSec = 20000 * 0.5  // -50%: beyond 10%
+	cur.Runs[0].ReadAmp = 2.3 * 1.05     // +5%: inside 10%
+	cur.Runs[1].Latency.P99Us = 200 / 2  // improvement, never flags
+	cur.Runs[1].OpsPerSec = 15000 * 3    // improvement, never flags
+
+	d := DiffExports(old, cur, 0.10)
+	flagged := map[string]bool{}
+	for _, r := range d.Rows {
+		if r.Exceeds {
+			flagged[r.Run+"/"+r.Metric] = true
+		}
+	}
+	if len(flagged) != 2 {
+		t.Fatalf("flagged %v, want exactly the run-0 p99 rise and ops drop", flagged)
+	}
+	for _, want := range []string{"/p99_us", "/ops_per_sec"} {
+		found := false
+		for k := range flagged {
+			if strings.HasSuffix(k, want) && !strings.Contains(k, "offered") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected a flagged %s row, flagged: %v", want, flagged)
+		}
+	}
+}
+
+func TestDiffExportsUnmatchedRuns(t *testing.T) {
+	old, cur := diffTestExport(), diffTestExport()
+	cur.Runs = cur.Runs[:1] // drop the open-loop run
+	cur.Runs = append(cur.Runs, Run{Name: "Block I/O", Workload: "mixC",
+		OpsPerSec: 1, Latency: Percentiles{MeanUs: 1}})
+
+	d := DiffExports(old, cur, 0.10)
+	if len(d.OnlyOld) != 1 || !strings.Contains(d.OnlyOld[0], "qd=8") {
+		t.Errorf("OnlyOld = %v, want the open-loop sweep point", d.OnlyOld)
+	}
+	if len(d.OnlyNew) != 1 || !strings.Contains(d.OnlyNew[0], "Block I/O") {
+		t.Errorf("OnlyNew = %v, want the new engine", d.OnlyNew)
+	}
+}
+
+func TestDiffWriteHTMLHighlights(t *testing.T) {
+	old, cur := diffTestExport(), diffTestExport()
+	cur.Runs[0].Latency.P99Us = 200
+	d := DiffExports(old, cur, 0.10)
+	var buf bytes.Buffer
+	if err := d.WriteHTML(&buf, "diff"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "class=\"worse\"") {
+		t.Error("beyond-tolerance row not highlighted")
+	}
+	if !strings.Contains(out, "class=\"same\"") {
+		t.Error("unchanged rows not dimmed")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"pipette/internal/resource"
+	"pipette/internal/telemetry"
 )
 
 // stageColors is the fixed waterfall palette, keyed by stage name so the
@@ -76,6 +77,9 @@ func WriteHTML(w io.Writer, title string, exports []*Export) error {
 		}
 		if e.Scale != "" {
 			hdr += " (scale " + e.Scale + ")"
+		}
+		if e.Version != "" {
+			hdr += " · " + e.Version
 		}
 		fmt.Fprintf(&b, "<h2>%s</h2>\n", esc(hdr))
 		writeLatencyTable(&b, e.Runs)
@@ -375,7 +379,112 @@ func writeRun(b *strings.Builder, r *Run) {
 
 	writeShards(b, r)
 	writeWaterfall(b, r)
+	writeTail(b, r)
+	writeLatencyHeat(b, r.Heat)
 	writeResources(b, r.Resources)
+}
+
+// writeTail renders the run's slow-request forensics: the p99 blame
+// composition (where the kept slowest requests' time went, by stage and
+// concrete resource), then one waterfall bar per captured exemplar with
+// per-span resource titles.
+func writeTail(b *strings.Builder, r *Run) {
+	esc := html.EscapeString
+	if len(r.TailBlame) > 0 {
+		fmt.Fprintf(b, "<h4>Tail blame (slowest %d requests)</h4>\n", r.TailKept)
+		b.WriteString("<table>\n<tr><th>stage</th><th>resource</th><th>total (ms)</th><th>share %</th></tr>\n")
+		for _, row := range r.TailBlame {
+			res := row.Res
+			if res == "" {
+				res = "—"
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%.3f</td><td>%.1f</td></tr>\n",
+				esc(row.Stage), esc(res), float64(row.TotalNs)/1e6, row.SharePct)
+		}
+		b.WriteString("</table>\n")
+	}
+	if len(r.Exemplars) == 0 {
+		return
+	}
+	b.WriteString("<h4>Slowest requests</h4>\n")
+	for i := range r.Exemplars {
+		e := &r.Exemplars[i]
+		fmt.Fprintf(b, "<p class=\"meta\">#%d · seq %d · start %.3f ms · %.2f µs</p>\n<div class=\"bar\">",
+			i+1, e.Seq, float64(e.StartNs)/1e6, e.LatencyUs)
+		total := e.LatencyUs * 1e3 // ns
+		for _, sp := range e.Spans {
+			if total <= 0 {
+				break
+			}
+			dur := float64(sp.EndNs - sp.StartNs)
+			title := sp.Stage
+			if sp.Res != "" {
+				title += " @" + sp.Res
+			}
+			fmt.Fprintf(b, "<span style=\"width:%.3f%%;background:%s\" title=\"%s %.2f µs\"></span>",
+				100*dur/total, stageColor(sp.Stage), esc(title), dur/1e3)
+		}
+		b.WriteString("</div>\n")
+	}
+}
+
+// writeLatencyHeat renders the completion-time × latency heatmap as an
+// SVG: x is virtual time since the measured phase began, y the latency
+// ladder (slowest on top), cell darkness the completion count relative to
+// the densest cell (log scale, so the sparse tail stays visible).
+func writeLatencyHeat(b *strings.Builder, h *telemetry.HeatSnapshot) {
+	if h == nil || h.Total == 0 {
+		return
+	}
+	bins := 0
+	var maxCount uint64
+	for _, row := range h.Counts {
+		if len(row) > bins {
+			bins = len(row)
+		}
+		for _, c := range row {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+	}
+	if bins == 0 || maxCount == 0 {
+		return
+	}
+	const (
+		cellW, cellH = 6.0, 14.0
+		padL, padT   = 70.0, 4.0
+		padB         = 20.0
+	)
+	rows := len(h.Counts)
+	w := padL + cellW*float64(bins) + 4
+	ht := padT + cellH*float64(rows) + padB
+	b.WriteString("<h4>Latency heatmap</h4>\n")
+	fmt.Fprintf(b, "<p class=\"meta\">Completions per %.0f µs of virtual time × latency bucket; darker is more completions (log shade, max %d/cell).</p>\n",
+		float64(h.BinNs)/1e3, maxCount)
+	fmt.Fprintf(b, "<svg width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\" style=\"font:10px sans-serif\">\n", w, ht, w, ht)
+	logMax := math.Log1p(float64(maxCount))
+	for ri := range h.Counts {
+		// Row 0 is the fastest bucket; draw it at the bottom.
+		y := padT + cellH*float64(rows-1-ri)
+		label := fmt.Sprintf("&ge; %g µs", h.BoundsUs[len(h.BoundsUs)-1])
+		if ri < len(h.BoundsUs) {
+			label = fmt.Sprintf("&lt; %g µs", h.BoundsUs[ri])
+		}
+		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">%s</text>\n", padL-4, y+cellH-4, label)
+		for bi, c := range h.Counts[ri] {
+			if c == 0 {
+				continue
+			}
+			alpha := math.Log1p(float64(c)) / logMax
+			fmt.Fprintf(b, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"rgba(31,119,180,%.2f)\"/>\n",
+				padL+cellW*float64(bi), y, cellW, cellH, alpha)
+		}
+	}
+	fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%.1f\">0</text>\n", padL, ht-6)
+	fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">%.2f ms</text>\n",
+		padL+cellW*float64(bins), ht-6, float64(h.BinNs)*float64(bins)/1e6)
+	b.WriteString("</svg>\n")
 }
 
 // writeWaterfall renders the stage breakdown as a stacked bar (share of

@@ -125,7 +125,100 @@ type Run struct {
 	StageNs int64      `json:"stage_ns"`
 	Stages  []StageRow `json:"stages"`
 
+	// Exemplars are the run's top-K slowest requests with their full span
+	// lists — the raw material of the tail waterfalls. TailBlame is the
+	// blame composition aggregated over the kept set (the slowest
+	// TailKept requests), which approximates "where p99 time goes".
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+	TailBlame []BlameRow `json:"tail_blame,omitempty"`
+	TailKept  int        `json:"tail_kept,omitempty"`
+
+	// Heat is the completion-time × latency-bucket heatmap of the run's
+	// measured phase (nil when the harness did not collect one).
+	Heat *telemetry.HeatSnapshot `json:"heat,omitempty"`
+
 	Resources *resource.Snapshot `json:"resources,omitempty"`
+}
+
+// SpanRow is one attributed interval of an exemplar request. Res, when
+// set, names the concrete resource blamed for the interval ("nand.ch2.w5",
+// "nvme.sq1", "pcie.dma"); spans are contiguous and partition the
+// request's [start, end] exactly.
+type SpanRow struct {
+	Stage   string `json:"stage"`
+	Res     string `json:"res,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// Exemplar is one captured slow request. Seq is its completion-order
+// index within the run's measured phase — together with StartNs it makes
+// exemplar identity deterministic.
+type Exemplar struct {
+	Seq       uint64    `json:"seq"`
+	StartNs   int64     `json:"start_ns"`
+	LatencyUs float64   `json:"latency_us"`
+	Spans     []SpanRow `json:"spans"`
+}
+
+// BlameRow is one (stage, resource) row of a blame composition, with its
+// share of the composition's total time.
+type BlameRow struct {
+	Stage    string  `json:"stage"`
+	Res      string  `json:"res,omitempty"`
+	TotalNs  int64   `json:"total_ns"`
+	SharePct float64 `json:"share_pct"`
+}
+
+// blameRows converts telemetry blame segments into report rows with
+// shares of their own total.
+func blameRows(blame []telemetry.BlameSeg) []BlameRow {
+	var total int64
+	for _, s := range blame {
+		total += int64(s.Total)
+	}
+	rows := make([]BlameRow, len(blame))
+	for i, s := range blame {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(s.Total) / float64(total)
+		}
+		rows[i] = BlameRow{
+			Stage:    s.Stage.String(),
+			Res:      s.Res,
+			TotalNs:  int64(s.Total),
+			SharePct: share,
+		}
+	}
+	return rows
+}
+
+// TailRows converts a tail snapshot into the run's exemplar and blame
+// fields. A nil snapshot yields empty results.
+func TailRows(snap *telemetry.TailSnapshot) (exemplars []Exemplar, blame []BlameRow, kept int) {
+	if snap == nil {
+		return nil, nil, 0
+	}
+	exemplars = make([]Exemplar, len(snap.TopK))
+	for i := range snap.TopK {
+		e := &snap.TopK[i]
+		spans := make([]SpanRow, len(e.Segs))
+		for j, s := range e.Segs {
+			spans[j] = SpanRow{
+				Stage:   s.Stage.String(),
+				Res:     s.Res,
+				StartNs: int64(s.Start),
+				EndNs:   int64(s.End),
+			}
+		}
+		exemplars[i] = Exemplar{
+			Seq:       e.Seq,
+			StartNs:   int64(e.Start),
+			LatencyUs: e.Latency().Micros(),
+			Spans:     spans,
+		}
+	}
+	return exemplars, blameRows(snap.Blame), snap.Kept
 }
 
 // ShardSummary is one cluster member's ledger in a cluster run: how much
@@ -177,11 +270,14 @@ type IndexSummary struct {
 	WriteMB        float64 `json:"write_mb,omitempty"`
 }
 
-// Export is one run bundle: what a tool invocation measured.
+// Export is one run bundle: what a tool invocation measured. Version is
+// the producing binary's build version (ldflags-stamped; "dev" for local
+// builds), so a diff of two exports identifies what produced each side.
 type Export struct {
-	Tool  string `json:"tool"`
-	Scale string `json:"scale,omitempty"`
-	Runs  []Run  `json:"runs"`
+	Tool    string `json:"tool"`
+	Version string `json:"version,omitempty"`
+	Scale   string `json:"scale,omitempty"`
+	Runs    []Run  `json:"runs"`
 }
 
 // WriteJSON writes the export as indented JSON. Field and run order are

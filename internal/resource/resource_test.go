@@ -78,6 +78,84 @@ func TestTrackerRescaleSharedWidth(t *testing.T) {
 	}
 }
 
+// TestTimelineRescaleBoundaryIntervals pins the rescale trigger to its
+// exact boundary: an interval ending precisely at the covered capacity
+// must NOT double the bin width (cover is strict), one ending a single
+// nanosecond past it must double exactly once, and bin-aligned intervals
+// never leak into a neighbouring bin on either side of the rescale.
+func TestTimelineRescaleBoundaryIntervals(t *testing.T) {
+	w := DefaultBinWidth
+	capacity := w * sim.Time(DefaultMaxBins)
+
+	tr := NewTracker()
+	tl := tr.Register("x")
+	tl.Add(w, 2*w) // exactly bin 1, bin-aligned on both ends
+	tl.Add(capacity-w, capacity)
+	if got := tr.Snapshot(capacity).BinNs; got != int64(w) {
+		t.Fatalf("interval ending at capacity rescaled: bin width %d, want %d", got, w)
+	}
+	bins := tr.Snapshot(capacity).Resources[0].Bins
+	if bins[0] != 0 || bins[1] != int64(w) || bins[2] != 0 {
+		t.Fatalf("bin-aligned interval leaked: bins[0..2] = %v", bins[:3])
+	}
+	if bins[DefaultMaxBins-1] != int64(w) {
+		t.Fatalf("last bin = %d, want %d", bins[DefaultMaxBins-1], w)
+	}
+
+	// One nanosecond past capacity: exactly one doubling, mass preserved.
+	tl.Add(capacity, capacity+1)
+	snap := tr.Snapshot(capacity + 1)
+	if snap.BinNs != int64(2*w) {
+		t.Fatalf("bin width after boundary crossing = %d, want %d", snap.BinNs, 2*w)
+	}
+	var sum int64
+	for _, b := range snap.Resources[0].Bins {
+		sum += b
+	}
+	if sum != int64(tl.Busy()) || tl.Busy() != 2*w+1 {
+		t.Fatalf("bin sum %d, busy %d, want both %d", sum, tl.Busy(), 2*w+1)
+	}
+	// The formerly bin-aligned interval now occupies merged bin 0.
+	if snap.Resources[0].Bins[0] != int64(w) {
+		t.Fatalf("merged bin 0 = %d, want %d", snap.Resources[0].Bins[0], w)
+	}
+}
+
+// TestSnapshotJSONRoundTripEmptyTimelines covers the degenerate exports:
+// registered resources that never saw traffic (bins omitted) and a
+// zero-length run. Both must survive a JSON round trip byte-stably.
+func TestSnapshotJSONRoundTripEmptyTimelines(t *testing.T) {
+	tr := NewTracker()
+	tr.Register("idle.a")
+	tr.Register("idle.b")
+
+	for _, elapsed := range []sim.Time{0, 10 * sim.Microsecond} {
+		snap := tr.Snapshot(elapsed)
+		var buf bytes.Buffer
+		if err := snap.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Resources) != 2 || got.Resources[0].Name != "idle.a" ||
+			got.Resources[0].BusyNs != 0 || got.Resources[0].Ops != 0 {
+			t.Fatalf("elapsed %v: round trip mismatch: %+v", elapsed, got)
+		}
+		if elapsed == 0 && got.Resources[0].Bins != nil {
+			t.Fatalf("zero-length run must omit bins, got %v", got.Resources[0].Bins)
+		}
+		var buf2 bytes.Buffer
+		if err := got.WriteJSON(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if buf2.String() != buf.String() {
+			t.Errorf("elapsed %v: empty-timeline JSON not byte-stable", elapsed)
+		}
+	}
+}
+
 func TestNilTrackerInert(t *testing.T) {
 	var tr *Tracker
 	tl := tr.Register("x")

@@ -237,6 +237,15 @@ func (c *Controller) Array() *nand.Array { return c.arr }
 // Stats returns a copy of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
+// Blame labels for the controller's own resources. ResDMALink matches the
+// "pcie.dma" resource timeline; ResFirmware names the controller CPU,
+// which has no occupancy timeline (firmware time is per-command, not a
+// shared contended unit in this model).
+const (
+	ResDMALink  = "pcie.dma"
+	ResFirmware = "cpu.fw"
+)
+
 // SetTracer installs a tracer on the controller and cascades it down to the
 // FTL and NAND array, so one call instruments the whole device.
 func (c *Controller) SetTracer(tr telemetry.Tracer) {
@@ -326,7 +335,7 @@ func (c *Controller) execBlockRead(now sim.Time, cmd *nvme.Command) nvme.Complet
 	}
 	c.stats.BlockReadCmds++
 	start := now + c.cfg.FirmwareBlockOverhead
-	c.sa.Mark(telemetry.StageFirmware, start)
+	c.sa.MarkRes(telemetry.StageFirmware, start, ResFirmware)
 
 	var moved uint64
 	maxDone := start
@@ -360,7 +369,7 @@ func (c *Controller) execBlockRead(now sim.Time, cmd *nvme.Command) nvme.Complet
 	}
 	moved = uint64(cmd.Pages * ps)
 	dmaStart, done := c.linkSpan(maxDone, c.cfg.PCIe.dmaTime(int(moved)))
-	c.sa.Mark(telemetry.StageDMA, done)
+	c.sa.MarkRes(telemetry.StageDMA, done, ResDMALink)
 	c.dmaRes.Add(dmaStart, done)
 	c.stats.BytesToHost += moved
 	if c.tr.Enabled() {
@@ -381,8 +390,8 @@ func (c *Controller) execWrite(now sim.Time, cmd *nvme.Command) nvme.Completion 
 	c.stats.WriteCmds++
 	fwDone := now + c.cfg.FirmwareBlockOverhead
 	dmaStart, hostDone := c.linkSpan(fwDone, c.cfg.PCIe.dmaTime(len(cmd.Data)))
-	c.sa.Mark(telemetry.StageFirmware, fwDone)
-	c.sa.Mark(telemetry.StageDMA, hostDone)
+	c.sa.MarkRes(telemetry.StageFirmware, fwDone, ResFirmware)
+	c.sa.MarkRes(telemetry.StageDMA, hostDone, ResDMALink)
 	c.dmaRes.Add(dmaStart, hostDone)
 	t := hostDone
 	c.stats.BytesFromHost += uint64(len(cmd.Data))
@@ -412,7 +421,7 @@ func (c *Controller) execTrim(now sim.Time, cmd *nvme.Command) nvme.Completion {
 		}
 	}
 	done := now + c.cfg.FirmwareBlockOverhead
-	c.sa.Mark(telemetry.StageFirmware, done)
+	c.sa.MarkRes(telemetry.StageFirmware, done, ResFirmware)
 	return nvme.Completion{Status: nvme.StatusOK, Done: done}
 }
 
@@ -435,7 +444,7 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 			// fields cannot be trusted; the host re-serves via block I/O.
 			c.fltRingCorrupt.Inc()
 			rejectAt := now + c.cfg.FirmwareFineOverhead
-			c.sa.Mark(telemetry.StageFirmware, rejectAt)
+			c.sa.MarkRes(telemetry.StageFirmware, rejectAt, ResFirmware)
 			return nvme.Completion{Status: nvme.StatusCorruptRing, Done: rejectAt}
 		}
 		return nvme.Completion{Status: nvme.StatusInvalidCommand, Done: now}
@@ -451,7 +460,7 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 	}
 	c.stats.FineReadCmds++
 	start := now + c.cfg.FirmwareFineOverhead
-	c.sa.Mark(telemetry.StageFirmware, start)
+	c.sa.MarkRes(telemetry.StageFirmware, start, ResFirmware)
 
 	// Phase 1: load pages into the controller read buffer; they issue
 	// together and race across channels. Pages land contiguously, so the
@@ -492,7 +501,7 @@ func (c *Controller) execFineRead(now sim.Time, cmd *nvme.Command) nvme.Completi
 		c.corruptHMB(rec.Dest, rec.ByteLen, out.Sev)
 	}
 	dmaStart, done := c.linkSpan(maxDone+c.cfg.ExtractOverhead, c.cfg.PCIe.dmaTime(rec.ByteLen))
-	c.sa.Mark(telemetry.StageDMA, done)
+	c.sa.MarkRes(telemetry.StageDMA, done, ResDMALink)
 	c.dmaRes.Add(dmaStart, done)
 	c.stats.RangesExtract++
 	c.stats.BytesToHost += uint64(rec.ByteLen)
@@ -552,7 +561,7 @@ func (c *Controller) MMIORead(now sim.Time, slot, off int, buf []byte) (sim.Time
 	c.stats.MMIOBytesRead += uint64(len(buf))
 	c.stats.BytesToHost += uint64(len(buf))
 	mmioStart, done := c.linkSpan(now, c.cfg.PCIe.mmioTime(len(buf)))
-	c.sa.Mark(telemetry.StageDMA, done)
+	c.sa.MarkRes(telemetry.StageDMA, done, ResDMALink)
 	c.dmaRes.Add(mmioStart, done)
 	return done, nil
 }
@@ -568,7 +577,7 @@ func (c *Controller) DMAReadFromCMB(now sim.Time, slot, off int, buf []byte) (si
 	copy(buf, c.cmb[base+off:])
 	c.stats.BytesToHost += uint64(len(buf))
 	dmaStart, done := c.linkSpan(now, c.cfg.PCIe.dmaTime(len(buf)))
-	c.sa.Mark(telemetry.StageDMA, done)
+	c.sa.MarkRes(telemetry.StageDMA, done, ResDMALink)
 	c.dmaRes.Add(dmaStart, done)
 	return done, nil
 }

@@ -73,8 +73,15 @@ func (s Stage) String() string {
 // to Stage. A finished request's segments are contiguous and partition
 // [request start, request end] exactly — that is the conservation
 // invariant.
+//
+// Res optionally names the concrete resource the interval was spent on —
+// "nand.ch2.w5", "nvme.sq1", "pcie.dma" — refining the stage into a
+// critical-path blame vector. Layers pass interned (package-constant or
+// precomputed) strings so marking stays allocation-free; the empty string
+// means "the stage itself" and renders under the stage name.
 type StageSeg struct {
 	Stage      Stage
+	Res        string
 	Start, End sim.Time
 }
 
@@ -118,6 +125,11 @@ type StageAccount struct {
 	// onFinish, when set, observes every finished request's segments;
 	// tests use it to assert per-request conservation.
 	onFinish func(segs []StageSeg, start, end sim.Time)
+
+	// tail, when set, receives every finished request's segments for
+	// slowest-request exemplar capture. Separate from onFinish so the
+	// harness's tail recorder and a test's conservation observer coexist.
+	tail *TailRecorder
 }
 
 // NewStageAccount returns an empty account.
@@ -129,6 +141,26 @@ func (a *StageAccount) SetOnFinish(fn func(segs []StageSeg, start, end sim.Time)
 	if a != nil {
 		a.onFinish = fn
 	}
+}
+
+// SetTail installs a tail recorder that observes every finished request
+// (nil detaches). The harness attaches it after warmup so exemplars cover
+// only the measured phase.
+func (a *StageAccount) SetTail(t *TailRecorder) {
+	if a != nil {
+		a.tail = t
+	}
+}
+
+// LastSegs exposes the most recently finished request's segments. The
+// slice is valid only until the next Begin; callers that keep it (the
+// cluster's per-leg blame capture) must copy. Returns nil while a request
+// is open.
+func (a *StageAccount) LastSegs() []StageSeg {
+	if a == nil || a.active {
+		return nil
+	}
+	return a.segs
 }
 
 // PreQueue arms the next Begin with the request's true arrival time: if
@@ -162,7 +194,7 @@ func (a *StageAccount) Begin(now sim.Time) {
 		a.preArmed = false
 		if a.preArrival < now {
 			a.start = a.preArrival
-			a.segs = append(a.segs, StageSeg{Stage: StageQueue, Start: a.preArrival, End: now})
+			a.segs = append(a.segs, StageSeg{Stage: StageQueue, Res: ResAdmission, Start: a.preArrival, End: now})
 		}
 	}
 }
@@ -189,14 +221,24 @@ func (a *StageAccount) Resume() {
 // the cursor. Marks at or before the cursor (overlapped work already
 // claimed) attribute nothing.
 func (a *StageAccount) Mark(stage Stage, t sim.Time) {
+	a.MarkRes(stage, t, "")
+}
+
+// MarkRes is Mark with a blame resource: the claimed interval is tagged
+// with res ("nand.ch2.w5", "nvme.sq1", "pcie.dma", ...) so the request's
+// segments double as a critical-path blame vector. res must be an
+// interned string; adjacent segments merge only when both stage and
+// resource match, so a request bouncing between dies keeps one segment
+// per die visit.
+func (a *StageAccount) MarkRes(stage Stage, t sim.Time, res string) {
 	if a == nil || !a.active || a.suspended > 0 || t <= a.cursor {
 		return
 	}
 	n := len(a.segs)
-	if n > 0 && a.segs[n-1].Stage == stage && a.segs[n-1].End == a.cursor {
+	if n > 0 && a.segs[n-1].Stage == stage && a.segs[n-1].Res == res && a.segs[n-1].End == a.cursor {
 		a.segs[n-1].End = t
 	} else {
-		a.segs = append(a.segs, StageSeg{Stage: stage, Start: a.cursor, End: t})
+		a.segs = append(a.segs, StageSeg{Stage: stage, Res: res, Start: a.cursor, End: t})
 	}
 	a.cursor = t
 }
@@ -219,7 +261,9 @@ func (a *StageAccount) Reattribute(from sim.Time, stage Stage) {
 			continue
 		}
 		// Straddling segment: keep [Start, from) as-is, move [from, End).
-		tail := StageSeg{Stage: stage, Start: from, End: seg.End}
+		// The moved tail keeps its resource — retried work is still blamed
+		// on the die/link that performed it.
+		tail := StageSeg{Stage: stage, Res: seg.Res, Start: from, End: seg.End}
 		seg.End = from
 		rest := append([]StageSeg{tail}, a.segs[i+1:]...)
 		a.segs = append(a.segs[:i+1], rest...)
@@ -270,6 +314,7 @@ func (a *StageAccount) Finish(end sim.Time) sim.Time {
 	if a.onFinish != nil {
 		a.onFinish(a.segs, a.start, end)
 	}
+	a.tail.Observe(a.segs, a.start, end)
 	return end - a.start
 }
 
